@@ -1,0 +1,53 @@
+// Reproduces paper Figure 6: execution time of the hybrid FFT's phases on a
+// 128-processor CM-5 — local computation vs the remap under the naive and
+// staggered (contention-free) communication schedules.
+//
+// The paper's headline: with the naive schedule the remap takes more than
+// 1.5x the computation; staggered cuts it to ~1/7th of the computation —
+// an order of magnitude improvement from scheduling alone.
+#include <iostream>
+
+#include "algo/fft.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace logp;
+  namespace coll = runtime::coll;
+  const int P = 128;
+  const Params prm = Cm5::params(P);
+  const double sec = Cm5::kTickNs * 1e-9;
+
+  std::cout << "== Figure 6: FFT phase times, " << P
+            << "-processor CM-5 (seconds) ==\n\n";
+  util::TablePrinter tp({"FFT points", "compute", "naive remap",
+                         "staggered remap", "naive/compute",
+                         "stagger/compute", "naive stalls (Mcyc)"});
+  for (const std::int64_t n :
+       {std::int64_t{1} << 18, std::int64_t{1} << 20, std::int64_t{1} << 22,
+        std::int64_t{1} << 23, std::int64_t{1} << 24}) {
+    algo::FftConfig cfg;
+    cfg.n = n;
+    cfg.carry_data = false;
+    cfg.schedule = coll::A2ASchedule::kStaggered;
+    const auto stag = algo::run_hybrid_fft(prm, cfg);
+    cfg.schedule = coll::A2ASchedule::kNaive;
+    const auto naive = algo::run_hybrid_fft(prm, cfg);
+
+    const double compute =
+        double(stag.phase1_end + stag.phase3_time()) * sec;
+    const double rn = double(naive.remap_time()) * sec;
+    const double rs = double(stag.remap_time()) * sec;
+    tp.add_row({util::fmt_pow2(n), util::fmt(compute, 2), util::fmt(rn, 2),
+                util::fmt(rs, 2), util::fmt(rn / compute, 2),
+                util::fmt(rs / compute, 3),
+                util::fmt(double(naive.stall_cycles) / 1e6, 1)});
+  }
+  tp.print(std::cout);
+
+  std::cout << "\npaper: naive remap > 1.5x compute; staggered ~ 1/7th of\n"
+               "compute. The naive schedule serializes on one destination\n"
+               "at a time (capacity stalls above), the staggered schedule\n"
+               "is contention-free.\n";
+  return 0;
+}

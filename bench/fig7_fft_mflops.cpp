@@ -1,0 +1,50 @@
+// Reproduces paper Figure 7: per-processor computation rate (Mflops) of the
+// FFT's two local phases as the total problem size grows.
+//
+// Phase I is one big local FFT of n/P points under the cyclic layout; once
+// its 16*(n/P) bytes exceed the node's 64 KB cache, every pass sweeps memory
+// and the rate drops (paper: 2.8 -> 2.2 Mflops). Phase III is many small
+// P-point FFTs under the blocked layout, which stay cache-resident.
+//
+// We drive the real address streams of both phases through the cache
+// simulator (CM-5 node: 64 KB direct-mapped, 32-byte lines, write-through)
+// and convert miss rates into Mflops with a fixed per-butterfly cost model.
+#include <iostream>
+
+#include "cache/cache.hpp"
+#include "cache/fft_trace.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace logp;
+  const std::int64_t P = 128;
+  std::cout << "== Figure 7: Mflops per processor, P = " << P
+            << ", 64 KB direct-mapped cache ==\n\n";
+
+  cache::RateModel model;
+  util::TablePrinter tp({"FFT points", "local points", "phase I Mflops",
+                         "phase III Mflops", "I misses/bfly",
+                         "III misses/bfly"});
+  for (const std::int64_t n :
+       {std::int64_t{1} << 17, std::int64_t{1} << 18, std::int64_t{1} << 19,
+        std::int64_t{1} << 20, std::int64_t{1} << 21, std::int64_t{1} << 22,
+        std::int64_t{1} << 23, std::int64_t{1} << 24}) {
+    const std::int64_t local = n / P;
+    cache::DirectMappedCache c1, c3;
+    const auto phase1 = cache::trace_single_fft(c1, 0, local);
+    const auto phase3 = cache::trace_many_ffts(c3, 0, P, local / P);
+    tp.add_row({util::fmt_pow2(n), util::fmt_pow2(local),
+                util::fmt(model.mflops(phase1), 2),
+                util::fmt(model.mflops(phase3), 2),
+                util::fmt(phase1.misses_per_butterfly, 3),
+                util::fmt(phase3.misses_per_butterfly, 3)});
+  }
+  tp.print(std::cout);
+
+  std::cout << "\npaper: phase I falls from ~2.8 to ~2.2 Mflops when the\n"
+               "local FFT exceeds the 64 KB cache (n/P > 4 K points);\n"
+               "phase III suffers less because each small FFT is resident.\n"
+               "(CM-5 Linpack rate for one node: ~3.2 Mflops.)\n";
+  return 0;
+}

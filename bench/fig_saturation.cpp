@@ -1,0 +1,58 @@
+// Reproduces the Section 5.3 observation (after Dally's k-ary n-cube
+// studies): message latency is nearly flat in offered load up to a
+// saturation point, beyond which it diverges. LogP abstracts this by
+// treating L as a constant and *excluding* the saturated regime via the
+// ceil(L/g) capacity constraint.
+//
+// Packet-level simulation with link contention on several topologies;
+// uniform random traffic; store-and-forward with r = 2 cycles of routing
+// and 10 cycles of serialization per hop.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "net/packet_sim.hpp"
+#include "net/topology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace logp;
+  std::cout << "== Section 5.3: latency vs offered load (packet-level) ==\n\n";
+
+  struct Entry {
+    std::unique_ptr<net::Topology> topo;
+  };
+  std::vector<std::unique_ptr<net::Topology>> topos;
+  topos.push_back(net::make_hypercube(64));
+  topos.push_back(net::make_mesh2d(8, 8, true));
+  topos.push_back(net::make_mesh2d(8, 8, false));
+  topos.push_back(net::make_fat_tree4(64, 2));
+
+  for (const auto& topo : topos) {
+    net::PacketSimConfig cfg;
+    cfg.duration = 30000;
+    const double unloaded =
+        net::unloaded_packet_time(cfg, topo->average_distance());
+    std::cout << "-- " << topo->name() << " (unloaded ~" << util::fmt(unloaded, 0)
+              << " cycles) --\n";
+    util::TablePrinter tp({"load (pkt/node/cyc)", "mean latency",
+                           "p95 latency", "throughput", "state"});
+    for (const double load :
+         {0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064}) {
+      cfg.injection_rate = load;
+      const auto r = net::run_packet_sim(*topo, cfg);
+      tp.add_row({util::fmt(load, 4), util::fmt(r.latency.mean(), 0),
+                  util::fmt(r.p95_latency, 0), util::fmt(r.throughput, 4),
+                  r.saturated ? "SATURATED"
+                  : r.latency.mean() > 2 * unloaded ? "congested"
+                                                    : "stable"});
+    }
+    tp.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Below saturation latency is insensitive to load — modelling\n"
+               "it as the constant L is sound; the LogP capacity constraint\n"
+               "(at most ceil(L/g) messages per endpoint) is what keeps\n"
+               "programs out of the divergent regime.\n";
+  return 0;
+}

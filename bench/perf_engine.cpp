@@ -1,0 +1,78 @@
+// Harness microbenchmarks (google-benchmark): throughput of the simulator
+// itself — events per second for message ping-pong, broadcast fan-out and
+// all-to-all — so regressions in the engine are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/broadcast_tree.hpp"
+#include "runtime/collectives.hpp"
+
+namespace {
+
+using namespace logp;
+namespace coll = runtime::coll;
+
+void BM_PingPong(benchmark::State& state) {
+  const auto rounds = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::MachineConfig cfg;
+    cfg.params = {6, 2, 4, 2};
+    runtime::Scheduler sched(cfg);
+    sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+      return [](runtime::Ctx c, std::int64_t n) -> runtime::Task {
+        for (std::int64_t i = 0; i < n; ++i) {
+          if (c.proc() == 0) {
+            co_await c.send(1, 1);
+            (void)co_await c.recv(2);
+          } else {
+            (void)co_await c.recv(1);
+            co_await c.send(0, 2);
+          }
+        }
+      }(ctx, rounds);
+    });
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(1000);
+
+void BM_Broadcast(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const Params prm{6, 2, 4, P};
+  const auto tree = optimal_broadcast_tree(prm);
+  for (auto _ : state) {
+    sim::MachineConfig cfg;
+    cfg.params = prm;
+    runtime::Scheduler sched(cfg);
+    std::vector<std::uint64_t> value(static_cast<std::size_t>(P), 1);
+    sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+      return coll::broadcast_optimal(
+          ctx, tree, &value[static_cast<std::size_t>(ctx.proc())]);
+    });
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * (P - 1));
+}
+BENCHMARK(BM_Broadcast)->Arg(64)->Arg(1024);
+
+void BM_AllToAll(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const Params prm{20, 2, 4, P};
+  for (auto _ : state) {
+    sim::MachineConfig cfg;
+    cfg.params = prm;
+    runtime::Scheduler sched(cfg);
+    coll::A2AOptions opts;
+    opts.msgs_per_peer = 8;
+    sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+      return coll::all_to_all(ctx, opts);
+    });
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * P * (P - 1) * 8);
+}
+BENCHMARK(BM_AllToAll)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

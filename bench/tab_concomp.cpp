@@ -1,0 +1,46 @@
+// Reproduces the Section 4.2.3 connected-components study: the contention
+// at processors owning component roots, which a CRCW PRAM ignores but LogP
+// charges for — and the query-combining optimization that mitigates it.
+#include <iostream>
+
+#include "algo/concomp.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace logp;
+  const Params prm{20, 4, 8, 16};
+  std::cout << "== Section 4.2.3: connected components, " << prm.to_string()
+            << " ==\n\n";
+
+  util::TablePrinter tp({"V", "avg deg", "mode", "total (kcyc)", "rounds",
+                         "query words", "max recv@proc", "max backlog",
+                         "verified"});
+  for (const std::int64_t v : {1024, 4096}) {
+    for (const double deg : {2.0, 8.0}) {
+      for (const auto mode : {algo::CcMode::kNaive, algo::CcMode::kCombined}) {
+        algo::CcConfig cfg;
+        cfg.vertices = v;
+        cfg.avg_degree = deg;
+        cfg.mode = mode;
+        const auto r = algo::run_connected_components(prm, cfg);
+        tp.add_row({util::fmt_count(v), util::fmt(deg, 1),
+                    algo::cc_mode_name(mode),
+                    util::fmt(double(r.total) / 1e3, 1),
+                    std::to_string(r.rounds), util::fmt_count(r.query_words),
+                    util::fmt_count(r.max_recv_one_proc),
+                    util::fmt_count(r.max_backlog),
+                    r.verified ? "yes" : "NO"});
+      }
+    }
+  }
+  tp.print(std::cout);
+
+  std::cout << "\nAs components coalesce, almost every vertex pointer-jumps\n"
+               "to a handful of minima; in naive mode their owners receive\n"
+               "(and pay o for) one query per vertex per round. Combining\n"
+               "asks each distinct id once per processor per round — the\n"
+               "\"local optimizations\" of [31] that make the algorithm\n"
+               "compute-bound on dense graphs.\n";
+  return 0;
+}

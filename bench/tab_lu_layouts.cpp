@@ -1,0 +1,52 @@
+// Reproduces the Section 4.2.1 LU decomposition study: the four data
+// layouts' communication volume and load balance, simulated end-to-end
+// (every elimination step really broadcasts multipliers/pivot rows through
+// the machine and charges the exact update work each processor owns).
+#include <iostream>
+
+#include "algo/lu.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace logp;
+  std::cout << "== Section 4.2.1: LU decomposition layouts ==\n\n";
+
+  const Params prm{20, 4, 8, 16};  // generic machine, P = 16 (4x4 grid)
+  for (const std::int64_t n : {64, 128, 256}) {
+    std::cout << "-- n = " << n << ", " << prm.to_string() << " --\n";
+    util::TablePrinter tp({"layout", "total (kcyc)", "messages",
+                           "busy frac", "comm words/step(k=0)",
+                           "vs scattered"});
+    algo::LuSimConfig cfg;
+    cfg.n = n;
+    cfg.layout = LuLayout::kGridScattered;
+    const auto best = algo::run_lu_sim(prm, cfg);
+    for (const auto layout :
+         {LuLayout::kBadScatter, LuLayout::kColumnCyclic,
+          LuLayout::kGridBlocked, LuLayout::kGridScattered}) {
+      cfg.layout = layout;
+      const auto r = algo::run_lu_sim(prm, cfg);
+      // First-step per-processor receive volume, from the paper's formulas.
+      std::int64_t words0 = 0;
+      switch (layout) {
+        case LuLayout::kBadScatter: words0 = 2 * (n - 1); break;
+        case LuLayout::kColumnCyclic: words0 = n - 1; break;
+        default: words0 = 2 * (n - 1) / 4; break;  // sqrt(P) = 4
+      }
+      tp.add_row({lu_layout_name(layout), util::fmt(double(r.total) / 1e3, 1),
+                  util::fmt_count(r.messages), util::fmt(r.busy_fraction, 3),
+                  util::fmt_count(words0),
+                  util::fmt(double(r.total) / double(best.total), 2)});
+    }
+    tp.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "paper: the bad layout fetches the whole pivot row AND\n"
+               "column (2(n-k) words); column layout halves that; a grid\n"
+               "layout cuts it by sqrt(P); and the scattered (cyclic) grid\n"
+               "keeps all processors active to the end where the blocked\n"
+               "grid idles 2*sqrt(P) of them after n/sqrt(P) steps — the\n"
+               "layout the fastest Linpack codes actually use.\n";
+  return 0;
+}

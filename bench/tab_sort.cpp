@@ -1,0 +1,44 @@
+// Reproduces the Section 4.2.2 sorting study: splitter sort's
+// compute-remap-compute structure against the oblivious bitonic baseline.
+// Both run with real keys on the simulated machine and are verified.
+#include <iostream>
+
+#include "algo/sort.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace logp;
+  const Params prm{20, 4, 8, 16};
+  std::cout << "== Section 4.2.2: distributed sorting, " << prm.to_string()
+            << " ==\n\n";
+
+  util::TablePrinter tp({"keys/proc", "algorithm", "total (kcyc)", "messages",
+                         "compute frac", "imbalance", "verified"});
+  for (const std::int64_t k : {256, 1024, 4096, 16384}) {
+    for (const auto algo :
+         {algo::SortAlgo::kSplitter, algo::SortAlgo::kBitonic,
+          algo::SortAlgo::kRadix}) {
+      algo::SortConfig cfg;
+      cfg.keys_per_proc = k;
+      cfg.algo = algo;
+      const auto r = algo::run_distributed_sort(prm, cfg);
+      tp.add_row({util::fmt_count(k), algo::sort_algo_name(algo),
+                  util::fmt(double(r.total) / 1e3, 1),
+                  util::fmt_count(r.messages),
+                  util::fmt(double(r.compute_cycles) /
+                                (double(r.total) * prm.P), 3),
+                  util::fmt(r.imbalance, 2), r.verified ? "yes" : "NO"});
+    }
+  }
+  tp.print(std::cout);
+
+  std::cout << "\nsplitter sort ships each key once (plus samples and\n"
+               "splitters); bitonic re-ships every key log2(P)(log2(P)+1)/2\n"
+               "times. The splitter advantage grows with keys per processor\n"
+               "— the regime the paper says real machines live in. Radix\n"
+               "(the scan-based style of the paper's CM-2 references) moves\n"
+               "keys key_bits/radix_bits times but does no comparisons, so\n"
+               "it wins once local sorting dominates.\n";
+  return 0;
+}

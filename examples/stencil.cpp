@@ -1,0 +1,149 @@
+// Example: 1-D stencil (diffusion) with halo exchange — the paper's
+// Section 6.4 "surface to volume" argument. Each processor owns a block of
+// cells; per timestep it exchanges one boundary cell with each neighbour and
+// updates its block. As cells-per-processor grows, the communication share
+// of each step vanishes — locality, not topology, is what matters.
+//
+//   $ ./stencil [cells_per_proc] [steps] [P]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace logp;
+using runtime::Ctx;
+using runtime::Task;
+
+constexpr std::int32_t kHaloLeft = 10;   // + step parity
+constexpr std::int32_t kHaloRight = 12;  // + step parity
+
+// Integer smoothing rule, exact and associative-free: deterministic across
+// serial and distributed runs.
+std::uint64_t rule(std::uint64_t l, std::uint64_t c, std::uint64_t r) {
+  return (l + 2 * c + r) / 4;
+}
+
+struct Shared {
+  std::int64_t cells;
+  int steps;
+  Cycles cost_per_cell;
+  std::vector<std::vector<std::uint64_t>> block;  // per proc
+};
+
+Task stencil_program(Ctx ctx, Shared& sh) {
+  const ProcId p = ctx.proc();
+  const int P = ctx.nprocs();
+  auto& a = sh.block[static_cast<std::size_t>(p)];
+  const auto n = static_cast<std::int64_t>(a.size());
+
+  for (int step = 0; step < sh.steps; ++step) {
+    const std::int32_t lt = kHaloLeft + (step & 1);
+    const std::int32_t rt = kHaloRight + (step & 1);
+    // Exchange halos (global boundary cells are fixed at their value).
+    if (p > 0) co_await ctx.send(p - 1, rt, a.front());
+    if (p + 1 < P) co_await ctx.send(p + 1, lt, a.back());
+    std::uint64_t left = a.front(), right = a.back();
+    if (p > 0) left = (co_await ctx.recv(lt, p - 1)).word(0);
+    if (p + 1 < P) right = (co_await ctx.recv(rt, p + 1)).word(0);
+
+    co_await ctx.compute(n * sh.cost_per_cell);
+    std::vector<std::uint64_t> next(a.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint64_t l = i == 0 ? left : a[static_cast<std::size_t>(i - 1)];
+      const std::uint64_t r =
+          i == n - 1 ? right : a[static_cast<std::size_t>(i + 1)];
+      next[static_cast<std::size_t>(i)] =
+          rule(l, a[static_cast<std::size_t>(i)], r);
+    }
+    // Global boundaries are Dirichlet: first/last cell of the whole domain
+    // keep their values.
+    if (p == 0) next.front() = a.front();
+    if (p + 1 == P) next.back() = a.back();
+    a.swap(next);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t cells = 1 << 10;
+  int steps = 50;
+  int P = 16;
+  if (argc > 1) cells = std::atoll(argv[1]);
+  if (argc > 2) steps = std::atoi(argv[2]);
+  if (argc > 3) P = std::atoi(argv[3]);
+
+  const Params prm{20, 4, 8, P};
+  std::cout << "1-D stencil: " << cells << " cells/proc x " << P
+            << " procs, " << steps << " steps, " << prm.to_string() << "\n\n";
+
+  auto run_once = [&](std::int64_t cpp) {
+    Shared sh;
+    sh.cells = cpp;
+    sh.steps = steps;
+    sh.cost_per_cell = 4;
+    sh.block.resize(static_cast<std::size_t>(P));
+    std::vector<std::uint64_t> serial;
+    for (ProcId q = 0; q < P; ++q) {
+      auto& b = sh.block[static_cast<std::size_t>(q)];
+      b.resize(static_cast<std::size_t>(cpp));
+      for (std::int64_t i = 0; i < cpp; ++i) {
+        const std::uint64_t v =
+            1000000 + static_cast<std::uint64_t>((q * cpp + i) % 977) * 331;
+        b[static_cast<std::size_t>(i)] = v;
+        serial.push_back(v);
+      }
+    }
+    sim::MachineConfig mc;
+    mc.params = prm;
+    runtime::Scheduler sched(mc);
+    sched.set_program([&](Ctx ctx) -> Task { return stencil_program(ctx, sh); });
+    const Cycles total = sched.run();
+
+    // Serial reference.
+    for (int s = 0; s < steps; ++s) {
+      std::vector<std::uint64_t> next(serial.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        const auto l = i == 0 ? serial[i] : serial[i - 1];
+        const auto r = i + 1 == serial.size() ? serial[i] : serial[i + 1];
+        next[i] = rule(l, serial[i], r);
+      }
+      next.front() = serial.front();
+      next.back() = serial.back();
+      serial.swap(next);
+    }
+    bool ok = true;
+    for (ProcId q = 0; q < P && ok; ++q)
+      for (std::int64_t i = 0; i < cpp && ok; ++i)
+        ok = sh.block[static_cast<std::size_t>(q)]
+                     [static_cast<std::size_t>(i)] ==
+             serial[static_cast<std::size_t>(q * cpp + i)];
+
+    const Cycles compute = static_cast<Cycles>(steps) * cpp * 4;
+    return std::tuple{total, compute, ok};
+  };
+
+  logp::util::TablePrinter tp(
+      {"cells/proc", "total cycles", "pure compute", "comm+sync overhead",
+       "overhead frac", "verified"});
+  bool all_ok = true;
+  for (const std::int64_t cpp : {16, 64, 256, 1024, 4096}) {
+    const auto [total, compute, ok] = run_once(cpp);
+    all_ok = all_ok && ok;
+    tp.add_row({logp::util::fmt_count(cpp), logp::util::fmt_count(total),
+                logp::util::fmt_count(compute),
+                logp::util::fmt_count(total - compute),
+                logp::util::fmt(double(total - compute) / double(total), 3),
+                ok ? "yes" : "NO"});
+  }
+  tp.print(std::cout);
+  std::cout << "\nThe overhead per step is a constant (halo messages);\n"
+               "the compute grows with the block — the surface-to-volume\n"
+               "effect that makes topology-specific layouts unnecessary.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,327 @@
+#include "algo/concomp.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+
+#include "runtime/bulk.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logp::algo {
+
+const char* cc_mode_name(CcMode m) {
+  switch (m) {
+    case CcMode::kNaive: return "naive";
+    case CcMode::kCombined: return "combined";
+  }
+  return "?";
+}
+
+namespace {
+
+using runtime::Ctx;
+using runtime::Task;
+namespace coll = runtime::coll;
+
+constexpr std::int32_t kRoundTagStride = 8;
+constexpr std::int32_t kQueryTag = 700;      // + round*stride
+constexpr std::int32_t kReplyTag = 701;      // + round*stride
+constexpr std::int32_t kReduceTag = 702;     // + round*stride
+constexpr std::int32_t kBcastTag = 703;      // + round*stride
+constexpr std::int32_t kHookTag = 704;       // + round*stride
+
+struct Shared {
+  const CcConfig* cfg;
+  std::int64_t per_proc = 0;
+  /// adjacency[p][local v] = neighbour vertex ids (global).
+  std::vector<std::vector<std::vector<std::int64_t>>> adjacency;
+  /// labels[p][local v]
+  std::vector<std::vector<std::int64_t>> labels;
+  int rounds_executed = 0;
+  std::int64_t query_words = 0;  ///< vertex ids shipped, all rounds/procs
+};
+
+ProcId owner_of(const Shared& sh, std::int64_t v) {
+  return static_cast<ProcId>(v / sh.per_proc);
+}
+
+Task cc_program(Ctx ctx, Shared& sh) {
+  const int P = ctx.nprocs();
+  const ProcId me = ctx.proc();
+  const CcConfig& cfg = *sh.cfg;
+  auto& labels = sh.labels[static_cast<std::size_t>(me)];
+  // Live adjacency: once an edge's endpoints share a label they are in the
+  // same component forever, so the edge is dropped. Late rounds then consist
+  // almost entirely of pointer-jump queries to the component minima — the
+  // contention hot-spot of Section 4.2.3.
+  auto adj = sh.adjacency[static_cast<std::size_t>(me)];
+  const std::int64_t base = me * sh.per_proc;
+  // Hooks to dispatch next round: when a hook lowers lab(t) from w to v,
+  // vertices still pointing at w would be stranded unless w is re-hooked.
+  std::vector<std::pair<std::int64_t, std::int64_t>> carry;
+
+  for (int round = 0;; ++round) {
+    const std::int32_t qtag =
+        kQueryTag + round * kRoundTagStride;
+    const std::int32_t rtag = kReplyTag + round * kRoundTagStride;
+
+    // ---- Collect the vertex ids whose labels this round needs. ----
+    std::vector<std::vector<std::int64_t>> ask(static_cast<std::size_t>(P));
+    auto want = [&](std::int64_t v) {
+      ask[static_cast<std::size_t>(owner_of(sh, v))].push_back(v);
+    };
+    for (std::int64_t lv = 0; lv < sh.per_proc; ++lv) {
+      want(labels[static_cast<std::size_t>(lv)]);  // pointer jump target
+      for (const auto u : adj[static_cast<std::size_t>(lv)]) want(u);
+    }
+    if (cfg.mode == CcMode::kCombined) {
+      for (auto& list : ask) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+      }
+    }
+
+    // ---- Ship query lists (one bulk transfer per peer, even if empty) ----
+    for (int step = 1; step < P; ++step) {
+      const auto dst = static_cast<ProcId>((me + step) % P);
+      std::vector<std::uint64_t> words;
+      words.reserve(ask[static_cast<std::size_t>(dst)].size());
+      for (const auto v : ask[static_cast<std::size_t>(dst)])
+        words.push_back(static_cast<std::uint64_t>(v));
+      sh.query_words += static_cast<std::int64_t>(words.size());
+      co_await runtime::send_bulk(ctx, dst, qtag, std::move(words),
+                                  cfg.words_per_msg);
+    }
+
+    // ---- Answer incoming queries; then collect our replies. ----
+    std::unordered_map<std::int64_t, std::int64_t> resolved;
+    for (const auto v : ask[static_cast<std::size_t>(me)])
+      resolved[v] = labels[static_cast<std::size_t>(v - base)];
+    for (int step = 1; step < P; ++step) {
+      const auto peer = static_cast<ProcId>((me + step) % P);
+      std::vector<std::uint64_t> queries;
+      co_await runtime::recv_bulk(ctx, qtag, peer, &queries);
+      co_await ctx.compute(
+          static_cast<Cycles>(queries.size()) * cfg.lookup_cycles);
+      std::vector<std::uint64_t> answers;
+      answers.reserve(queries.size());
+      for (const auto w : queries) {
+        const auto v = static_cast<std::int64_t>(w);
+        answers.push_back(static_cast<std::uint64_t>(
+            labels[static_cast<std::size_t>(v - base)]));
+      }
+      co_await runtime::send_bulk(ctx, peer, rtag, std::move(answers),
+                                  cfg.words_per_msg);
+    }
+    for (int step = 1; step < P; ++step) {
+      const auto peer = static_cast<ProcId>((me + step) % P);
+      std::vector<std::uint64_t> answers;
+      co_await runtime::recv_bulk(ctx, rtag, peer, &answers);
+      const auto& asked = ask[static_cast<std::size_t>(peer)];
+      LOGP_CHECK(answers.size() == asked.size());
+      for (std::size_t i = 0; i < answers.size(); ++i)
+        resolved[asked[i]] = static_cast<std::int64_t>(answers[i]);
+    }
+
+    // ---- Update labels: min over self, pointer jump, neighbours. ----
+    // In naive mode `resolved` keyed the duplicates away on the requester,
+    // but they were still shipped and answered individually above.
+    bool changed = false;
+    // Hook requests: when a vertex discovers a label smaller than its old
+    // root's current label, the root's owner must be told — the messages
+    // that concentrate on the few component minima.
+    std::vector<std::vector<std::uint64_t>> hooks(static_cast<std::size_t>(P));
+    for (const auto& [target, value] : carry) {
+      auto& h = hooks[static_cast<std::size_t>(owner_of(sh, target))];
+      h.push_back(static_cast<std::uint64_t>(target));
+      h.push_back(static_cast<std::uint64_t>(value));
+    }
+    carry.clear();
+    for (std::int64_t lv = 0; lv < sh.per_proc; ++lv) {
+      auto& lab = labels[static_cast<std::size_t>(lv)];
+      const std::int64_t old_lab = lab;
+      std::int64_t next = std::min(lab, resolved.at(lab));
+      for (const auto u : adj[static_cast<std::size_t>(lv)])
+        next = std::min(next, resolved.at(u));
+      if (next != lab) {
+        lab = next;
+        changed = true;
+      }
+      if (next < resolved.at(old_lab)) {
+        auto& h = hooks[static_cast<std::size_t>(owner_of(sh, old_lab))];
+        h.push_back(static_cast<std::uint64_t>(old_lab));
+        h.push_back(static_cast<std::uint64_t>(next));
+      }
+      // Retire edges between endpoints now known to share a component.
+      auto& edges_of = adj[static_cast<std::size_t>(lv)];
+      std::erase_if(edges_of, [&](std::int64_t u) {
+        return resolved.at(u) == next;
+      });
+    }
+    co_await ctx.compute(sh.per_proc * cfg.update_cycles);
+
+    if (cfg.mode == CcMode::kCombined) {
+      // Combine hooks per destination: one (target, min value) pair each.
+      // Dropping the larger of two hook values loses a chain-merge, so the
+      // displaced value is re-hooked toward the kept one instead.
+      for (auto& h : hooks) {
+        std::unordered_map<std::uint64_t, std::uint64_t> best;
+        for (std::size_t i = 0; i + 1 < h.size(); i += 2) {
+          auto [it, fresh] = best.try_emplace(h[i], h[i + 1]);
+          if (!fresh && it->second != h[i + 1]) {
+            const auto lo = std::min(it->second, h[i + 1]);
+            const auto hi = std::max(it->second, h[i + 1]);
+            it->second = lo;
+            carry.emplace_back(static_cast<std::int64_t>(hi),
+                               static_cast<std::int64_t>(lo));
+          }
+        }
+        h.clear();
+        for (const auto& [t, v] : best) {
+          h.push_back(t);
+          h.push_back(v);
+        }
+      }
+    }
+    auto apply_hooks = [&](const std::vector<std::uint64_t>& pairs) {
+      for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+        const auto t = static_cast<std::int64_t>(pairs[i]);
+        auto& lab = labels[static_cast<std::size_t>(t - base)];
+        const auto v = static_cast<std::int64_t>(pairs[i + 1]);
+        if (v < lab) {
+          // Cascade: whoever pointed at `lab` (including t's own pointer
+          // chain) must learn about v too.
+          if (lab != t) carry.emplace_back(lab, v);
+          lab = v;
+          changed = true;
+        } else if (v > lab) {
+          // The sender's chain runs through vertex v and has not seen our
+          // smaller label; merge symmetrically by hooking v downward.
+          carry.emplace_back(v, lab);
+        }
+      }
+    };
+    apply_hooks(hooks[static_cast<std::size_t>(me)]);
+    const std::int32_t htag = kHookTag + round * kRoundTagStride;
+    for (int step = 1; step < P; ++step) {
+      const auto dst = static_cast<ProcId>((me + step) % P);
+      sh.query_words +=
+          static_cast<std::int64_t>(hooks[static_cast<std::size_t>(dst)].size());
+      co_await runtime::send_bulk(ctx, dst, htag,
+                                  std::move(hooks[static_cast<std::size_t>(dst)]),
+                                  cfg.words_per_msg);
+    }
+    for (int step = 1; step < P; ++step) {
+      const auto peer = static_cast<ProcId>((me + step) % P);
+      std::vector<std::uint64_t> pairs;
+      co_await runtime::recv_bulk(ctx, htag, peer, &pairs);
+      co_await ctx.compute(static_cast<Cycles>(pairs.size() / 2) *
+                           cfg.update_cycles);
+      apply_hooks(pairs);
+    }
+
+    // ---- Global termination check (message-based all-reduce). ----
+    // Undelivered cascades count as pending change.
+    if (!carry.empty()) changed = true;
+    std::uint64_t any_changed = 0;
+    co_await coll::reduce_binomial(ctx, changed ? 1 : 0, &any_changed,
+                                   kReduceTag + round * kRoundTagStride);
+    co_await coll::broadcast_binomial(
+        ctx, &any_changed, kBcastTag + round * kRoundTagStride);
+    if (me == 0) sh.rounds_executed = round + 1;
+    if (any_changed == 0) co_return;
+  }
+}
+
+}  // namespace
+
+CcResult run_connected_components(const Params& params, const CcConfig& cfg) {
+  params.validate();
+  LOGP_CHECK(cfg.vertices >= params.P && cfg.vertices % params.P == 0);
+
+  Shared sh;
+  sh.cfg = &cfg;
+  sh.per_proc = cfg.vertices / params.P;
+  sh.adjacency.assign(
+      static_cast<std::size_t>(params.P),
+      std::vector<std::vector<std::int64_t>>(
+          static_cast<std::size_t>(sh.per_proc)));
+  sh.labels.resize(static_cast<std::size_t>(params.P));
+  for (ProcId p = 0; p < params.P; ++p) {
+    auto& l = sh.labels[static_cast<std::size_t>(p)];
+    l.resize(static_cast<std::size_t>(sh.per_proc));
+    std::iota(l.begin(), l.end(), p * sh.per_proc);
+  }
+
+  // Random multigraph with V*avg_degree/2 edges; each edge is stored at both
+  // endpoints. Sequential union-find gives the ground truth.
+  util::Xoshiro256StarStar rng(cfg.seed);
+  std::vector<std::int64_t> uf(static_cast<std::size_t>(cfg.vertices));
+  std::iota(uf.begin(), uf.end(), 0);
+  std::function<std::int64_t(std::int64_t)> find =
+      [&](std::int64_t v) -> std::int64_t {
+    while (uf[static_cast<std::size_t>(v)] != v) {
+      uf[static_cast<std::size_t>(v)] =
+          uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(v)])];
+      v = uf[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  const auto edges =
+      static_cast<std::int64_t>(cfg.avg_degree * double(cfg.vertices) / 2.0);
+  for (std::int64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<std::int64_t>(
+        rng.uniform(static_cast<std::uint64_t>(cfg.vertices)));
+    const auto v = static_cast<std::int64_t>(
+        rng.uniform(static_cast<std::uint64_t>(cfg.vertices)));
+    if (u == v) continue;
+    sh.adjacency[static_cast<std::size_t>(u / sh.per_proc)]
+                [static_cast<std::size_t>(u % sh.per_proc)]
+                    .push_back(v);
+    sh.adjacency[static_cast<std::size_t>(v / sh.per_proc)]
+                [static_cast<std::size_t>(v % sh.per_proc)]
+                    .push_back(u);
+    uf[static_cast<std::size_t>(find(u))] = find(v);
+  }
+
+  sim::MachineConfig mc;
+  mc.params = params;
+  mc.seed = cfg.seed;
+  runtime::Scheduler sched(mc);
+  sched.set_program([&](Ctx ctx) -> Task { return cc_program(ctx, sh); });
+
+  CcResult r;
+  r.total = sched.run();
+  r.rounds = sh.rounds_executed;
+  r.query_words = sh.query_words;
+  r.messages = sched.machine().total_messages();
+  const auto stats = sched.machine().total_stats();
+  r.max_backlog = stats.max_arrival_backlog;
+  for (ProcId p = 0; p < params.P; ++p)
+    r.max_recv_one_proc = std::max(r.max_recv_one_proc,
+                                   sched.machine().stats(p).msgs_received);
+
+  // Verify against union-find: labels must equal the component minimum.
+  std::unordered_map<std::int64_t, std::int64_t> comp_min;
+  for (std::int64_t v = 0; v < cfg.vertices; ++v) {
+    const auto root = find(v);
+    auto [it, fresh] = comp_min.try_emplace(root, v);
+    if (!fresh) it->second = std::min(it->second, v);
+  }
+  r.verified = true;
+  r.final_labels.reserve(static_cast<std::size_t>(cfg.vertices));
+  for (std::int64_t v = 0; v < cfg.vertices; ++v) {
+    const auto got = sh.labels[static_cast<std::size_t>(v / sh.per_proc)]
+                              [static_cast<std::size_t>(v % sh.per_proc)];
+    r.final_labels.push_back(got);
+    if (got != comp_min.at(find(v))) r.verified = false;
+  }
+  r.components = static_cast<std::int64_t>(comp_min.size());
+  return r;
+}
+
+}  // namespace logp::algo

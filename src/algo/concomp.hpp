@@ -1,0 +1,56 @@
+// Connected components (paper Section 4.2.3).
+//
+// Distributed min-label propagation with pointer jumping. Each round every
+// vertex needs the current label of (a) its neighbours and (b) its own
+// label's vertex (the pointer jump). As components coalesce, almost all
+// vertices point at a handful of component minima, so the processors owning
+// those minima are flooded with queries — the contention a CRCW PRAM hides
+// and LogP makes visible (and charges for via receive overhead and the
+// capacity constraint).
+//
+// Two query strategies:
+//   naive    — one query per vertex/edge endpoint per round, duplicates and
+//              all (the straightforward PRAM transliteration);
+//   combined — each processor deduplicates the vertex ids it must resolve
+//              in a round and asks each owner once per id ([31]'s local
+//              optimization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::algo {
+
+enum class CcMode { kNaive, kCombined };
+
+const char* cc_mode_name(CcMode m);
+
+struct CcConfig {
+  std::int64_t vertices = 1 << 10;  ///< must be divisible by P
+  double avg_degree = 4.0;
+  CcMode mode = CcMode::kCombined;
+  Cycles lookup_cycles = 2;   ///< owner-side cost per answered query
+  Cycles update_cycles = 2;   ///< per-vertex label update cost
+  std::uint32_t words_per_msg = 2;
+  std::uint64_t seed = 0xcc;
+};
+
+struct CcResult {
+  Cycles total = 0;
+  int rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t query_words = 0;        ///< total vertex ids shipped
+  std::int64_t max_backlog = 0;        ///< worst arrival-queue depth
+  std::int64_t max_recv_one_proc = 0;  ///< hottest receiver
+  bool verified = false;
+  std::int64_t components = 0;
+  std::vector<std::int64_t> final_labels;  ///< label per vertex
+};
+
+/// Runs connected components over a seeded G(V, avg_degree) multigraph on
+/// the simulated machine; labels are verified against sequential union-find.
+CcResult run_connected_components(const Params& params, const CcConfig& cfg);
+
+}  // namespace logp::algo

@@ -1,0 +1,81 @@
+// The hybrid-layout parallel FFT of paper Section 4.1.
+//
+// The n-input butterfly is computed in two purely local phases separated by
+// one all-to-all remap:
+//   phase I   — cyclic layout (row r on processor r mod P); decimation-in-
+//               frequency stages for the high log(n/P) address bits.
+//   remap     — cyclic -> blocked personalized all-to-all, one small message
+//               per point (16 data bytes + address, as on the CM-5), under a
+//               naive, staggered, or barrier-synchronized schedule.
+//   phase III — blocked layout (rows [p*n/P, (p+1)*n/P) on processor p);
+//               stages for the low log(P) bits.
+// The output is in bit-reversed order, exactly like the serial reference
+// kernel below, so distributed results are compared element-for-element.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "runtime/collectives.hpp"
+
+namespace logp::algo {
+
+/// Serial decimation-in-frequency radix-2 FFT; output in bit-reversed order.
+/// The reference against which the distributed computation is verified.
+void fft_dif(std::vector<std::complex<double>>& a);
+
+/// Undo the bit-reversal permutation (to compare against textbook DFTs).
+void bit_reverse_permute(std::vector<std::complex<double>>& a);
+
+struct FftConfig {
+  std::int64_t n = 1 << 12;  ///< total points; power of two, n >= P^2
+  runtime::coll::A2ASchedule schedule =
+      runtime::coll::A2ASchedule::kStaggered;
+  /// Move real complex values through the machine and verify (costly in host
+  /// memory); when false the same messages flow but carry no payload data.
+  bool carry_data = true;
+  /// Cost of one butterfly (two points) in cycles; Cm5::kButterflyTicks.
+  Cycles butterfly_cycles = 150;
+  /// Per-point load/store cost during the remap (Cm5: ~1 us = 33 ticks).
+  Cycles loadstore_cycles = 33;
+  double compute_jitter = 0.0;
+  std::uint64_t seed = 0x0f37;
+  /// Barrier period for the synchronized schedule, in destination blocks
+  /// (the paper synchronizes after every n/P^2 messages = 1 block).
+  int barrier_every_blocks = 1;
+  /// Section 4.1.5: merge the remap into the computation phases — each
+  /// destination block is transmitted as soon as its share of phase I is
+  /// done, so the g - 2o idle slots (and the trailing latency) hide under
+  /// compute. Pays off as o shrinks relative to g.
+  bool overlap_remap = false;
+};
+
+struct FftResult {
+  Cycles phase1_end = 0;    ///< max over processors
+  Cycles remap_end = 0;
+  Cycles total = 0;
+  Cycles remap_time() const { return remap_end - phase1_end; }
+  Cycles phase3_time() const { return total - remap_end; }
+  std::int64_t messages = 0;
+  Cycles stall_cycles = 0;      ///< summed over processors
+  Cycles gap_wait_cycles = 0;
+  bool verified = false;        ///< set when carry_data and check passed
+};
+
+/// Runs the hybrid FFT on a simulated LogP machine. When carry_data is set,
+/// the input is pseudo-random, and the distributed output is checked against
+/// fft_dif bit-for-bit.
+FftResult run_hybrid_fft(const Params& params, const FftConfig& cfg);
+
+/// Predicted remap time from the Section 4.1.4 analysis:
+/// (n/P) * max(loadstore + 2o, g) + L.
+Cycles predicted_remap_time(const Params& params, const FftConfig& cfg);
+
+/// Predicted communication rate during the remap in bytes/second/processor
+/// (16 data bytes per point over the predicted remap time).
+double predicted_remap_rate_mbs(const Params& params, const FftConfig& cfg,
+                                double cycle_ns);
+
+}  // namespace logp::algo

@@ -1,0 +1,234 @@
+#include "algo/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/collectives.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logp::algo {
+
+bool lu_factor(Matrix& m, std::vector<std::int64_t>& perm) {
+  const std::int64_t n = m.n;
+  perm.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+
+  for (std::int64_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |entry| in column k at or below the diagonal.
+    std::int64_t pivot = k;
+    double best = std::fabs(m.at(k, k));
+    for (std::int64_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(m.at(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      for (std::int64_t c = 0; c < n; ++c)
+        std::swap(m.at(k, c), m.at(pivot, c));
+      std::swap(perm[static_cast<std::size_t>(k)],
+                perm[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / m.at(k, k);
+    for (std::int64_t r = k + 1; r < n; ++r) {
+      const double lik = m.at(r, k) * inv;
+      m.at(r, k) = lik;
+      for (std::int64_t c = k + 1; c < n; ++c)
+        m.at(r, c) -= lik * m.at(k, c);
+    }
+  }
+  return true;
+}
+
+double lu_residual(const Matrix& original, const Matrix& factored,
+                   const std::vector<std::int64_t>& perm) {
+  const std::int64_t n = original.n;
+  LOGP_CHECK(factored.n == n &&
+             perm.size() == static_cast<std::size_t>(n));
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double lu = 0.0;
+      const std::int64_t kmax = std::min(i, j);
+      for (std::int64_t k = 0; k <= kmax; ++k) {
+        const double lik = k == i ? 1.0 : factored.at(i, k);
+        lu += lik * factored.at(k, j);
+      }
+      const double pa = original.at(perm[static_cast<std::size_t>(i)], j);
+      worst = std::max(worst, std::fabs(pa - lu));
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+using runtime::Ctx;
+using runtime::Message;
+using runtime::Task;
+
+constexpr std::int32_t kLuTagBase = 500;
+
+/// Ownership arithmetic for one layout. q = sqrt(P) for grid layouts.
+struct Layout {
+  LuLayout kind;
+  std::int64_t n;
+  int P;
+  std::int64_t q = 0;      // grid side
+  std::int64_t block = 0;  // rows/cols per grid strip (blocked)
+
+  static Layout make(LuLayout kind, std::int64_t n, int P) {
+    Layout l{kind, n, P, 0, 0};
+    if (kind == LuLayout::kGridBlocked || kind == LuLayout::kGridScattered) {
+      l.q = static_cast<std::int64_t>(std::llround(std::sqrt(double(P))));
+      LOGP_CHECK_MSG(l.q * l.q == P, "grid layouts need square P");
+      LOGP_CHECK_MSG(n % l.q == 0, "n must be divisible by sqrt(P)");
+      l.block = n / l.q;
+    }
+    return l;
+  }
+
+  std::int64_t grid_row_of(std::int64_t r) const {
+    return kind == LuLayout::kGridBlocked ? r / block : r % q;
+  }
+  std::int64_t grid_col_of(std::int64_t c) const {
+    return kind == LuLayout::kGridBlocked ? c / block : c % q;
+  }
+
+  /// How many indices in (k, n) map to strip s (of q strips).
+  std::int64_t strip_count(std::int64_t k, std::int64_t s) const {
+    std::int64_t cnt = 0;
+    if (kind == LuLayout::kGridBlocked) {
+      const std::int64_t lo = std::max(k + 1, s * block);
+      const std::int64_t hi = (s + 1) * block;
+      cnt = std::max<std::int64_t>(0, hi - lo);
+    } else {
+      // indices i in (k, n) with i mod q == s
+      const std::int64_t total = n - k - 1;
+      const std::int64_t first = ((s - (k + 1)) % q + q) % q;  // offset
+      if (total > first) cnt = (total - first + q - 1) / q;
+    }
+    return cnt;
+  }
+
+  /// Cyclic column count for the 1-D column layout.
+  std::int64_t column_count(std::int64_t k, int rank) const {
+    const std::int64_t total = n - k - 1;
+    const std::int64_t first = ((rank - (k + 1)) % P + P) % P;
+    return total > first ? (total - first + P - 1) / P : 0;
+  }
+};
+
+using runtime::coll::ring_broadcast;
+
+/// Group of all processors, rotated to start at `root`.
+std::vector<ProcId> all_rotated(int P, ProcId root) {
+  std::vector<ProcId> g(static_cast<std::size_t>(P));
+  for (int i = 0; i < P; ++i)
+    g[static_cast<std::size_t>(i)] = static_cast<ProcId>((root + i) % P);
+  return g;
+}
+
+Task lu_program(Ctx ctx, const Layout& lay, const LuSimConfig& cfg) {
+  const int P = ctx.nprocs();
+  const ProcId me = ctx.proc();
+  const std::int64_t n = cfg.n;
+
+  for (std::int64_t k = 0; k + 1 < n; ++k) {
+    const std::int64_t m = n - 1 - k;
+    const std::int32_t tag_mult = kLuTagBase + static_cast<std::int32_t>(4 * k);
+    const std::int32_t tag_prow = tag_mult + 1;
+
+    switch (lay.kind) {
+      case LuLayout::kBadScatter: {
+        // Pivot scaling spread over everyone; then everyone needs the whole
+        // pivot row and multiplier column (2m words, rooted at k mod P).
+        co_await ctx.compute((m / P + 1) * cfg.flop_cycles);
+        const auto root = static_cast<ProcId>(k % P);
+        co_await ring_broadcast(ctx, all_rotated(P, root), 2 * m,
+                                cfg.words_per_msg, tag_mult);
+        const std::int64_t mine =
+            m * m / P + (me < static_cast<ProcId>(m * m % P) ? 1 : 0);
+        co_await ctx.compute(mine * cfg.flop_cycles);
+        break;
+      }
+      case LuLayout::kColumnCyclic: {
+        const auto owner = static_cast<ProcId>(k % P);
+        if (me == owner) co_await ctx.compute(m * cfg.flop_cycles);  // scale
+        co_await ring_broadcast(ctx, all_rotated(P, owner), m,
+                                cfg.words_per_msg, tag_mult);
+        const std::int64_t my_cols = lay.column_count(k, me);
+        co_await ctx.compute(my_cols * m * cfg.flop_cycles);
+        break;
+      }
+      case LuLayout::kGridBlocked:
+      case LuLayout::kGridScattered: {
+        const std::int64_t q = lay.q;
+        const std::int64_t gr = me / q;  // my grid row
+        const std::int64_t gc = me % q;  // my grid column
+        const std::int64_t cg_k = lay.grid_col_of(k);  // owners of column k
+        const std::int64_t rg_k = lay.grid_row_of(k);  // owners of row k
+        const std::int64_t my_rows = lay.strip_count(k, gr);
+        const std::int64_t my_cols = lay.strip_count(k, gc);
+
+        // Scale the multipliers I own, if any.
+        if (gc == cg_k && my_rows > 0)
+          co_await ctx.compute(my_rows * cfg.flop_cycles);
+
+        // Multipliers travel along my grid row from the column-k owner.
+        {
+          std::vector<ProcId> row_group;
+          for (std::int64_t j = 0; j < q; ++j)
+            row_group.push_back(
+                static_cast<ProcId>(gr * q + (cg_k + j) % q));
+          co_await ring_broadcast(ctx, row_group, my_rows,
+                                  cfg.words_per_msg, tag_mult);
+        }
+        // Pivot-row entries travel along my grid column from the row-k owner.
+        {
+          std::vector<ProcId> col_group;
+          for (std::int64_t j = 0; j < q; ++j)
+            col_group.push_back(
+                static_cast<ProcId>(((rg_k + j) % q) * q + gc));
+          co_await ring_broadcast(ctx, col_group, my_cols,
+                                  cfg.words_per_msg, tag_prow);
+        }
+        co_await ctx.compute(my_rows * my_cols * cfg.flop_cycles);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LuSimResult run_lu_sim(const Params& params, const LuSimConfig& cfg) {
+  params.validate();
+  LOGP_CHECK(cfg.n >= 2);
+  const Layout lay = Layout::make(cfg.layout, cfg.n, params.P);
+
+  sim::MachineConfig mc;
+  mc.params = params;
+  mc.seed = cfg.seed;
+  runtime::Scheduler sched(mc);
+  sched.set_program(
+      [&](Ctx ctx) -> Task { return lu_program(ctx, lay, cfg); });
+
+  LuSimResult r;
+  r.total = sched.run();
+  const auto stats = sched.machine().total_stats();
+  r.compute_cycles = stats.compute;
+  r.overhead_cycles = stats.send_overhead + stats.recv_overhead;
+  r.messages = sched.machine().total_messages();
+  r.busy_fraction = r.total
+                        ? static_cast<double>(stats.busy()) /
+                              (static_cast<double>(r.total) * params.P)
+                        : 0.0;
+  return r;
+}
+
+}  // namespace logp::algo

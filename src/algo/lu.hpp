@@ -1,0 +1,63 @@
+// LU decomposition (paper Section 4.2.1).
+//
+// Two components:
+//  * a serial dense LU with partial pivoting (the numerical reference), and
+//  * simulated distributed LU under the paper's four data layouts, where
+//    every elimination step really moves multiplier/pivot data through the
+//    LogP machine (ring-pipelined broadcasts) and charges the exact local
+//    update work each processor owns — so communication volume AND load
+//    balance fall out of the simulation rather than a formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lu_cost.hpp"
+#include "core/params.hpp"
+
+namespace logp::algo {
+
+/// Row-major dense matrix.
+struct Matrix {
+  std::int64_t n = 0;
+  std::vector<double> a;
+
+  explicit Matrix(std::int64_t size)
+      : n(size), a(static_cast<std::size_t>(size * size), 0.0) {}
+  double& at(std::int64_t r, std::int64_t c) {
+    return a[static_cast<std::size_t>(r * n + c)];
+  }
+  double at(std::int64_t r, std::int64_t c) const {
+    return a[static_cast<std::size_t>(r * n + c)];
+  }
+};
+
+/// In-place LU with partial pivoting: on return `m` holds L (unit diagonal,
+/// strictly below) and U (on and above); perm[i] is the original row index
+/// now living at row i. Returns false if a pivot underflows (singular).
+bool lu_factor(Matrix& m, std::vector<std::int64_t>& perm);
+
+/// Max |(PA - LU)_ij| for verification.
+double lu_residual(const Matrix& original, const Matrix& factored,
+                   const std::vector<std::int64_t>& perm);
+
+struct LuSimConfig {
+  std::int64_t n = 128;
+  LuLayout layout = LuLayout::kGridScattered;
+  Cycles flop_cycles = 2;        ///< cycles per multiply-subtract pair
+  std::uint32_t words_per_msg = 2;  ///< matrix words per small message
+  std::uint64_t seed = 0x10;
+};
+
+struct LuSimResult {
+  Cycles total = 0;
+  Cycles compute_cycles = 0;   ///< summed over processors
+  Cycles overhead_cycles = 0;  ///< send+recv overhead, summed
+  std::int64_t messages = 0;
+  double busy_fraction = 0;    ///< mean fraction of time processors work
+};
+
+/// Runs the n-1 elimination steps on a simulated LogP machine.
+LuSimResult run_lu_sim(const Params& params, const LuSimConfig& cfg);
+
+}  // namespace logp::algo

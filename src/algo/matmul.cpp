@@ -1,0 +1,294 @@
+#include "algo/matmul.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "runtime/collectives.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logp::algo {
+
+const char* matmul_layout_name(MatmulLayout l) {
+  switch (l) {
+    case MatmulLayout::kColumn1D: return "column-1d";
+    case MatmulLayout::kSumma2D: return "summa-2d";
+  }
+  return "?";
+}
+
+std::vector<double> matmul_serial(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  std::int64_t n, std::int64_t panel) {
+  (void)panel;  // accumulation is ascending in k regardless of panelling
+  std::vector<double> c(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < n; ++k)
+        acc += a[static_cast<std::size_t>(i * n + k)] *
+               b[static_cast<std::size_t>(k * n + j)];
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  return c;
+}
+
+namespace {
+
+using runtime::Ctx;
+using runtime::Task;
+namespace coll = runtime::coll;
+
+constexpr std::int32_t kMmTagBase = 800;
+
+std::uint64_t enc(double v) { return std::bit_cast<std::uint64_t>(v); }
+double dec(std::uint64_t w) { return std::bit_cast<double>(w); }
+
+struct Shared {
+  const MatmulConfig* cfg;
+  int P;
+  std::int64_t q = 0;  // grid side (SUMMA) or P (column layout)
+  std::int64_t m = 0;  // block side / columns per processor
+  // Row-major local blocks per processor.
+  std::vector<std::vector<double>> A, B, C;
+};
+
+// --- SUMMA on a q x q grid -------------------------------------------------
+Task summa_program(Ctx ctx, Shared& sh) {
+  const MatmulConfig& cfg = *sh.cfg;
+  const std::int64_t q = sh.q, m = sh.m, b = cfg.panel;
+  const ProcId me = ctx.proc();
+  const std::int64_t gr = me / q, gc = me % q;
+  auto& A = sh.A[static_cast<std::size_t>(me)];
+  auto& B = sh.B[static_cast<std::size_t>(me)];
+  auto& C = sh.C[static_cast<std::size_t>(me)];
+
+  std::vector<std::uint64_t> apanel, bpanel;
+  for (std::int64_t t = 0; t * b < cfg.n; ++t) {
+    const std::int64_t k0 = t * b;
+    const std::int64_t owner_col = k0 / m;  // grid column holding A[:, k0..)
+    const std::int64_t owner_row = k0 / m;  // grid row holding B[k0.., :]
+    const auto tag_a = static_cast<std::int32_t>(kMmTagBase + 4 * t);
+    const auto tag_b = tag_a + 1;
+
+    // A panel (m x b) along my grid row, rooted at (gr, owner_col).
+    std::vector<ProcId> row_group;
+    for (std::int64_t j = 0; j < q; ++j)
+      row_group.push_back(static_cast<ProcId>(gr * q + (owner_col + j) % q));
+    if (gc == owner_col) {
+      apanel.resize(static_cast<std::size_t>(m * b));
+      const std::int64_t lk0 = k0 - owner_col * m;
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t k = 0; k < b; ++k)
+          apanel[static_cast<std::size_t>(i * b + k)] =
+              cfg.carry_data ? enc(A[static_cast<std::size_t>(i * m + lk0 + k)])
+                             : 0;
+    }
+    if (cfg.carry_data) {
+      co_await coll::ring_broadcast_data(ctx, row_group, &apanel,
+                                         cfg.words_per_msg, tag_a);
+    } else {
+      co_await coll::ring_broadcast(ctx, row_group, m * b, cfg.words_per_msg,
+                                    tag_a);
+    }
+
+    // B panel (b x m) down my grid column, rooted at (owner_row, gc).
+    std::vector<ProcId> col_group;
+    for (std::int64_t j = 0; j < q; ++j)
+      col_group.push_back(
+          static_cast<ProcId>(((owner_row + j) % q) * q + gc));
+    if (gr == owner_row) {
+      bpanel.resize(static_cast<std::size_t>(b * m));
+      const std::int64_t lk0 = k0 - owner_row * m;
+      for (std::int64_t k = 0; k < b; ++k)
+        for (std::int64_t j = 0; j < m; ++j)
+          bpanel[static_cast<std::size_t>(k * m + j)] =
+              cfg.carry_data
+                  ? enc(B[static_cast<std::size_t>((lk0 + k) * m + j)])
+                  : 0;
+    }
+    if (cfg.carry_data) {
+      co_await coll::ring_broadcast_data(ctx, col_group, &bpanel,
+                                         cfg.words_per_msg, tag_b);
+    } else {
+      co_await coll::ring_broadcast(ctx, col_group, b * m, cfg.words_per_msg,
+                                    tag_b);
+    }
+
+    co_await ctx.compute(m * m * b * cfg.flop_cycles);
+    if (cfg.carry_data) {
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < m; ++j) {
+          double acc = C[static_cast<std::size_t>(i * m + j)];
+          for (std::int64_t k = 0; k < b; ++k)
+            acc += dec(apanel[static_cast<std::size_t>(i * b + k)]) *
+                   dec(bpanel[static_cast<std::size_t>(k * m + j)]);
+          C[static_cast<std::size_t>(i * m + j)] = acc;
+        }
+    }
+  }
+}
+
+// --- 1-D column layout -----------------------------------------------------
+Task column_program(Ctx ctx, Shared& sh) {
+  const MatmulConfig& cfg = *sh.cfg;
+  const std::int64_t n = cfg.n, w = sh.m, b = cfg.panel;
+  const int P = sh.P;
+  const ProcId me = ctx.proc();
+  auto& A = sh.A[static_cast<std::size_t>(me)];  // n x w (my columns of A)
+  auto& B = sh.B[static_cast<std::size_t>(me)];  // n x w (my columns of B)
+  auto& C = sh.C[static_cast<std::size_t>(me)];  // n x w
+
+  std::vector<std::uint64_t> apanel;
+  for (std::int64_t t = 0; t * b < n; ++t) {
+    const std::int64_t k0 = t * b;
+    const auto owner = static_cast<ProcId>(k0 / w);
+    const auto tag = static_cast<std::int32_t>(kMmTagBase + 4 * t + 2);
+    std::vector<ProcId> group;
+    for (int j = 0; j < P; ++j)
+      group.push_back(static_cast<ProcId>((owner + j) % P));
+    if (me == owner) {
+      apanel.resize(static_cast<std::size_t>(n * b));
+      const std::int64_t lk0 = k0 - owner * w;
+      for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t k = 0; k < b; ++k)
+          apanel[static_cast<std::size_t>(i * b + k)] =
+              cfg.carry_data ? enc(A[static_cast<std::size_t>(i * w + lk0 + k)])
+                             : 0;
+    }
+    if (cfg.carry_data) {
+      co_await coll::ring_broadcast_data(ctx, group, &apanel,
+                                         cfg.words_per_msg, tag);
+    } else {
+      co_await coll::ring_broadcast(ctx, group, n * b, cfg.words_per_msg, tag);
+    }
+
+    co_await ctx.compute(n * w * b * cfg.flop_cycles);
+    if (cfg.carry_data) {
+      for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < w; ++j) {
+          double acc = C[static_cast<std::size_t>(i * w + j)];
+          for (std::int64_t k = 0; k < b; ++k)
+            acc += dec(apanel[static_cast<std::size_t>(i * b + k)]) *
+                   B[static_cast<std::size_t>((k0 + k) * w + j)];
+          C[static_cast<std::size_t>(i * w + j)] = acc;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+MatmulResult run_matmul_sim(const Params& params, const MatmulConfig& cfg) {
+  params.validate();
+  LOGP_CHECK(cfg.n >= 1 && cfg.panel >= 1 && cfg.n % cfg.panel == 0);
+
+  Shared sh;
+  sh.cfg = &cfg;
+  sh.P = params.P;
+  if (cfg.layout == MatmulLayout::kSumma2D) {
+    sh.q = static_cast<std::int64_t>(std::llround(std::sqrt(double(params.P))));
+    LOGP_CHECK_MSG(sh.q * sh.q == params.P, "SUMMA needs square P");
+    LOGP_CHECK_MSG(cfg.n % sh.q == 0, "n must divide by sqrt(P)");
+    sh.m = cfg.n / sh.q;
+    LOGP_CHECK_MSG(sh.m % cfg.panel == 0, "panel must divide the block side");
+  } else {
+    LOGP_CHECK_MSG(cfg.n % params.P == 0, "n must divide by P");
+    sh.m = cfg.n / params.P;
+    LOGP_CHECK_MSG(sh.m % cfg.panel == 0 || cfg.panel % sh.m == 0,
+                   "panel and column width must nest");
+    LOGP_CHECK_MSG(sh.m % cfg.panel == 0, "panel must divide columns/proc");
+  }
+
+  // Build the global matrices and scatter them.
+  std::vector<double> A, B;
+  util::Xoshiro256StarStar rng(cfg.seed);
+  if (cfg.carry_data) {
+    A.resize(static_cast<std::size_t>(cfg.n * cfg.n));
+    B.resize(static_cast<std::size_t>(cfg.n * cfg.n));
+    for (auto& v : A) v = 2.0 * rng.uniform01() - 1.0;
+    for (auto& v : B) v = 2.0 * rng.uniform01() - 1.0;
+  }
+  sh.A.resize(static_cast<std::size_t>(params.P));
+  sh.B.resize(static_cast<std::size_t>(params.P));
+  sh.C.resize(static_cast<std::size_t>(params.P));
+  for (ProcId p = 0; p < params.P; ++p) {
+    const auto sz = cfg.layout == MatmulLayout::kSumma2D
+                        ? sh.m * sh.m
+                        : cfg.n * sh.m;
+    sh.A[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(sz), 0);
+    sh.B[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(sz), 0);
+    sh.C[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(sz), 0);
+    if (!cfg.carry_data) continue;
+    if (cfg.layout == MatmulLayout::kSumma2D) {
+      const std::int64_t gr = p / sh.q, gc = p % sh.q;
+      for (std::int64_t i = 0; i < sh.m; ++i)
+        for (std::int64_t j = 0; j < sh.m; ++j) {
+          const auto gi = gr * sh.m + i, gj = gc * sh.m + j;
+          sh.A[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+              i * sh.m + j)] = A[static_cast<std::size_t>(gi * cfg.n + gj)];
+          sh.B[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+              i * sh.m + j)] = B[static_cast<std::size_t>(gi * cfg.n + gj)];
+        }
+    } else {
+      for (std::int64_t i = 0; i < cfg.n; ++i)
+        for (std::int64_t j = 0; j < sh.m; ++j) {
+          const auto gj = p * sh.m + j;
+          sh.A[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+              i * sh.m + j)] = A[static_cast<std::size_t>(i * cfg.n + gj)];
+          sh.B[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+              i * sh.m + j)] = B[static_cast<std::size_t>(i * cfg.n + gj)];
+        }
+    }
+  }
+
+  sim::MachineConfig mc;
+  mc.params = params;
+  mc.seed = cfg.seed;
+  runtime::Scheduler sched(mc);
+  sched.set_program([&](Ctx ctx) -> Task {
+    return cfg.layout == MatmulLayout::kSumma2D ? summa_program(ctx, sh)
+                                                : column_program(ctx, sh);
+  });
+
+  MatmulResult r;
+  r.total = sched.run();
+  r.messages = sched.machine().total_messages();
+  const auto stats = sched.machine().total_stats();
+  r.compute_cycles = stats.compute;
+  r.busy_fraction = r.total ? static_cast<double>(stats.busy()) /
+                                  (double(r.total) * params.P)
+                            : 0;
+
+  if (cfg.carry_data) {
+    const auto expect = matmul_serial(A, B, cfg.n, cfg.panel);
+    r.verified = true;
+    for (ProcId p = 0; p < params.P && r.verified; ++p) {
+      const auto& C = sh.C[static_cast<std::size_t>(p)];
+      if (cfg.layout == MatmulLayout::kSumma2D) {
+        const std::int64_t gr = p / sh.q, gc = p % sh.q;
+        for (std::int64_t i = 0; i < sh.m && r.verified; ++i)
+          for (std::int64_t j = 0; j < sh.m; ++j)
+            if (C[static_cast<std::size_t>(i * sh.m + j)] !=
+                expect[static_cast<std::size_t>((gr * sh.m + i) * cfg.n +
+                                                gc * sh.m + j)]) {
+              r.verified = false;
+              break;
+            }
+      } else {
+        for (std::int64_t i = 0; i < cfg.n && r.verified; ++i)
+          for (std::int64_t j = 0; j < sh.m; ++j)
+            if (C[static_cast<std::size_t>(i * sh.m + j)] !=
+                expect[static_cast<std::size_t>(i * cfg.n + p * sh.m + j)]) {
+              r.verified = false;
+              break;
+            }
+      }
+    }
+    LOGP_CHECK_MSG(r.verified, "distributed matmul diverged from serial");
+  }
+  return r;
+}
+
+}  // namespace logp::algo

@@ -1,0 +1,54 @@
+// Dense matrix multiplication under LogP (one of the paper's Section 6.6
+// "very similar observations apply to ... matrix multiplication" examples).
+//
+// Two distributions, mirroring the LU story:
+//   1-D column layout — each processor owns n/P columns of A, B and C; for
+//       every panel it must receive a full n x b panel of A (broadcast to
+//       everyone), so per-processor communication is O(n^2).
+//   2-D SUMMA        — sqrt(P) x sqrt(P) grid of blocks; A panels travel
+//       along grid rows, B panels down grid columns, communication per
+//       processor is O(n^2 / sqrt(P)) — the same sqrt(P) win as LU's grid.
+//
+// run_matmul_sim executes either algorithm with real double data moving
+// through ring-pipelined broadcasts and verifies C = A*B against the serial
+// kernel bit-for-bit (the panel accumulation order matches the serial
+// k-loop exactly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::algo {
+
+enum class MatmulLayout { kColumn1D, kSumma2D };
+
+const char* matmul_layout_name(MatmulLayout l);
+
+struct MatmulConfig {
+  std::int64_t n = 64;           ///< matrix side; divisible by the grid
+  std::int64_t panel = 8;        ///< panel width b; divides n
+  MatmulLayout layout = MatmulLayout::kSumma2D;
+  Cycles flop_cycles = 1;        ///< per multiply-add
+  std::uint32_t words_per_msg = 2;
+  bool carry_data = true;        ///< move real doubles and verify
+  std::uint64_t seed = 0x3a7;
+};
+
+struct MatmulResult {
+  Cycles total = 0;
+  std::int64_t messages = 0;
+  Cycles compute_cycles = 0;
+  double busy_fraction = 0;
+  bool verified = false;  ///< only meaningful when carry_data
+};
+
+MatmulResult run_matmul_sim(const Params& params, const MatmulConfig& cfg);
+
+/// Serial reference: C = A * B, row-major n x n.
+std::vector<double> matmul_serial(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  std::int64_t n, std::int64_t panel);
+
+}  // namespace logp::algo

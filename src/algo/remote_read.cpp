@@ -1,0 +1,68 @@
+#include "algo/remote_read.hpp"
+
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace logp::algo {
+
+namespace {
+
+constexpr std::int32_t kReqTag = 100;
+constexpr std::int32_t kRepTagBase = 200;
+
+using runtime::Ctx;
+using runtime::Message;
+using runtime::Task;
+
+// The owner side is a pure active-message handler: each request spawns a
+// zero-work reply task (the reply send still costs o and paces at g).
+void install_owner(runtime::Scheduler& sched) {
+  sched.set_handler(kReqTag, [](Ctx ctx, const Message& m) {
+    const ProcId requester = m.src;
+    const auto thread_id = m.word(0);
+    ctx.spawn([](Ctx c, ProcId to, std::uint64_t tid) -> Task {
+      co_await c.send(to, kRepTagBase + static_cast<std::int32_t>(tid), tid);
+    }(ctx, requester, thread_id));
+  });
+}
+
+Task reader_thread(Ctx ctx, ProcId owner, int tid, std::int64_t reads) {
+  for (std::int64_t i = 0; i < reads; ++i) {
+    co_await ctx.send(owner, kReqTag, static_cast<std::uint64_t>(tid));
+    (void)co_await ctx.recv(kRepTagBase + tid, owner);
+  }
+}
+
+RemoteReadResult run_reads(const Params& params, int vthreads,
+                           std::int64_t reads) {
+  LOGP_CHECK(params.P >= 2 && vthreads >= 1 && reads >= 1);
+  sim::MachineConfig cfg;
+  cfg.params = params;
+  runtime::Scheduler sched(cfg);
+  install_owner(sched);
+  sched.set_program([&](Ctx ctx) -> Task {
+    if (ctx.proc() == 0) {
+      for (int t = 0; t < vthreads; ++t)
+        ctx.spawn(reader_thread(ctx, 1, t, reads));
+    }
+    co_return;
+  });
+  RemoteReadResult r;
+  r.total = sched.run();
+  r.reads = static_cast<std::int64_t>(vthreads) * reads;
+  return r;
+}
+
+}  // namespace
+
+RemoteReadResult run_dependent_reads(const Params& params,
+                                     std::int64_t reads) {
+  return run_reads(params, 1, reads);
+}
+
+RemoteReadResult run_multithreaded_reads(const Params& params, int vthreads,
+                                         std::int64_t reads_per_thread) {
+  return run_reads(params, vthreads, reads_per_thread);
+}
+
+}  // namespace logp::algo

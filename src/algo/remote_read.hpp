@@ -1,0 +1,35 @@
+// Remote reads and multithreaded latency masking (paper Section 3.2).
+//
+// Under LogP a remote read is a request message plus a reply: 2L + 4o.
+// Prefetches can be issued every g cycles at 2o processing cost each, so a
+// processor can mask latency with up to ceil(L/g) outstanding requests (the
+// network capacity bound) — multithreading beyond that gains nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace logp::algo {
+
+struct RemoteReadResult {
+  Cycles total = 0;              ///< makespan of the experiment
+  std::int64_t reads = 0;
+  double cycles_per_read() const {
+    return reads ? static_cast<double>(total) / static_cast<double>(reads) : 0;
+  }
+};
+
+/// Processor 0 performs `reads` dependent (one-at-a-time) remote reads from
+/// processor 1. cycles_per_read() should equal 2L + 4o (plus the gap when
+/// g dominates 2o + ... round-trip pacing never binds for dependent reads).
+RemoteReadResult run_dependent_reads(const Params& params, std::int64_t reads);
+
+/// Processor 0 runs `vthreads` virtual threads, each performing `reads`
+/// dependent remote reads from processor 1 (requests from different threads
+/// pipeline). Throughput saturates once vthreads ~ ceil(L/g) + overhead
+/// slots, the paper's multithreading bound.
+RemoteReadResult run_multithreaded_reads(const Params& params, int vthreads,
+                                         std::int64_t reads_per_thread);
+
+}  // namespace logp::algo

@@ -1,0 +1,329 @@
+#include "algo/sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/bulk.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logp::algo {
+
+const char* sort_algo_name(SortAlgo a) {
+  switch (a) {
+    case SortAlgo::kSplitter: return "splitter";
+    case SortAlgo::kBitonic: return "bitonic";
+    case SortAlgo::kRadix: return "radix";
+  }
+  return "?";
+}
+
+namespace {
+
+using runtime::Ctx;
+using runtime::Task;
+namespace coll = runtime::coll;
+
+constexpr std::int32_t kSampleTag = 600;
+constexpr std::int32_t kSplitterTag = 601;
+constexpr std::int32_t kPartitionTag = 602;
+constexpr std::int32_t kBitonicTagBase = 640;
+
+struct Shared {
+  const SortConfig* cfg;
+  std::vector<std::vector<std::uint64_t>> data;    ///< input, per proc
+  std::vector<std::vector<std::uint64_t>> output;  ///< sorted, per proc
+};
+
+Cycles sort_cost(const SortConfig& cfg, std::int64_t n) {
+  if (n <= 1) return 0;
+  std::int64_t lg = 0;
+  while ((std::int64_t{1} << lg) < n) ++lg;
+  return n * lg * cfg.compare_cycles;
+}
+
+Task splitter_program(Ctx ctx, Shared& sh) {
+  const int P = ctx.nprocs();
+  const ProcId me = ctx.proc();
+  const SortConfig& cfg = *sh.cfg;
+  auto local = sh.data[static_cast<std::size_t>(me)];
+
+  // 1. Local sort.
+  co_await ctx.compute(sort_cost(cfg, static_cast<std::int64_t>(local.size())));
+  std::sort(local.begin(), local.end());
+
+  // 2. Regular samples to processor 0.
+  const int s = cfg.oversample;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < s; ++i)
+    samples.push_back(
+        local[local.size() * (static_cast<std::size_t>(i) + 1) / (s + 1)]);
+  if (me != 0) {
+    co_await runtime::send_bulk(ctx, 0, kSampleTag, samples,
+                                cfg.words_per_msg);
+  }
+
+  // 3. Processor 0 sorts the sample set and broadcasts P-1 splitters.
+  std::vector<std::uint64_t> splitters;
+  if (me == 0) {
+    std::vector<std::uint64_t> all = samples;
+    for (ProcId q = 1; q < P; ++q) {
+      std::vector<std::uint64_t> from_q;
+      co_await runtime::recv_bulk(ctx, kSampleTag, q, &from_q);
+      all.insert(all.end(), from_q.begin(), from_q.end());
+    }
+    co_await ctx.compute(
+        sort_cost(cfg, static_cast<std::int64_t>(all.size())));
+    std::sort(all.begin(), all.end());
+    for (int q = 1; q < P; ++q)
+      splitters.push_back(all[all.size() * static_cast<std::size_t>(q) / P]);
+    for (ProcId q = 1; q < P; ++q)
+      co_await runtime::send_bulk(ctx, q, kSplitterTag, splitters,
+                                  cfg.words_per_msg);
+  } else {
+    co_await runtime::recv_bulk(ctx, kSplitterTag, 0, &splitters);
+  }
+
+  // 4. Partition (one binary search over P-1 splitters per key) and remap,
+  // staggered destination order.
+  std::int64_t lg_p = 1;
+  while ((std::int64_t{1} << lg_p) < P) ++lg_p;
+  co_await ctx.compute(static_cast<std::int64_t>(local.size()) * lg_p *
+                       cfg.compare_cycles);
+  std::vector<std::vector<std::uint64_t>> part(static_cast<std::size_t>(P));
+  for (const auto key : local) {
+    const auto it =
+        std::upper_bound(splitters.begin(), splitters.end(), key);
+    part[static_cast<std::size_t>(it - splitters.begin())].push_back(key);
+  }
+  auto& mine = sh.output[static_cast<std::size_t>(me)];
+  mine = part[static_cast<std::size_t>(me)];
+  for (int step = 1; step < P; ++step) {
+    const auto dst = static_cast<ProcId>((me + step) % P);
+    co_await runtime::send_bulk(ctx, dst, kPartitionTag,
+                                part[static_cast<std::size_t>(dst)],
+                                cfg.words_per_msg);
+  }
+  for (int step = 1; step < P; ++step) {
+    const auto src = static_cast<ProcId>((me + step) % P);
+    std::vector<std::uint64_t> in;
+    co_await runtime::recv_bulk(ctx, kPartitionTag, src, &in);
+    mine.insert(mine.end(), in.begin(), in.end());
+  }
+
+  // 5. Final P-way merge of the received (already sorted) runs.
+  std::int64_t lg_runs = 1;
+  while ((std::int64_t{1} << lg_runs) < P) ++lg_runs;
+  co_await ctx.compute(static_cast<std::int64_t>(mine.size()) * lg_runs *
+                       cfg.compare_cycles);
+  std::sort(mine.begin(), mine.end());  // host-side; cost charged as merge
+}
+
+// Bitonic: hypercube merge-exchange over sorted blocks. After each exchange
+// a processor keeps the low or high half of the 2-block merge.
+Task bitonic_program(Ctx ctx, Shared& sh) {
+  const int P = ctx.nprocs();
+  const ProcId me = ctx.proc();
+  const SortConfig& cfg = *sh.cfg;
+  auto& mine = sh.output[static_cast<std::size_t>(me)];
+  mine = sh.data[static_cast<std::size_t>(me)];
+
+  co_await ctx.compute(
+      sort_cost(cfg, static_cast<std::int64_t>(mine.size())));
+  std::sort(mine.begin(), mine.end());
+
+  int lg = 0;
+  while ((1 << lg) < P) ++lg;
+  std::int32_t tag = kBitonicTagBase;
+  for (int phase = 0; phase < lg; ++phase) {
+    for (int step = phase; step >= 0; --step, ++tag) {
+      const ProcId partner = static_cast<ProcId>(me ^ (1 << step));
+      // Classic hypercube bitonic ordering: keep the low half when the
+      // window bit (phase+1) agrees with the exchange bit.
+      const bool keep_low = ((me >> (phase + 1)) & 1) == ((me >> step) & 1);
+      co_await runtime::send_bulk(ctx, partner, tag, mine,
+                                  cfg.words_per_msg);
+      std::vector<std::uint64_t> theirs;
+      co_await runtime::recv_bulk(ctx, tag, partner, &theirs);
+      // Merge and keep one half.
+      std::vector<std::uint64_t> merged(mine.size() + theirs.size());
+      std::merge(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
+                 merged.begin());
+      co_await ctx.compute(
+          static_cast<std::int64_t>(merged.size()) * cfg.compare_cycles);
+      if (keep_low)
+        mine.assign(merged.begin(),
+                    merged.begin() + static_cast<std::ptrdiff_t>(mine.size()));
+      else
+        mine.assign(merged.end() - static_cast<std::ptrdiff_t>(mine.size()),
+                    merged.end());
+    }
+  }
+}
+
+// LSD radix sort: per digit pass, a counting sort over 2^radix_bits
+// buckets. Local histograms travel to processor 0, which computes every
+// processor's per-bucket global starting rank (a scan over (bucket, proc)
+// order) and scatters the offsets back; keys then remap to their global
+// rank's owner. Oblivious to key values beyond their digits — the scan-
+// based style the paper's sorting references ([7]) use on the CM-2.
+Task radix_program(Ctx ctx, Shared& sh) {
+  const int P = ctx.nprocs();
+  const ProcId me = ctx.proc();
+  const SortConfig& cfg = *sh.cfg;
+  const int B = 1 << cfg.radix_bits;
+  const std::int64_t n_local = cfg.keys_per_proc;
+  auto& mine = sh.output[static_cast<std::size_t>(me)];
+  mine = sh.data[static_cast<std::size_t>(me)];
+
+  std::int32_t tag = 660;
+  for (int shift = 0; shift < cfg.key_bits; shift += cfg.radix_bits) {
+    const std::uint64_t mask = static_cast<std::uint64_t>(B - 1);
+    // 1. Local histogram (one pass over the keys).
+    std::vector<std::uint64_t> hist(static_cast<std::size_t>(B), 0);
+    for (const auto key : mine)
+      ++hist[static_cast<std::size_t>((key >> shift) & mask)];
+    co_await ctx.compute(n_local * cfg.compare_cycles / 4);
+
+    // 2. Histograms to processor 0; offsets come back.
+    const std::int32_t htag = tag++, otag = tag++, ktag = tag++;
+    std::vector<std::uint64_t> offsets;  // my global rank per bucket
+    if (me != 0) {
+      co_await runtime::send_bulk(ctx, 0, htag, hist, cfg.words_per_msg);
+      co_await runtime::recv_bulk(ctx, otag, 0, &offsets);
+    } else {
+      std::vector<std::vector<std::uint64_t>> hists(
+          static_cast<std::size_t>(P));
+      hists[0] = hist;
+      for (ProcId q = 1; q < P; ++q)
+        co_await runtime::recv_bulk(ctx, htag, q,
+                                    &hists[static_cast<std::size_t>(q)]);
+      // Exclusive scan in (bucket, proc) order.
+      std::vector<std::vector<std::uint64_t>> offs(
+          static_cast<std::size_t>(P),
+          std::vector<std::uint64_t>(static_cast<std::size_t>(B), 0));
+      std::uint64_t running = 0;
+      for (int b = 0; b < B; ++b)
+        for (ProcId q = 0; q < P; ++q) {
+          offs[static_cast<std::size_t>(q)][static_cast<std::size_t>(b)] =
+              running;
+          running += hists[static_cast<std::size_t>(q)]
+                          [static_cast<std::size_t>(b)];
+        }
+      co_await ctx.compute(static_cast<Cycles>(B) * P);
+      offsets = offs[0];
+      for (ProcId q = 1; q < P; ++q)
+        co_await runtime::send_bulk(ctx, q, otag,
+                                    offs[static_cast<std::size_t>(q)],
+                                    cfg.words_per_msg);
+    }
+
+    // 3. Remap each key to the owner of its global rank (stable order).
+    std::vector<std::vector<std::uint64_t>> outgoing(
+        static_cast<std::size_t>(P));
+    std::vector<std::uint64_t> next = offsets;
+    std::vector<std::uint64_t> landed(static_cast<std::size_t>(n_local), 0);
+    std::vector<bool> filled(static_cast<std::size_t>(n_local), false);
+    for (const auto key : mine) {
+      const auto b = static_cast<std::size_t>((key >> shift) & mask);
+      const std::uint64_t rank = next[b]++;
+      const auto dest = static_cast<ProcId>(
+          rank / static_cast<std::uint64_t>(n_local));
+      const std::uint64_t slot = rank % static_cast<std::uint64_t>(n_local);
+      if (dest == me) {
+        landed[static_cast<std::size_t>(slot)] = key;
+        filled[static_cast<std::size_t>(slot)] = true;
+      } else {
+        outgoing[static_cast<std::size_t>(dest)].push_back(slot);
+        outgoing[static_cast<std::size_t>(dest)].push_back(key);
+      }
+    }
+    co_await ctx.compute(n_local * cfg.compare_cycles / 4);
+    for (int step = 1; step < P; ++step) {
+      const auto dst = static_cast<ProcId>((me + step) % P);
+      co_await runtime::send_bulk(
+          ctx, dst, ktag, std::move(outgoing[static_cast<std::size_t>(dst)]),
+          cfg.words_per_msg);
+    }
+    for (int step = 1; step < P; ++step) {
+      const auto src = static_cast<ProcId>((me + step) % P);
+      std::vector<std::uint64_t> in;
+      co_await runtime::recv_bulk(ctx, ktag, src, &in);
+      for (std::size_t i = 0; i + 1 < in.size(); i += 2) {
+        landed[static_cast<std::size_t>(in[i])] = in[i + 1];
+        filled[static_cast<std::size_t>(in[i])] = true;
+      }
+    }
+    for (const bool f : filled) LOGP_CHECK(f);
+    mine.swap(landed);
+  }
+}
+
+}  // namespace
+
+SortResult run_distributed_sort(const Params& params, const SortConfig& cfg) {
+  params.validate();
+  LOGP_CHECK(cfg.keys_per_proc >= 1 && cfg.oversample >= 1);
+  if (cfg.algo == SortAlgo::kBitonic)
+    LOGP_CHECK_MSG((params.P & (params.P - 1)) == 0,
+                   "bitonic needs P to be a power of two");
+  if (cfg.algo == SortAlgo::kRadix) {
+    LOGP_CHECK(cfg.radix_bits >= 1 && cfg.radix_bits <= 16);
+    LOGP_CHECK(cfg.key_bits >= cfg.radix_bits && cfg.key_bits <= 64 &&
+               cfg.key_bits % cfg.radix_bits == 0);
+  }
+
+  Shared sh;
+  sh.cfg = &cfg;
+  sh.data.resize(static_cast<std::size_t>(params.P));
+  sh.output.resize(static_cast<std::size_t>(params.P));
+  util::Xoshiro256StarStar rng(cfg.seed);
+  std::vector<std::uint64_t> everything;
+  const std::uint64_t key_mask =
+      cfg.algo == SortAlgo::kRadix && cfg.key_bits < 64
+          ? (std::uint64_t{1} << cfg.key_bits) - 1
+          : ~std::uint64_t{0};
+  for (auto& block : sh.data) {
+    block.resize(static_cast<std::size_t>(cfg.keys_per_proc));
+    for (auto& k : block) {
+      k = rng() & key_mask;
+      everything.push_back(k);
+    }
+  }
+
+  sim::MachineConfig mc;
+  mc.params = params;
+  mc.seed = cfg.seed;
+  runtime::Scheduler sched(mc);
+  sched.set_program([&](Ctx ctx) -> Task {
+    switch (cfg.algo) {
+      case SortAlgo::kSplitter: return splitter_program(ctx, sh);
+      case SortAlgo::kBitonic: return bitonic_program(ctx, sh);
+      case SortAlgo::kRadix: return radix_program(ctx, sh);
+    }
+    LOGP_CHECK(false);
+    return splitter_program(ctx, sh);
+  });
+
+  SortResult r;
+  r.total = sched.run();
+  r.messages = sched.machine().total_messages();
+  r.compute_cycles = sched.machine().total_stats().compute;
+
+  // Verify: concatenation is sorted and is a permutation of the input.
+  std::vector<std::uint64_t> got;
+  std::size_t largest = 0;
+  for (const auto& block : sh.output) {
+    largest = std::max(largest, block.size());
+    got.insert(got.end(), block.begin(), block.end());
+  }
+  std::sort(everything.begin(), everything.end());
+  r.verified = std::is_sorted(got.begin(), got.end()) && got == everything;
+  r.imbalance = static_cast<double>(largest) /
+                (static_cast<double>(cfg.keys_per_proc));
+  return r;
+}
+
+}  // namespace logp::algo

@@ -1,0 +1,50 @@
+// Distributed sorting (paper Section 4.2.2).
+//
+// Splitter sort follows the compute-remap-compute pattern the paper
+// highlights: local sort, a fast global step that picks P-1 splitters from
+// regular samples, a data-dependent all-to-all remap, and a final local
+// merge. Bitonic sort is the oblivious baseline: log P (log P + 1)/2
+// full-block exchanges regardless of the data.
+//
+// Real 64-bit keys travel through the machine; results are verified to be a
+// globally sorted permutation of the input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::algo {
+
+enum class SortAlgo { kSplitter, kBitonic, kRadix };
+
+const char* sort_algo_name(SortAlgo a);
+
+struct SortConfig {
+  std::int64_t keys_per_proc = 1 << 10;
+  SortAlgo algo = SortAlgo::kSplitter;
+  int oversample = 16;            ///< samples per processor for splitters
+  Cycles compare_cycles = 8;      ///< charged per key-comparison-ish step
+  int radix_bits = 8;             ///< digit width for kRadix
+  int key_bits = 32;              ///< sorted key width for kRadix (keys are
+                                  ///  masked to this many bits)
+  std::uint32_t words_per_msg = 3;
+  std::uint64_t seed = 0x5027;
+};
+
+struct SortResult {
+  Cycles total = 0;
+  std::int64_t messages = 0;
+  Cycles compute_cycles = 0;   ///< summed over processors
+  bool verified = false;
+  /// Largest output partition relative to the mean (1.0 = perfect balance);
+  /// splitter quality metric.
+  double imbalance = 0;
+};
+
+/// Sorts P * keys_per_proc pseudo-random keys on the simulated machine.
+/// Bitonic requires P to be a power of two.
+SortResult run_distributed_sort(const Params& params, const SortConfig& cfg);
+
+}  // namespace logp::algo

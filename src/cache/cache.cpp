@@ -1,0 +1,42 @@
+#include "cache/cache.hpp"
+
+namespace logp::cache {
+
+DirectMappedCache::DirectMappedCache(const CacheConfig& cfg)
+    : cfg_(cfg), line_(static_cast<std::uint64_t>(cfg.line_bytes)) {
+  LOGP_CHECK(cfg.line_bytes > 0 && (cfg.line_bytes & (cfg.line_bytes - 1)) == 0);
+  LOGP_CHECK(cfg.size_bytes > 0 && cfg.size_bytes % cfg.line_bytes == 0);
+  const auto lines =
+      static_cast<std::uint64_t>(cfg.size_bytes / cfg.line_bytes);
+  LOGP_CHECK_MSG((lines & (lines - 1)) == 0,
+                 "line count must be a power of two");
+  index_mask_ = lines - 1;
+  tags_.assign(lines, kEmpty);
+}
+
+bool DirectMappedCache::read(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  auto& tag = tags_[line & index_mask_];
+  if (tag == line) {
+    ++stats_.read_hits;
+    return true;
+  }
+  tag = line;  // allocate on read miss
+  ++stats_.read_misses;
+  return false;
+}
+
+bool DirectMappedCache::write(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  auto& tag = tags_[line & index_mask_];
+  if (tag == line) {
+    ++stats_.write_hits;
+    return true;
+  }
+  ++stats_.write_misses;  // write-through, no allocate
+  return false;
+}
+
+void DirectMappedCache::flush() { tags_.assign(tags_.size(), kEmpty); }
+
+}  // namespace logp::cache

@@ -1,0 +1,65 @@
+// Trace-driven cache simulator.
+//
+// Models the CM-5 node cache the paper describes: 64 KB, direct-mapped,
+// write-through (Section 4.1.3). Reads allocate; writes go through without
+// allocating (a miss on write costs the write buffer, not a fill). Geometry
+// is configurable so tests can probe edge cases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace logp::cache {
+
+struct CacheConfig {
+  std::int64_t size_bytes = 64 * 1024;
+  std::int64_t line_bytes = 32;
+};
+
+struct CacheStats {
+  std::int64_t read_hits = 0;
+  std::int64_t read_misses = 0;
+  std::int64_t write_hits = 0;
+  std::int64_t write_misses = 0;
+
+  std::int64_t reads() const { return read_hits + read_misses; }
+  std::int64_t writes() const { return write_hits + write_misses; }
+  double read_miss_rate() const {
+    return reads() ? static_cast<double>(read_misses) /
+                         static_cast<double>(reads())
+                   : 0.0;
+  }
+};
+
+class DirectMappedCache {
+ public:
+  explicit DirectMappedCache(const CacheConfig& cfg = {});
+
+  /// Simulates one read of the byte at `addr`; returns true on hit.
+  bool read(std::uint64_t addr);
+  /// Simulates one write; write-through, no write-allocate.
+  bool write(std::uint64_t addr);
+
+  void flush();  ///< invalidate all lines (keeps statistics)
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  const CacheConfig& config() const { return cfg_; }
+  std::int64_t num_lines() const {
+    return static_cast<std::int64_t>(tags_.size());
+  }
+
+ private:
+  std::uint64_t line_of(std::uint64_t addr) const { return addr / line_; }
+
+  CacheConfig cfg_;
+  std::uint64_t line_;
+  std::uint64_t index_mask_;
+  std::vector<std::uint64_t> tags_;  ///< tag per set; kEmpty when invalid
+  CacheStats stats_;
+
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+};
+
+}  // namespace logp::cache

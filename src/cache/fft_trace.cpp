@@ -1,0 +1,74 @@
+#include "cache/fft_trace.hpp"
+
+namespace logp::cache {
+
+namespace {
+constexpr std::int64_t kElem = 16;  // complex double
+
+// One radix-2 stage sweep: butterflies pair (i, i + half) within blocks of
+// `span`. The address stream is what matters, not the arithmetic.
+void trace_stage(DirectMappedCache& c, std::uint64_t base, std::int64_t points,
+                 std::int64_t half, std::int64_t* butterflies) {
+  const std::int64_t span = half * 2;
+  for (std::int64_t block = 0; block < points; block += span) {
+    for (std::int64_t j = 0; j < half; ++j) {
+      const std::uint64_t a =
+          base + static_cast<std::uint64_t>((block + j) * kElem);
+      const std::uint64_t b =
+          base + static_cast<std::uint64_t>((block + j + half) * kElem);
+      c.read(a);
+      c.read(b);
+      c.write(a);
+      c.write(b);
+      ++*butterflies;
+    }
+  }
+}
+}  // namespace
+
+FftTraceResult trace_single_fft(DirectMappedCache& c, std::uint64_t base,
+                                std::int64_t points) {
+  LOGP_CHECK(points >= 2 && (points & (points - 1)) == 0);
+  FftTraceResult r;
+  const CacheStats before = c.stats();
+  for (std::int64_t half = 1; half < points; half *= 2)
+    trace_stage(c, base, points, half, &r.butterflies);
+  r.cache.read_hits = c.stats().read_hits - before.read_hits;
+  r.cache.read_misses = c.stats().read_misses - before.read_misses;
+  r.cache.write_hits = c.stats().write_hits - before.write_hits;
+  r.cache.write_misses = c.stats().write_misses - before.write_misses;
+  r.misses_per_butterfly = r.butterflies
+                               ? static_cast<double>(r.cache.read_misses) /
+                                     static_cast<double>(r.butterflies)
+                               : 0.0;
+  return r;
+}
+
+FftTraceResult trace_many_ffts(DirectMappedCache& c, std::uint64_t base,
+                               std::int64_t points, std::int64_t count) {
+  FftTraceResult total;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto one = trace_single_fft(
+        c, base + static_cast<std::uint64_t>(i * points * kElem), points);
+    total.butterflies += one.butterflies;
+    total.cache.read_hits += one.cache.read_hits;
+    total.cache.read_misses += one.cache.read_misses;
+    total.cache.write_hits += one.cache.write_hits;
+    total.cache.write_misses += one.cache.write_misses;
+  }
+  total.misses_per_butterfly =
+      total.butterflies ? static_cast<double>(total.cache.read_misses) /
+                              static_cast<double>(total.butterflies)
+                        : 0.0;
+  return total;
+}
+
+double RateModel::mflops(const FftTraceResult& t) const {
+  if (t.butterflies == 0) return 0.0;
+  const double ticks =
+      base_ticks + miss_penalty_ticks * t.misses_per_butterfly;
+  const double ns = ticks * tick_ns;
+  return flops / ns * 1e3;  // flops per ns * 1e3 = Mflops
+}
+
+}  // namespace logp::cache

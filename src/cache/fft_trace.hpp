@@ -1,0 +1,53 @@
+// FFT memory-access traces for the Figure 7 study.
+//
+// The hybrid FFT's two local phases touch memory very differently:
+//   phase I  (cyclic layout)  — ONE radix-2 FFT over all n/P local points;
+//                               once 16*(n/P) bytes exceed the cache, every
+//                               pass sweeps and evicts the whole array.
+//   phase III (blocked layout) — MANY small FFTs of P points each; the
+//                               working set of each fits in cache, so only
+//                               compulsory (streaming) misses remain.
+// We drive the actual address streams of an iterative radix-2 butterfly
+// through the cache simulator and convert miss counts into a per-butterfly
+// cycle cost, reproducing the paper's 2.8 -> 2.2 Mflops/processor drop.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.hpp"
+
+namespace logp::cache {
+
+struct FftTraceResult {
+  std::int64_t butterflies = 0;
+  CacheStats cache;
+  double misses_per_butterfly = 0;
+};
+
+/// Simulates one in-place radix-2 FFT over `points` complex (16-byte)
+/// elements starting at byte address `base`. Each butterfly reads two
+/// elements and writes two elements.
+FftTraceResult trace_single_fft(DirectMappedCache& c, std::uint64_t base,
+                                std::int64_t points);
+
+/// Simulates `count` independent FFTs of `points` elements each, laid out
+/// back-to-back from `base` (the phase-III pattern).
+FftTraceResult trace_many_ffts(DirectMappedCache& c, std::uint64_t base,
+                               std::int64_t points, std::int64_t count);
+
+/// Converts a trace into a computation rate. Cost model per butterfly:
+/// `base_ticks` plus `miss_penalty_ticks` per cache read miss; one butterfly
+/// is `flops` floating-point operations; a tick is `tick_ns` nanoseconds.
+/// Calibrated against the paper's endpoints: ~2.8 Mflops with the working
+/// set resident, ~2.2 Mflops when every stage sweeps memory (~1.3 read
+/// misses per butterfly).
+struct RateModel {
+  double base_ticks = 115;       ///< in-cache butterfly cost (33 MHz ticks)
+  double miss_penalty_ticks = 27;
+  double flops = 10;             ///< per butterfly (paper Section 4.1.4)
+  double tick_ns = 1000.0 / 33.0;
+
+  double mflops(const FftTraceResult& t) const;
+};
+
+}  // namespace logp::cache

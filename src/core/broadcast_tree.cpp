@@ -1,0 +1,80 @@
+#include "core/broadcast_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace logp {
+
+namespace {
+// A processor that holds the datum and the earliest time it can begin its
+// next transmission. Ordered so the heap pops the sender whose *child* would
+// finish receiving first; ties broken by processor id for determinism.
+struct Sender {
+  Cycles next_send;
+  ProcId id;
+  bool operator>(const Sender& rhs) const {
+    if (next_send != rhs.next_send) return next_send > rhs.next_send;
+    return id > rhs.id;
+  }
+};
+}  // namespace
+
+BroadcastTree optimal_broadcast_tree(const Params& params) {
+  params.validate();
+  const int P = params.P;
+  BroadcastTree tree;
+  tree.nodes.resize(static_cast<std::size_t>(P));
+  if (P == 1) return tree;
+
+  // Consecutive transmissions at one processor are separated by g; the CPU
+  // is free again after o, so the next send begins at +max(g, o).
+  const Cycles resend = std::max(params.g, params.o);
+  const Cycles hop = params.o + params.L + params.o;
+
+  std::priority_queue<Sender, std::vector<Sender>, std::greater<>> heap;
+  heap.push({0, 0});
+  for (ProcId next = 1; next < P; ++next) {
+    Sender s = heap.top();
+    heap.pop();
+    auto& child = tree.nodes[static_cast<std::size_t>(next)];
+    auto& parent = tree.nodes[static_cast<std::size_t>(s.id)];
+    child.parent = s.id;
+    child.recv_done = s.next_send + hop;
+    parent.children.push_back(next);
+    if (parent.first_send < 0) parent.first_send = s.next_send;
+    tree.completion = std::max(tree.completion, child.recv_done);
+    heap.push({s.next_send + resend, s.id});
+    // The new holder can engage its send port the moment reception ends.
+    heap.push({child.recv_done, next});
+  }
+  return tree;
+}
+
+Cycles optimal_broadcast_time(const Params& params) {
+  return optimal_broadcast_tree(params).completion;
+}
+
+Cycles linear_broadcast_time(const Params& params) {
+  params.validate();
+  if (params.P == 1) return 0;
+  const Cycles resend = std::max(params.g, params.o);
+  // Last of P-1 sends starts at (P-2)*resend; add the wire time.
+  return static_cast<Cycles>(params.P - 2) * resend + params.message_time();
+}
+
+Cycles binomial_broadcast_time(const Params& params) {
+  params.validate();
+  if (params.P == 1) return 0;
+  // Each round doubles the holder set; one send per holder per round, so the
+  // gap never binds (a holder's next send is a round later). Round length is
+  // the full message time o + L + o, except it cannot be shorter than the
+  // sender's own resend constraint max(g, o).
+  const Cycles round = std::max(params.message_time(), std::max(params.g, params.o));
+  int rounds = 0;
+  for (int have = 1; have < params.P; have *= 2) ++rounds;
+  return static_cast<Cycles>(rounds) * round;
+}
+
+}  // namespace logp

@@ -1,0 +1,45 @@
+// Optimal single-item broadcast under LogP (paper Section 3.3, Figure 3).
+//
+// Every processor that holds the datum retransmits it as fast as the gap
+// allows; the receiver that would obtain it earliest is always served next.
+// The resulting tree is unbalanced, with fan-out determined by L, o and g.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp {
+
+struct BroadcastTree {
+  struct Node {
+    ProcId parent = -1;             ///< -1 for the root
+    Cycles recv_done = 0;           ///< time the datum is fully received
+    Cycles first_send = -1;         ///< time this node starts its first send
+    std::vector<ProcId> children;   ///< in send order
+  };
+
+  std::vector<Node> nodes;  ///< index = processor id, node 0 is the root
+  Cycles completion = 0;    ///< time the last processor has the datum
+
+  int fanout(ProcId p) const {
+    return static_cast<int>(nodes[static_cast<std::size_t>(p)].children.size());
+  }
+};
+
+/// Builds the optimal broadcast tree for `params.P` processors.
+/// Node ids are assigned in order of receive time (root = 0), which is also
+/// the greedy construction order. Deterministic.
+BroadcastTree optimal_broadcast_tree(const Params& params);
+
+/// Completion time of the optimal broadcast (== tree.completion).
+Cycles optimal_broadcast_time(const Params& params);
+
+/// Baseline: the root alone sends to all P-1 others (no forwarding).
+Cycles linear_broadcast_time(const Params& params);
+
+/// Baseline: binomial tree (each holder forwards once per round), the shape
+/// a PRAM/latency-only analysis would suggest; ignores the g-paced pipeline.
+Cycles binomial_broadcast_time(const Params& params);
+
+}  // namespace logp

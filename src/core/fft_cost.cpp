@@ -1,0 +1,48 @@
+#include "core/fft_cost.hpp"
+
+#include "util/check.hpp"
+
+namespace logp {
+
+int log2_exact(std::int64_t n) {
+  LOGP_CHECK_MSG(n > 0 && (n & (n - 1)) == 0, "n must be a power of two");
+  int lg = 0;
+  while ((std::int64_t{1} << lg) < n) ++lg;
+  return lg;
+}
+
+FftCost fft_cost(std::int64_t n, FftLayout layout, const Params& params,
+                 Cycles compute_scale) {
+  params.validate();
+  const int lg_n = log2_exact(n);
+  const int lg_p = log2_exact(params.P);
+  LOGP_CHECK_MSG(lg_n >= 2 * lg_p, "hybrid layout requires n >= P^2");
+  const std::int64_t rows = n / params.P;
+
+  FftCost c;
+  c.compute = static_cast<Cycles>(rows) * lg_n * compute_scale;
+  switch (layout) {
+    case FftLayout::kCyclic:
+    case FftLayout::kBlocked:
+      // log(P) columns each need one remote datum per local node; messages
+      // pipeline at the gap, the trailing messages pay the latency.
+      c.remote_refs = rows * lg_p;
+      c.communicate = (params.g * rows + params.L) * lg_p;
+      break;
+    case FftLayout::kHybrid: {
+      // One all-to-all: n/P^2 points to each of P-1 peers.
+      const std::int64_t per_peer = rows / params.P;
+      c.remote_refs = rows - per_peer;
+      c.communicate = params.g * (rows - per_peer) + params.L;
+      break;
+    }
+  }
+  return c;
+}
+
+double fft_hybrid_optimality_factor(std::int64_t n, const Params& params) {
+  const int lg_n = log2_exact(n);
+  return 1.0 + static_cast<double>(params.g) / static_cast<double>(lg_n);
+}
+
+}  // namespace logp

@@ -1,0 +1,44 @@
+// Analytic LogP cost model for the butterfly FFT of paper Section 4.1.
+//
+// The n-input butterfly has log2(n) computation columns of n nodes each; one
+// node is one complex butterfly operation, which the model charges one cycle
+// (calibrated to 4.5 us on the CM-5). Three data layouts are modelled:
+//
+//   cyclic  — row r on processor r mod P; first log(n/P) columns local,
+//             last log(P) columns all-remote.
+//   blocked — rows [i*n/P, (i+1)*n/P) on processor i; first log(P) columns
+//             all-remote, last log(n/P) columns local.
+//   hybrid  — cyclic for the first phase, one all-to-all remap, blocked for
+//             the second: all computation local, communication cut by a
+//             factor of log(P).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace logp {
+
+enum class FftLayout { kCyclic, kBlocked, kHybrid };
+
+struct FftCost {
+  Cycles compute = 0;        ///< butterfly operations per processor
+  Cycles communicate = 0;    ///< LogP communication time
+  std::int64_t remote_refs = 0;  ///< remote data references per processor
+  Cycles total() const { return compute + communicate; }
+};
+
+/// Cost for an n-point FFT (n a power of two, n >= P^2 for the hybrid
+/// layout's single-remap property) on the given machine. `compute_scale`
+/// converts butterfly counts into cycles (e.g. Cm5::kButterflyTicks).
+FftCost fft_cost(std::int64_t n, FftLayout layout, const Params& params,
+                 Cycles compute_scale = 1);
+
+/// The paper's optimality claim: hybrid total is within a factor of
+/// (1 + g / log n) of the computation lower bound. Returns that factor.
+double fft_hybrid_optimality_factor(std::int64_t n, const Params& params);
+
+/// log2 of a power of two; checked.
+int log2_exact(std::int64_t n);
+
+}  // namespace logp

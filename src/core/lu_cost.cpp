@@ -1,0 +1,71 @@
+#include "core/lu_cost.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace logp {
+
+namespace {
+std::int64_t isqrt_exact(std::int64_t v) {
+  auto r = static_cast<std::int64_t>(std::llround(std::sqrt(double(v))));
+  LOGP_CHECK_MSG(r * r == v, "P must be a perfect square for grid layouts");
+  return r;
+}
+}  // namespace
+
+LuCost lu_cost(std::int64_t n, LuLayout layout, const Params& params,
+               Cycles flop_scale) {
+  params.validate();
+  LOGP_CHECK(n >= 2);
+  const std::int64_t P = params.P;
+  LuCost c;
+
+  for (std::int64_t k = 0; k < n - 1; ++k) {
+    const std::int64_t m = n - 1 - k;  // trailing submatrix side
+    std::int64_t active = P;           // processors with update work
+    std::int64_t recv_words = 0;       // words each processor must receive
+
+    switch (layout) {
+      case LuLayout::kBadScatter:
+        recv_words = 2 * m;
+        break;
+      case LuLayout::kColumnCyclic:
+        recv_words = m;  // multiplier column only
+        active = std::min<std::int64_t>(P, m);  // cyclic columns stay busy
+        break;
+      case LuLayout::kGridBlocked: {
+        const std::int64_t q = isqrt_exact(P);
+        const std::int64_t block = (n + q - 1) / q;
+        // Only grid rows/cols intersecting the trailing submatrix are active.
+        const std::int64_t live = (m + block - 1) / block;
+        active = live * live;
+        recv_words = 2 * ((m + live - 1) / live);
+        break;
+      }
+      case LuLayout::kGridScattered: {
+        const std::int64_t q = isqrt_exact(P);
+        const std::int64_t live = std::min(q, m);
+        active = live * live;
+        recv_words = 2 * ((m + live - 1) / live);
+        break;
+      }
+    }
+
+    c.compute += 2 * m * m / (active > 0 ? active : 1) * flop_scale;
+    if (recv_words > 0) c.communicate += params.g * recv_words + params.L;
+  }
+  return c;
+}
+
+const char* lu_layout_name(LuLayout layout) {
+  switch (layout) {
+    case LuLayout::kBadScatter: return "bad(row+col)";
+    case LuLayout::kColumnCyclic: return "column-cyclic";
+    case LuLayout::kGridBlocked: return "grid-blocked";
+    case LuLayout::kGridScattered: return "grid-scattered";
+  }
+  return "?";
+}
+
+}  // namespace logp

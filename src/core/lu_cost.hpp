@@ -1,0 +1,35 @@
+// Analytic LogP cost model for LU decomposition layouts (paper Sec 4.2.1).
+//
+// Gaussian elimination with partial pivoting: n-1 steps; step k updates the
+// (n-k) x (n-k) trailing submatrix (2 flops per element). The layout decides
+// how much of the pivot row / multiplier column each processor must fetch,
+// and how many processors still own active elements (load balance).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace logp {
+
+enum class LuLayout {
+  kBadScatter,    ///< every processor fetches the whole pivot row and column
+  kColumnCyclic,  ///< 1-D column layout: broadcast multipliers only
+  kGridBlocked,   ///< 2-D sqrt(P) x sqrt(P) grid, contiguous blocks
+  kGridScattered  ///< 2-D grid, cyclic (scattered) rows/columns
+};
+
+struct LuCost {
+  Cycles compute = 0;
+  Cycles communicate = 0;
+  Cycles total() const { return compute + communicate; }
+};
+
+/// Total cost over all n-1 elimination steps. `flop_scale` converts flops
+/// to cycles. Requires P to be a perfect square for grid layouts.
+LuCost lu_cost(std::int64_t n, LuLayout layout, const Params& params,
+               Cycles flop_scale = 1);
+
+const char* lu_layout_name(LuLayout layout);
+
+}  // namespace logp

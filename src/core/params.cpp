@@ -1,0 +1,22 @@
+#include "core/params.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace logp {
+
+void Params::validate() const {
+  LOGP_CHECK_MSG(L >= 0, "latency L must be non-negative");
+  LOGP_CHECK_MSG(o >= 0, "overhead o must be non-negative");
+  LOGP_CHECK_MSG(g >= 1, "gap g must be at least one cycle");
+  LOGP_CHECK_MSG(P >= 1, "processor count P must be positive");
+}
+
+std::string Params::to_string() const {
+  std::ostringstream os;
+  os << "LogP(L=" << L << ", o=" << o << ", g=" << g << ", P=" << P << ")";
+  return os.str();
+}
+
+}  // namespace logp

@@ -1,0 +1,86 @@
+// The LogP machine model: the four parameters and quantities derived from
+// them (Culler et al., PPoPP'93, Section 3).
+//
+//   L — upper bound on the latency of a small message, in processor cycles.
+//   o — overhead: cycles a processor is engaged sending or receiving one
+//       message; it can do nothing else during this time.
+//   g — gap: minimum interval between consecutive sends (and between
+//       consecutive receptions) at one processor; 1/g is the per-processor
+//       bandwidth.
+//   P — number of processor/memory modules.
+//
+// The network has finite capacity: at most ceil(L/g) messages may be in
+// transit from any processor or to any processor at once; a send that would
+// exceed this stalls the sender.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace logp {
+
+/// Simulated time, in processor cycles (the model's unit of local work).
+using Cycles = std::int64_t;
+
+/// Processor index in [0, P).
+using ProcId = std::int32_t;
+
+struct Params {
+  Cycles L = 1;  ///< message latency bound
+  Cycles o = 0;  ///< send/receive overhead
+  Cycles g = 1;  ///< gap between consecutive sends/receptions
+  int P = 1;     ///< number of processors
+
+  /// Network capacity per endpoint: ceil(L/g), at least 1.
+  Cycles capacity() const {
+    const Cycles c = (L + g - 1) / g;
+    return c < 1 ? 1 : c;
+  }
+
+  /// End-to-end time of one small message when nothing stalls: o + L + o.
+  Cycles message_time() const { return L + 2 * o; }
+
+  /// Time for a remote read: request + reply, 2L + 4o (Section 3.2).
+  Cycles remote_read_time() const { return 2 * L + 4 * o; }
+
+  /// Validates the parameter ranges; throws util::check_error on violation.
+  /// The model requires g >= o for back-to-back transmissions to be
+  /// meaningful ("one convenient approximation is to increase o to be as
+  /// large as g"); we only require it where algorithms assume it, not here.
+  void validate() const;
+
+  std::string to_string() const;
+
+  bool operator==(const Params&) const = default;
+};
+
+/// Calibration of abstract cycles to wall-clock time and message size,
+/// used when reporting paper-style seconds and MB/s.
+struct Calibration {
+  double cycle_ns = 1.0;      ///< nanoseconds per model cycle
+  int message_bytes = 16;     ///< data bytes carried by one small message
+  int message_overhead_bytes = 4;  ///< address/header bytes on the wire
+
+  double cycles_to_seconds(Cycles c) const {
+    return static_cast<double>(c) * cycle_ns * 1e-9;
+  }
+};
+
+/// The CM-5 parameters the paper calibrates in Section 4.1.4: o = 2 us,
+/// L = 6 us, g = 4 us, one butterfly operation = 4.5 us, ~1 us of load/store
+/// per data point. Our simulator uses integral cycles, so everything is
+/// expressed in 33 MHz hardware ticks (30.3 ns): butterfly = 150 ticks,
+/// o = 66, L = 200, g = 132, load/store = 33.
+struct Cm5 {
+  static constexpr double kTickNs = 1000.0 / 33.0;  // 33 MHz
+  static constexpr Cycles kButterflyTicks = 150;    // 4.5 us per butterfly
+  static constexpr Cycles kLoadStoreTicksPerPoint = 33;  // ~1 us per point
+  static constexpr Cycles kO = 66;                  // 2 us
+  static constexpr Cycles kL = 200;                 // 6 us
+  static constexpr Cycles kG = 132;                 // 4 us (bisection bound)
+
+  static Params params(int P) { return Params{kL, kO, kG, P}; }
+  static Calibration calibration() { return Calibration{kTickNs, 16, 4}; }
+};
+
+}  // namespace logp

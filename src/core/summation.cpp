@@ -1,0 +1,160 @@
+#include "core/summation.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace logp {
+
+namespace {
+
+// Reception spacing at a summation node: receptions are g apart, but each
+// reception (o cycles) must be followed by one add cycle before the next
+// reception's result can be folded in, so the effective spacing is
+// max(g, o + 1).
+Cycles recv_spacing(const Params& p) { return std::max(p.g, p.o + 1); }
+
+// Largest feasible number of receptions k for a node with deadline T.
+// Child j (j = 0 is the last-received, largest-budget child) has budget
+//   s_j = T - 1 - 2o - L - j*gr
+// and must satisfy s_j >= o (a transmitted sum represents >= o additions).
+// The first reception must start at or after time 0, and the node must have
+// non-negative local-add time T - k(o+1).
+int max_receptions(Cycles T, const Params& p) {
+  const Cycles gr = recv_spacing(p);
+  const Cycles base = T - 1 - 2 * p.o - p.L;
+  if (base < p.o) return 0;
+  auto k = static_cast<std::int64_t>((base - p.o) / gr + 1);
+  // first reception start: T - 1 - o - (k-1)*gr >= 0
+  if (T - 1 - p.o < 0) return 0;
+  k = std::min(k, (T - 1 - p.o) / gr + 1);
+  k = std::min(k, T / (p.o + 1));
+  return static_cast<int>(std::max<std::int64_t>(k, 0));
+}
+
+struct Counter {
+  std::unordered_map<Cycles, std::int64_t> memo;
+  const Params& p;
+
+  std::int64_t count(Cycles T) {
+    LOGP_CHECK(T >= 0);
+    if (T <= p.message_time()) return T + 1;
+    if (auto it = memo.find(T); it != memo.end()) return it->second;
+    const int k = max_receptions(T, p);
+    const Cycles gr = recv_spacing(p);
+    std::int64_t total = T - static_cast<std::int64_t>(k) * (p.o + 1) + 1;
+    for (int j = 0; j < k; ++j)
+      total += count(T - 1 - 2 * p.o - p.L - static_cast<Cycles>(j) * gr);
+    memo.emplace(T, total);
+    return total;
+  }
+};
+
+// Heap entry for the greedy pseudo-broadcast (see optimal_sum_schedule).
+struct PseudoSender {
+  Cycles next_send;
+  ProcId id;
+  bool operator>(const PseudoSender& rhs) const {
+    if (next_send != rhs.next_send) return next_send > rhs.next_send;
+    return id > rhs.id;
+  }
+};
+
+}  // namespace
+
+std::int64_t max_sum_inputs(Cycles T, const Params& params) {
+  params.validate();
+  LOGP_CHECK(T >= 0);
+  Counter c{{}, params};
+  return c.count(T);
+}
+
+// The optimal summation tree is the time-reversal of an optimal broadcast
+// tree (Karp-Sahay-Santos-Schauser). We run the broadcast greedy with a hop
+// of 2o + L + 1 (message plus the one-cycle add that folds it in) and a
+// resend interval of max(g, o+1) (receptions must leave room for that add),
+// then reverse every event around the deadline T:
+//   * a pseudo node joining at time t becomes a summation node whose partial
+//     sum is complete — and transmitted — at budget = T - t;
+//   * a pseudo send engaged at s becomes a reception starting at T - s - 1 - o
+//     (ending at T - s - 1, with the add finishing at T - s);
+//   * the idle prefix of every node fills with local-input additions.
+SumSchedule optimal_sum_schedule(Cycles T, const Params& params) {
+  params.validate();
+  LOGP_CHECK(T >= 0);
+  const Cycles gr = recv_spacing(params);
+  const Cycles hop = 2 * params.o + params.L + 1;
+
+  SumSchedule sched;
+  sched.deadline = T;
+  sched.nodes.emplace_back();  // root joins at pseudo time 0
+  sched.nodes[0].budget = T;
+
+  std::priority_queue<PseudoSender, std::vector<PseudoSender>, std::greater<>>
+      heap;
+  heap.push({0, 0});
+  while (static_cast<int>(sched.nodes.size()) < params.P && !heap.empty()) {
+    const PseudoSender s = heap.top();
+    const Cycles t_child = s.next_send + hop;
+    // A child joining later than T - o would transmit a partial sum of fewer
+    // than o additions — receiving it costs more than it carries.
+    if (t_child > T - params.o) break;
+    heap.pop();
+    const auto child = static_cast<ProcId>(sched.nodes.size());
+    sched.nodes.emplace_back();
+    sched.nodes[static_cast<std::size_t>(child)].parent = s.id;
+    sched.nodes[static_cast<std::size_t>(child)].budget = T - t_child;
+    sched.nodes[static_cast<std::size_t>(child)].send_start = T - t_child;
+    auto& parent = sched.nodes[static_cast<std::size_t>(s.id)];
+    parent.children.push_back(child);
+    parent.recv_start.push_back(T - s.next_send - 1 - params.o);
+    heap.push({s.next_send + gr, s.id});
+    heap.push({t_child, child});
+  }
+
+  for (auto& node : sched.nodes) {
+    const auto k = static_cast<std::int64_t>(node.children.size());
+    if (k == 0) {
+      node.local_inputs = node.budget + 1;
+    } else {
+      // Adds before the earliest reception, plus the slack between each
+      // consecutive pair, plus the initial input of the running sum.
+      node.local_inputs =
+          node.recv_start.back() + 1 + (k - 1) * (gr - params.o - 1);
+    }
+    LOGP_CHECK(node.local_inputs >= 1);
+    sched.total_inputs += node.local_inputs;
+  }
+  return sched;
+}
+
+Cycles optimal_sum_time(std::int64_t n, const Params& params) {
+  params.validate();
+  LOGP_CHECK(n >= 1);
+  // A single processor achieves T = n - 1, so the answer is in [0, n-1].
+  Cycles lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const Cycles mid = lo + (hi - lo) / 2;
+    if (optimal_sum_schedule(mid, params).total_inputs >= n)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+Cycles naive_sum_time(std::int64_t n, const Params& params) {
+  params.validate();
+  LOGP_CHECK(n >= 1);
+  const std::int64_t per_proc = (n + params.P - 1) / params.P;
+  Cycles t = per_proc - 1;  // local summation, no overlap
+  // Binomial combining: ceil(log2 P) rounds, each a message plus one add.
+  for (int have = 1; have < params.P; have *= 2)
+    t += params.message_time() + 1;
+  return t;
+}
+
+}  // namespace logp

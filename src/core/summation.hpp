@@ -1,0 +1,57 @@
+// Optimal summation schedule under LogP (paper Section 3.3, Figure 4;
+// Karp, Sahay, Santos & Schauser, "Optimal Broadcast and Summation in the
+// LogP Model", UCB/CSD 92/721).
+//
+// Working backwards from the deadline T: the root's final cycle adds a
+// locally held partial sum to one just received; receptions are paced by the
+// gap; between receptions the root folds in local inputs; each child is
+// recursively the root of an optimal summation tree over its own (smaller)
+// deadline. A transmitted partial sum must represent at least o additions,
+// otherwise receiving it costs more than recomputing it.
+//
+// One addition takes one cycle. Summing m inputs locally therefore takes
+// m - 1 cycles, so a lone processor sums T + 1 inputs within deadline T.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp {
+
+/// A complete communication + computation schedule for summation.
+struct SumSchedule {
+  struct Node {
+    ProcId parent = -1;       ///< -1 for the root
+    Cycles budget = 0;        ///< this node's own deadline (partial sum ready)
+    Cycles send_start = -1;   ///< when it begins transmitting to the parent
+    std::int64_t local_inputs = 0;  ///< original inputs folded in locally
+    std::vector<ProcId> children;   ///< in decreasing-budget order
+    std::vector<Cycles> recv_start; ///< reception start time per child
+  };
+
+  std::vector<Node> nodes;    ///< node 0 is the root
+  Cycles deadline = 0;
+  std::int64_t total_inputs = 0;
+
+  int procs_used() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Maximum number of inputs summable by deadline T with unlimited processors.
+std::int64_t max_sum_inputs(Cycles T, const Params& params);
+
+/// Builds the (pruned-to-P) optimal schedule for deadline T. Subtrees are
+/// expanded largest-budget first; when the processor budget runs out, each
+/// dropped reception slot at a node is converted into o+1 extra local-input
+/// additions, keeping the schedule feasible and the processor fully busy.
+SumSchedule optimal_sum_schedule(Cycles T, const Params& params);
+
+/// Smallest deadline T such that n inputs can be summed on P processors.
+Cycles optimal_sum_time(std::int64_t n, const Params& params);
+
+/// Baseline: inputs divided evenly; partial sums combined up a binomial
+/// tree with no overlap of communication and computation.
+Cycles naive_sum_time(std::int64_t n, const Params& params);
+
+}  // namespace logp

@@ -1,0 +1,56 @@
+#include "machines/database.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace logp::machines {
+
+double NetworkTiming::unloaded_time(int message_bits, double hops) const {
+  return static_cast<double>(snd_rcv) +
+         std::ceil(static_cast<double>(message_bits) / width_bits) +
+         hops * static_cast<double>(hop_delay);
+}
+
+Params NetworkTiming::derive_logp(int message_bits, double hops, int P) const {
+  Params prm;
+  prm.o = snd_rcv / 2;
+  prm.L = static_cast<Cycles>(
+      std::llround(hops * static_cast<double>(hop_delay) +
+                   std::ceil(static_cast<double>(message_bits) / width_bits)));
+  if (bisection_mb_per_proc > 0) {
+    const double bytes = static_cast<double>(message_bits) / 8.0;
+    const double seconds = bytes / (bisection_mb_per_proc * 1e6);
+    prm.g = static_cast<Cycles>(std::llround(seconds * 1e9 / cycle_ns));
+  } else {
+    prm.g = std::max<Cycles>(1, prm.o);
+  }
+  prm.g = std::max<Cycles>(1, prm.g);
+  prm.P = P;
+  prm.validate();
+  return prm;
+}
+
+std::vector<NetworkTiming> table1() {
+  // name, topology, cycle ns, w, Tsnd+Trcv, r, avg H @1024, bisection MB/s.
+  // The CM-5 bisection bandwidth (5 MB/s per processor for 20-byte packets)
+  // is from paper Section 4.1.4; the other machines' are not given.
+  return {
+      {"nCUBE/2", "Hypercube", 25.0, 1, 6400, 40, 5.0, 0},
+      {"CM-5", "Fattree", 25.0, 4, 3600, 8, 9.3, 5.0},
+      {"Dash", "Torus", 30.0, 16, 30, 2, 6.8, 0},
+      {"J-Machine", "3d Mesh", 31.0, 8, 16, 2, 12.1, 0},
+      {"Monsoon", "Butterfly", 20.0, 16, 10, 2, 5.0, 0},
+      {"nCUBE/2 (AM)", "Hypercube", 25.0, 1, 1000, 40, 5.0, 0},
+      {"CM-5 (AM)", "Fattree", 25.0, 4, 132, 8, 9.3, 5.0},
+  };
+}
+
+const NetworkTiming& table1_row(const std::string& name) {
+  static const std::vector<NetworkTiming> rows = table1();
+  for (const auto& r : rows)
+    if (r.name == name) return r;
+  throw util::check_error("unknown machine: " + name);
+}
+
+}  // namespace logp::machines

@@ -1,0 +1,44 @@
+// Machine database: the network timing parameters of paper Table 1 and the
+// Section 5.2 recipe for deriving LogP parameters from them.
+//
+// Unloaded one-way time for an M-bit message over H hops:
+//     T(M, H) = Tsnd + ceil(M / w) + H * r + Trcv        (cycles)
+// with channel width w (bits) and per-hop delay r. The paper folds Tsnd and
+// Trcv into one "Tsnd + Trcv" column, which we keep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::machines {
+
+struct NetworkTiming {
+  std::string name;
+  std::string topology;
+  double cycle_ns = 0;       ///< network clock period
+  int width_bits = 0;        ///< channel width w
+  Cycles snd_rcv = 0;        ///< Tsnd + Trcv, cycles
+  Cycles hop_delay = 0;      ///< r, cycles per intermediate node
+  double avg_hops_1024 = 0;  ///< average route length H at P = 1024
+  double bisection_mb_per_proc = 0;  ///< per-processor bisection BW, MB/s
+                                     ///< (0 = not reported by the paper)
+
+  /// Unloaded one-way message time, in cycles.
+  double unloaded_time(int message_bits, double hops) const;
+
+  /// Section 5.2: o = (Tsnd + Trcv)/2, L = H*r + ceil(M/w),
+  /// g = M / per-processor bisection bandwidth (when known, else o).
+  /// All in cycles of this machine's clock; P as given.
+  Params derive_logp(int message_bits, double hops, int P) const;
+};
+
+/// The seven rows of Table 1 (five vendor stacks plus the two Active
+/// Message variants), exactly as the paper reports them.
+std::vector<NetworkTiming> table1();
+
+/// Look up a row by name; throws util::check_error if absent.
+const NetworkTiming& table1_row(const std::string& name);
+
+}  // namespace logp::machines

@@ -1,0 +1,37 @@
+// Empirical LogP parameter measurement (paper Section 7: "refining the
+// process of parameter determination and evaluating a large number of
+// machines").
+//
+// Treats a machine as a black box and recovers its parameters with the
+// classic microbenchmark suite:
+//   o  — the cost the sender pays per message: issue a burst of sends
+//        back-to-back with the port pre-warmed... measured as CPU-busy time
+//        per send in a paced stream;
+//   g  — steady-state issue interval: time N back-to-back sends, divide;
+//   L  — from the round trip: RTT = 2L + 4o, solve with the measured o;
+//   capacity — push a burst at an unresponsive receiver and count how many
+//        sends complete before the first stall.
+// Closing the loop: probing a simulated machine must return the parameters
+// it was configured with (tested), exactly the consistency check one would
+// run against real hardware.
+#pragma once
+
+#include "core/params.hpp"
+#include "sim/machine.hpp"
+
+namespace logp::machines {
+
+struct ProbeResult {
+  double o = 0;
+  double g = 0;
+  double L = 0;
+  int capacity = 0;
+
+  Params rounded(int P) const;
+};
+
+/// Measures the parameters of a machine configured as `cfg` (P >= 2).
+/// Deterministic; runs a handful of short experiments.
+ProbeResult probe_params(const sim::MachineConfig& cfg);
+
+}  // namespace logp::machines

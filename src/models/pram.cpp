@@ -1,0 +1,5 @@
+#include "models/pram.hpp"
+
+// Header-only arithmetic; this translation unit exists so the library has a
+// stable archive member (and a home for future out-of-line additions).
+namespace logp::models {}

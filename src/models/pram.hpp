@@ -1,0 +1,40 @@
+// PRAM cost model (paper Section 6.1): synchronous processors, unit-time
+// shared-memory access, free communication — i.e. LogP with g = 0, L = 0,
+// o = 0. Used as the over-optimistic comparator in the model-comparison
+// experiments: its predictions ignore every communication bottleneck.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace logp::models {
+
+struct PramModel {
+  int P = 1;
+
+  /// CREW broadcast is one step; EREW needs a doubling tree.
+  Cycles broadcast_crew() const { return 1; }
+  Cycles broadcast_erew() const { return ceil_log2(P); }
+
+  /// Sum of n values: local chains then a combining tree.
+  Cycles sum(std::int64_t n) const {
+    const std::int64_t per = (n + P - 1) / P;
+    return (per - 1) + ceil_log2(P) + (per > 0 ? 1 : 0);
+  }
+
+  /// Butterfly FFT: perfectly parallel columns.
+  Cycles fft(std::int64_t n) const {
+    Cycles lg = 0;
+    while ((std::int64_t{1} << lg) < n) ++lg;
+    return (n / P) * lg;
+  }
+
+  static Cycles ceil_log2(std::int64_t v) {
+    Cycles lg = 0;
+    while ((std::int64_t{1} << lg) < v) ++lg;
+    return lg;
+  }
+};
+
+}  // namespace logp::models

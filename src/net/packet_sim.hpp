@@ -1,0 +1,66 @@
+// Packet-level network simulator with link contention (paper Section 5.3).
+//
+// Store-and-forward routing over a Topology: each hop occupies one channel
+// of the traversed link for r + ceil(M/w) cycles (routing delay plus
+// serialization). Packets queue FIFO at busy links. Endpoints inject packets
+// with Bernoulli(rate) arrivals to uniformly random destinations.
+//
+// This is the substrate for the saturation study: below the saturation
+// point latency is nearly flat (so modelling L as a constant is sound);
+// beyond it latency diverges — the regime LogP excludes via its capacity
+// constraint.
+#pragma once
+
+#include <cstdint>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace logp::net {
+
+/// Destination pattern for generated traffic (paper Section 5.6: different
+/// communication patterns see different effective bandwidths — "multiple
+/// g's" — on the same network).
+enum class TrafficPattern {
+  kUniform,      ///< uniformly random destination
+  kTranspose,    ///< endpoint (x, y) -> (y, x); a "good" permutation on
+                 ///  some networks, adversarial on others
+  kBitReverse,   ///< bit-reversed endpoint id (butterfly's bad case)
+  kNeighbor,     ///< endpoint e -> e+1 mod P (stencil-like locality)
+  kHotspot,      ///< a fraction of traffic targets endpoint 0
+};
+
+const char* traffic_pattern_name(TrafficPattern p);
+
+struct PacketSimConfig {
+  Cycles hop_delay = 2;        ///< r, cycles of routing logic per hop
+  int phits = 10;              ///< ceil(M/w), serialization cycles per hop
+  double injection_rate = 0.01;  ///< packets per endpoint per cycle
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  double hotspot_fraction = 0.2;  ///< for kHotspot: share sent to endpoint 0
+  Cycles warmup = 2000;        ///< cycles before measurements start
+  Cycles duration = 20000;     ///< measured injection window
+  Cycles drain_limit = 400000; ///< give up draining after this absolute time
+  std::uint64_t seed = 0x9a7e;
+};
+
+struct PacketSimResult {
+  util::RunningStat latency;   ///< generation-to-delivery, measured packets
+  double p95_latency = 0;
+  std::int64_t injected = 0;
+  std::int64_t delivered = 0;
+  double offered_load = 0;     ///< packets / endpoint / cycle
+  double throughput = 0;       ///< delivered packets / endpoint / cycle
+  bool saturated = false;      ///< drain did not finish within drain_limit
+};
+
+PacketSimResult run_packet_sim(const Topology& topo,
+                               const PacketSimConfig& cfg);
+
+/// Unloaded end-to-end time for one packet over `hops` hops.
+inline double unloaded_packet_time(const PacketSimConfig& cfg, double hops) {
+  return hops * static_cast<double>(cfg.hop_delay + cfg.phits);
+}
+
+}  // namespace logp::net

@@ -1,0 +1,283 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace logp::net {
+
+namespace {
+
+int ilog2_exact(int v) {
+  LOGP_CHECK_MSG(v > 0 && (v & (v - 1)) == 0, "must be a power of two");
+  int lg = 0;
+  while ((1 << lg) < v) ++lg;
+  return lg;
+}
+
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(int P) : P_(P), dim_(ilog2_exact(P)) {}
+
+  std::string name() const override {
+    return "Hypercube(" + std::to_string(P_) + ")";
+  }
+  int num_nodes() const override { return P_; }
+  int num_endpoints() const override { return P_; }
+  int endpoint_node(int e) const override { return e; }
+
+  int next_hop(int cur, int dst) const override {
+    const int diff = cur ^ dst;
+    LOGP_CHECK(diff != 0);
+    return cur ^ (diff & -diff);  // fix the lowest differing bit
+  }
+
+ private:
+  int P_;
+  int dim_;
+};
+
+class Mesh2D final : public Topology {
+ public:
+  Mesh2D(int X, int Y, bool torus) : X_(X), Y_(Y), torus_(torus) {
+    LOGP_CHECK(X >= 1 && Y >= 1);
+  }
+
+  std::string name() const override {
+    return std::string(torus_ ? "Torus2D(" : "Mesh2D(") + std::to_string(X_) +
+           "x" + std::to_string(Y_) + ")";
+  }
+  int num_nodes() const override { return X_ * Y_; }
+  int num_endpoints() const override { return X_ * Y_; }
+  int endpoint_node(int e) const override { return e; }
+
+  int next_hop(int cur, int dst) const override {
+    const int cx = cur % X_, cy = cur / X_;
+    const int dx = dst % X_, dy = dst / X_;
+    if (cx != dx) return cy * X_ + step(cx, dx, X_);
+    LOGP_CHECK(cy != dy);
+    return step(cy, dy, Y_) * X_ + cx;
+  }
+
+  int step(int c, int d, int n) const {
+    if (!torus_) return c < d ? c + 1 : c - 1;
+    const int fwd = (d - c + n) % n;
+    const int bwd = (c - d + n) % n;
+    return fwd <= bwd ? (c + 1) % n : (c - 1 + n) % n;
+  }
+
+ private:
+  int X_, Y_;
+  bool torus_;
+};
+
+class Mesh3D final : public Topology {
+ public:
+  Mesh3D(int X, int Y, int Z, bool torus)
+      : X_(X), Y_(Y), Z_(Z), torus_(torus) {
+    LOGP_CHECK(X >= 1 && Y >= 1 && Z >= 1);
+  }
+
+  std::string name() const override {
+    return std::string(torus_ ? "Torus3D(" : "Mesh3D(") + std::to_string(X_) +
+           "x" + std::to_string(Y_) + "x" + std::to_string(Z_) + ")";
+  }
+  int num_nodes() const override { return X_ * Y_ * Z_; }
+  int num_endpoints() const override { return X_ * Y_ * Z_; }
+  int endpoint_node(int e) const override { return e; }
+
+  int next_hop(int cur, int dst) const override {
+    int cx = cur % X_, cy = (cur / X_) % Y_, cz = cur / (X_ * Y_);
+    const int dx = dst % X_, dy = (dst / X_) % Y_, dz = dst / (X_ * Y_);
+    if (cx != dx)
+      cx = step(cx, dx, X_);
+    else if (cy != dy)
+      cy = step(cy, dy, Y_);
+    else {
+      LOGP_CHECK(cz != dz);
+      cz = step(cz, dz, Z_);
+    }
+    return cz * X_ * Y_ + cy * X_ + cx;
+  }
+
+  int step(int c, int d, int n) const {
+    if (!torus_) return c < d ? c + 1 : c - 1;
+    const int fwd = (d - c + n) % n;
+    const int bwd = (c - d + n) % n;
+    return fwd <= bwd ? (c + 1) % n : (c - 1 + n) % n;
+  }
+
+ private:
+  int X_, Y_, Z_;
+  bool torus_;
+};
+
+/// Wrapped butterfly: node (level, row) with level in [0, k), row in [0, P);
+/// processors live at level 0. Stage l fixes address bit l; every route is
+/// exactly k links long.
+class Butterfly final : public Topology {
+ public:
+  explicit Butterfly(int P) : P_(P), k_(ilog2_exact(P)) { LOGP_CHECK(k_ >= 1); }
+
+  std::string name() const override {
+    return "Butterfly(" + std::to_string(P_) + ")";
+  }
+  int num_nodes() const override { return k_ * P_; }
+  int num_endpoints() const override { return P_; }
+  int endpoint_node(int e) const override { return e; }  // level 0
+
+  int next_hop(int cur, int dst) const override {
+    const int level = cur / P_;
+    const int row = cur % P_;
+    const int next_level = (level + 1) % k_;
+    // Set bit `level` of the row to match dst's bit.
+    const int bit = 1 << level;
+    const int next_row = (row & ~bit) | (dst & bit);
+    const int next = next_level * P_ + next_row;
+    LOGP_CHECK(next != cur || k_ == 1);
+    return next;
+  }
+
+ private:
+  int P_;
+  int k_;
+};
+
+/// 4-ary fat tree: leaves are processors; level-j switches (j >= 1) each
+/// cover 4^j leaves. Up/down routing through the least common ancestor.
+class FatTree4 final : public Topology {
+ public:
+  FatTree4(int P, int taper) : P_(P), taper_(taper) {
+    LOGP_CHECK(taper >= 1);
+    int p = P;
+    while (p > 1) {
+      LOGP_CHECK_MSG(p % 4 == 0, "fat tree needs P = 4^h");
+      p /= 4;
+      ++height_;
+    }
+    LOGP_CHECK(height_ >= 1);
+    // Node layout: leaves first, then level-1 switches, level-2, ...
+    level_offset_.assign(static_cast<std::size_t>(height_) + 1, 0);
+    int offset = P_;
+    for (int j = 1; j <= height_; ++j) {
+      level_offset_[static_cast<std::size_t>(j)] = offset;
+      offset += P_ >> (2 * j);
+    }
+    num_nodes_ = offset;
+  }
+
+  std::string name() const override {
+    return "FatTree4(" + std::to_string(P_) +
+           (taper_ > 1 ? ",taper=" + std::to_string(taper_) : "") + ")";
+  }
+  int num_nodes() const override { return num_nodes_; }
+  int num_endpoints() const override { return P_; }
+  int endpoint_node(int e) const override { return e; }
+
+  int next_hop(int cur, int dst) const override {
+    const auto [level, index] = locate(cur);
+    // Covering range of `cur` in leaf space.
+    const int span = 1 << (2 * level);
+    const int base = index * span;
+    if (dst >= base && dst < base + span) {
+      // Descend toward dst.
+      LOGP_CHECK(level > 0);
+      return node_at(level - 1, dst >> (2 * (level - 1)));
+    }
+    return node_at(level + 1, index / 4);  // ascend
+  }
+
+  int link_multiplicity(int cur, int next) const override {
+    const int lo = std::min(locate(cur).first, locate(next).first);
+    // Channels on the link between level lo and lo+1 above a level-lo node
+    // that covers 4^lo leaves.
+    int mult = 1;
+    for (int j = 0; j < lo; ++j) {
+      mult *= 4;
+      mult = std::max(1, mult / taper_);
+    }
+    return std::max(1, mult);
+  }
+
+ private:
+  std::pair<int, int> locate(int node) const {
+    for (int j = height_; j >= 1; --j)
+      if (node >= level_offset_[static_cast<std::size_t>(j)])
+        return {j, node - level_offset_[static_cast<std::size_t>(j)]};
+    return {0, node};
+  }
+  int node_at(int level, int index) const {
+    return level == 0 ? index
+                      : level_offset_[static_cast<std::size_t>(level)] + index;
+  }
+
+  int P_;
+  int taper_;
+  int height_ = 0;
+  int num_nodes_ = 0;
+  std::vector<int> level_offset_;
+};
+
+}  // namespace
+
+std::vector<int> Topology::route(int src, int dst) const {
+  LOGP_CHECK(src >= 0 && src < num_endpoints());
+  LOGP_CHECK(dst >= 0 && dst < num_endpoints());
+  std::vector<int> path{endpoint_node(src)};
+  const int goal = endpoint_node(dst);
+  int guard = 4 * num_nodes() + 64;
+  while (path.back() != goal) {
+    LOGP_CHECK_MSG(--guard > 0, "routing loop in " << name());
+    path.push_back(next_hop(path.back(), dst));
+  }
+  return path;
+}
+
+int Topology::route_length(int src, int dst) const {
+  return static_cast<int>(route(src, dst).size()) - 1;
+}
+
+double Topology::average_distance() const {
+  const int P = num_endpoints();
+  std::int64_t total = 0;
+  std::int64_t pairs = 0;
+  for (int s = 0; s < P; ++s)
+    for (int d = 0; d < P; ++d) {
+      if (s == d) continue;
+      total += route_length(s, d);
+      ++pairs;
+    }
+  return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
+}
+
+std::unique_ptr<Topology> make_hypercube(int P) {
+  return std::make_unique<Hypercube>(P);
+}
+std::unique_ptr<Topology> make_mesh2d(int X, int Y, bool torus) {
+  return std::make_unique<Mesh2D>(X, Y, torus);
+}
+std::unique_ptr<Topology> make_mesh3d(int X, int Y, int Z, bool torus) {
+  return std::make_unique<Mesh3D>(X, Y, Z, torus);
+}
+std::unique_ptr<Topology> make_butterfly(int P) {
+  return std::make_unique<Butterfly>(P);
+}
+std::unique_ptr<Topology> make_fat_tree4(int P, int taper) {
+  return std::make_unique<FatTree4>(P, taper);
+}
+
+double formula_avg_distance(const std::string& topology, int P) {
+  const double p = static_cast<double>(P);
+  if (topology == "Hypercube") return std::log2(p) / 2.0;
+  if (topology == "Butterfly") return std::log2(p);
+  if (topology == "Fattree") return 2.0 * std::log(p) / std::log(4.0) - 2.0 / 3.0;
+  if (topology == "3d Torus") return 0.75 * std::cbrt(p);
+  if (topology == "3d Mesh") return std::cbrt(p);
+  if (topology == "Torus" || topology == "2d Torus") return 0.5 * std::sqrt(p);
+  if (topology == "2d Mesh") return 2.0 / 3.0 * std::sqrt(p);
+  throw util::check_error("unknown topology formula: " + topology);
+}
+
+}  // namespace logp::net

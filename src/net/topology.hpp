@@ -1,0 +1,64 @@
+// Interconnection topologies (paper Section 5.1).
+//
+// Each topology knows its deterministic routing function; routes are walked
+// hop by hop, so average distance is computed over the *actual* routes, not
+// just shortest paths. Endpoints are processors; indirect networks
+// (butterfly, fat tree) also contain switch nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::net {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+  /// All nodes, including switches in indirect networks.
+  virtual int num_nodes() const = 0;
+  /// Processor endpoints (always numbered 0..num_endpoints()-1).
+  virtual int num_endpoints() const = 0;
+  /// Graph node hosting endpoint e.
+  virtual int endpoint_node(int e) const = 0;
+  /// Next node on the deterministic route from `cur` to endpoint `dst`'s
+  /// node. Precondition: cur != endpoint_node(dst).
+  virtual int next_hop(int cur, int dst) const = 0;
+  /// Parallel channels on the link cur -> next (fat links > 1).
+  virtual int link_multiplicity(int cur, int next) const {
+    (void)cur;
+    (void)next;
+    return 1;
+  }
+
+  /// Node sequence of the route between endpoints (inclusive of both ends).
+  std::vector<int> route(int src, int dst) const;
+  /// Links traversed between endpoints.
+  int route_length(int src, int dst) const;
+  /// Mean route length over all ordered pairs of distinct endpoints.
+  double average_distance() const;
+};
+
+/// P a power of two. Routing: e-cube (fix lowest differing bit first).
+std::unique_ptr<Topology> make_hypercube(int P);
+/// X*Y nodes, dimension-order routing; torus wraps the short way.
+std::unique_ptr<Topology> make_mesh2d(int X, int Y, bool torus);
+/// X*Y*Z nodes, dimension-order routing.
+std::unique_ptr<Topology> make_mesh3d(int X, int Y, int Z, bool torus);
+/// Wrapped butterfly: P = 2^k processor rows, k switch columns; every route
+/// traverses exactly k links.
+std::unique_ptr<Topology> make_butterfly(int P);
+/// 4-ary fat tree with P = 4^h leaves. `taper` models an incomplete fat
+/// tree: the multiplicity of the up-link above a level-j switch is
+/// max(1, 4^j / taper^j); taper=1 is a full fat tree, the CM-5 data network
+/// is roughly taper=2.
+std::unique_ptr<Topology> make_fat_tree4(int P, int taper = 1);
+
+/// The asymptotic average-distance formulas of the Section 5.1 table.
+double formula_avg_distance(const std::string& topology, int P);
+
+}  // namespace logp::net

@@ -1,0 +1,68 @@
+#include "runtime/bulk.hpp"
+
+#include "util/check.hpp"
+
+namespace logp::runtime {
+
+Task send_bulk(Ctx ctx, ProcId dst, std::int32_t tag,
+               std::vector<std::uint64_t> words, std::uint32_t words_per_msg) {
+  LOGP_CHECK(words_per_msg >= 1 && words_per_msg <= sim::kMaxMessageWords - 1);
+  const auto total = static_cast<std::uint64_t>(words.size());
+  const std::uint64_t frags = (total + words_per_msg - 1) / words_per_msg;
+
+  Message header;
+  header.dst = dst;
+  header.tag = tag;
+  header.seq = kBulkHeaderSeq;
+  header.push_word(total);
+  header.push_word(frags);
+  header.push_word(words_per_msg);
+  co_await ctx.send(header);
+
+  for (std::uint64_t f = 0; f < frags; ++f) {
+    Message m;
+    m.dst = dst;
+    m.tag = tag;
+    m.seq = static_cast<std::uint32_t>(f);
+    m.push_word(f);  // word 0: fragment index (redundant with seq, checked)
+    const std::uint64_t base = f * words_per_msg;
+    for (std::uint32_t i = 0; i < words_per_msg && base + i < total; ++i)
+      m.push_word(words[base + i]);
+    co_await ctx.send(m);
+  }
+}
+
+Task recv_bulk(Ctx ctx, std::int32_t tag, ProcId src,
+               std::vector<std::uint64_t>* out) {
+  // Fragments may overtake the header when latency is randomized; stash any
+  // early ones until the header tells us the counts.
+  std::vector<Message> early;
+  Message header;
+  for (;;) {
+    const Message m = co_await ctx.recv(tag, src);
+    if (m.seq == kBulkHeaderSeq) {
+      header = m;
+      break;
+    }
+    early.push_back(m);
+  }
+  const std::uint64_t total = header.word(0);
+  const std::uint64_t frags = header.word(1);
+  const auto wpm = static_cast<std::uint32_t>(header.word(2));
+
+  out->assign(total, 0);
+  auto place = [&](const Message& m) {
+    const std::uint64_t f = m.word(0);
+    LOGP_CHECK(f == m.seq && f < frags);
+    const std::uint64_t base = f * wpm;
+    for (std::uint32_t i = 1; i < m.nwords; ++i) {
+      LOGP_CHECK(base + i - 1 < total);
+      (*out)[base + i - 1] = m.word(i);
+    }
+  };
+  for (const auto& m : early) place(m);
+  for (std::uint64_t f = early.size(); f < frags; ++f)
+    place(co_await ctx.recv(tag, src));
+}
+
+}  // namespace logp::runtime

@@ -1,0 +1,32 @@
+// Long-message support: fragmentation and reassembly over small messages.
+//
+// The LogP model treats a long transfer as a train of small messages paced
+// by the gap (paper Sections 3, 5.4). send_bulk ships a word array as a
+// header message (carrying the word count) followed by data fragments;
+// recv_bulk reassembles, tolerating arbitrary reordering (the model does not
+// guarantee in-order delivery). Matching is per (tag, source) — interleaved
+// transfers from different sources with the same tag are safe; two
+// concurrent transfers from the same source with the same tag are not.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace logp::runtime {
+
+inline constexpr std::int32_t kBulkHeaderSeq = 0xFFFFFFF;
+
+/// Sends `words` to dst. Each fragment carries up to words_per_msg (<= 3;
+/// word 0 of each fragment is the fragment index so reordering is safe).
+Task send_bulk(Ctx ctx, ProcId dst, std::int32_t tag,
+               std::vector<std::uint64_t> words, std::uint32_t words_per_msg = 3);
+
+/// Receives one bulk transfer with `tag` from `src` (kAnySrc allowed only
+/// when a single sender can be using the tag).
+Task recv_bulk(Ctx ctx, std::int32_t tag, ProcId src,
+               std::vector<std::uint64_t>* out);
+
+}  // namespace logp::runtime

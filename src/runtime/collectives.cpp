@@ -1,0 +1,364 @@
+#include "runtime/collectives.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logp::runtime::coll {
+
+Task barrier(Ctx ctx, BarrierState& st) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  auto& gen = st.generation[static_cast<std::size_t>(p)];
+  const int parity = gen & 1;
+  ++gen;
+  if (P == 1) co_return;
+  // Dissemination: round r pairs p with p +/- 2^r (mod P). Tags encode
+  // (parity, round); sources disambiguate concurrent rounds. Adjacent
+  // generations never share a parity, and processors can be at most one
+  // barrier apart, so cross-generation confusion is impossible.
+  int round = 0;
+  for (int d = 1; d < P; d *= 2, ++round) {
+    const std::int32_t tag = kBarrierTag + parity * 64 + round;
+    const ProcId to = static_cast<ProcId>((p + d) % P);
+    const ProcId from = static_cast<ProcId>((p - d % P + P) % P);
+    co_await ctx.send(to, tag);
+    (void)co_await ctx.recv(tag, from);
+  }
+}
+
+Task broadcast_optimal(Ctx ctx, const BroadcastTree& tree,
+                       std::uint64_t* value, std::int32_t tag) {
+  const ProcId p = ctx.proc();
+  LOGP_CHECK(tree.nodes.size() == static_cast<std::size_t>(ctx.nprocs()));
+  const auto& node = tree.nodes[static_cast<std::size_t>(p)];
+  if (node.parent >= 0) {
+    const Message m = co_await ctx.recv(tag, node.parent);
+    *value = m.word(0);
+  }
+  for (const ProcId child : node.children)
+    co_await ctx.send(child, tag, *value);
+}
+
+Task broadcast_binomial(Ctx ctx, std::uint64_t* value, std::int32_t tag) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  // Classic hypercube binomial tree generalized to any P: in round r the
+  // holders are exactly the processors below 2^r; holder q sends to q + 2^r.
+  int lg = 0;
+  while ((1 << lg) < P) ++lg;
+  bool holder = (p == 0);
+  for (int r = 0; r < lg; ++r) {
+    const ProcId d = static_cast<ProcId>(1 << r);
+    if (holder && p + d < P) {
+      co_await ctx.send(p + d, tag, *value);
+    } else if (!holder && p < 2 * d) {
+      const Message m = co_await ctx.recv(tag, p - d);
+      *value = m.word(0);
+      holder = true;
+    }
+  }
+}
+
+Task broadcast_linear(Ctx ctx, std::uint64_t* value, std::int32_t tag) {
+  const int P = ctx.nprocs();
+  if (ctx.proc() == 0) {
+    for (ProcId q = 1; q < P; ++q) co_await ctx.send(q, tag, *value);
+  } else {
+    const Message m = co_await ctx.recv(tag, 0);
+    *value = m.word(0);
+  }
+}
+
+Task reduce_optimal(Ctx ctx, const SumSchedule& sched,
+                    std::function<std::uint64_t(ProcId, std::int64_t)> input,
+                    std::uint64_t* result, std::int32_t tag) {
+  const ProcId p = ctx.proc();
+  if (static_cast<std::size_t>(p) >= sched.nodes.size()) co_return;
+  const auto& node = sched.nodes[static_cast<std::size_t>(p)];
+  const auto& prm = ctx.params();
+  const Cycles gr = std::max(prm.g, prm.o + 1);
+  const int k = static_cast<int>(node.children.size());
+
+  std::int64_t next_input = 0;
+  std::uint64_t sum = input(p, next_input++);
+  auto add_locals = [&](std::int64_t adds) {
+    for (std::int64_t i = 0; i < adds; ++i) sum += input(p, next_input++);
+  };
+
+  if (k == 0) {
+    const std::int64_t adds = node.local_inputs - 1;
+    add_locals(adds);
+    co_await ctx.compute(adds);
+  } else {
+    // Leading chain of local additions up to the first reception, which is
+    // from the smallest-budget child (last in the children vector).
+    const Cycles first_recv = node.recv_start.back();
+    add_locals(first_recv);
+    co_await ctx.compute(first_recv);
+    for (int j = k - 1; j >= 0; --j) {  // receptions in time order
+      const ProcId child = node.children[static_cast<std::size_t>(j)];
+      const Message m = co_await ctx.recv(tag, child);
+      sum += m.word(0);
+      co_await ctx.compute(1);  // fold in the received partial sum
+      if (j > 0) {              // filler additions until the next reception
+        add_locals(gr - prm.o - 1);
+        co_await ctx.compute(gr - prm.o - 1);
+      }
+    }
+  }
+  LOGP_CHECK_MSG(next_input == node.local_inputs,
+                 "schedule consumed " << next_input << " inputs, expected "
+                                      << node.local_inputs);
+  if (node.parent >= 0) {
+    co_await ctx.send(node.parent, tag, sum);
+  } else {
+    *result = sum;
+  }
+}
+
+Task reduce_binomial(Ctx ctx, std::uint64_t value, std::uint64_t* result,
+                     std::int32_t tag) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  int lg = 0;
+  while ((1 << lg) < P) ++lg;
+  std::uint64_t acc = value;
+  for (int r = 0; r < lg; ++r) {
+    const ProcId d = static_cast<ProcId>(1 << r);
+    if ((p & d) != 0) {
+      co_await ctx.send(p - d, tag, acc);
+      co_return;  // this processor's partial has been handed up
+    }
+    if (p + d < P) {
+      const Message m = co_await ctx.recv(tag, p + d);
+      acc += m.word(0);
+      co_await ctx.compute(1);
+    }
+  }
+  if (p == 0) *result = acc;
+}
+
+Task scan_inclusive(Ctx ctx, std::uint64_t value, std::uint64_t* result,
+                    std::int32_t tag_base) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  std::uint64_t acc = value;
+  int round = 0;
+  for (int d = 1; d < P; d *= 2, ++round) {
+    const std::int32_t tag = tag_base + round;
+    if (p + d < P) co_await ctx.send(p + d, tag, acc);
+    if (p - d >= 0) {
+      const Message m = co_await ctx.recv(tag, p - d);
+      acc += m.word(0);
+      co_await ctx.compute(1);
+    }
+  }
+  *result = acc;
+}
+
+Task gather(Ctx ctx, std::uint64_t value, std::vector<std::uint64_t>* out,
+            std::int32_t tag) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  if (p != 0) {
+    co_await ctx.send(0, tag, value, static_cast<std::uint64_t>(p));
+    co_return;
+  }
+  out->assign(static_cast<std::size_t>(P), 0);
+  (*out)[0] = value;
+  for (int i = 1; i < P; ++i) {
+    const Message m = co_await ctx.recv(tag);
+    (*out)[m.word(1)] = m.word(0);
+  }
+}
+
+Task scatter(Ctx ctx, const std::vector<std::uint64_t>& values,
+             std::uint64_t* out, std::int32_t tag) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  if (p == 0) {
+    LOGP_CHECK(values.size() == static_cast<std::size_t>(P));
+    *out = values[0];
+    for (ProcId q = 1; q < P; ++q)
+      co_await ctx.send(q, tag, values[static_cast<std::size_t>(q)]);
+  } else {
+    *out = (co_await ctx.recv(tag, 0)).word(0);
+  }
+}
+
+Task allgather_ring(Ctx ctx, std::uint64_t value,
+                    std::vector<std::uint64_t>* out, std::int32_t tag) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  out->assign(static_cast<std::size_t>(P), 0);
+  (*out)[static_cast<std::size_t>(p)] = value;
+  const ProcId next = static_cast<ProcId>((p + 1) % P);
+  const ProcId prev = static_cast<ProcId>((p - 1 + P) % P);
+  // Round r: forward the word that originated r hops upstream.
+  std::uint64_t carry = value;
+  for (int r = 0; r < P - 1; ++r) {
+    co_await ctx.send(next, tag + r, carry);
+    const Message m = co_await ctx.recv(tag + r, prev);
+    carry = m.word(0);
+    const auto origin = static_cast<std::size_t>((p - 1 - r + 2 * P) % P);
+    (*out)[origin] = carry;
+  }
+}
+
+Task allreduce_sum(Ctx ctx, const BroadcastTree& tree, std::uint64_t value,
+                   std::uint64_t* out, std::int32_t tag) {
+  std::uint64_t total = 0;
+  co_await reduce_binomial(ctx, value, &total, tag);
+  co_await broadcast_optimal(ctx, tree, &total, tag + 1);
+  *out = total;
+}
+
+const char* a2a_schedule_name(A2ASchedule s) {
+  switch (s) {
+    case A2ASchedule::kNaive: return "naive";
+    case A2ASchedule::kStaggered: return "staggered";
+    case A2ASchedule::kSynchronized: return "synchronized";
+  }
+  return "?";
+}
+
+Task all_to_all(Ctx ctx, const A2AOptions& opts) {
+  const int P = ctx.nprocs();
+  const ProcId p = ctx.proc();
+  LOGP_CHECK(opts.msgs_per_peer >= 0);
+  LOGP_CHECK(opts.words_per_msg <= sim::kMaxMessageWords);
+  if (opts.schedule == A2ASchedule::kSynchronized)
+    LOGP_CHECK_MSG(opts.barrier_state != nullptr,
+                   "synchronized schedule needs a BarrierState");
+
+  // Sends: arrivals are accepted automatically between awaits (and even
+  // during capacity stalls), so a single task suffices.
+  for (int step = 1; step < P; ++step) {
+    // Naive: everyone targets 0,1,2,...; staggered: start past yourself.
+    const ProcId dst = opts.schedule == A2ASchedule::kNaive
+                           ? static_cast<ProcId>(step - 1 + (step > p ? 1 : 0))
+                           : static_cast<ProcId>((p + step) % P);
+    for (std::int64_t i = 0; i < opts.msgs_per_peer; ++i) {
+      Message m;
+      m.dst = dst;
+      m.tag = opts.tag;
+      m.nwords = opts.words_per_msg;
+      co_await ctx.send(m);
+    }
+    if (opts.schedule == A2ASchedule::kSynchronized)
+      co_await barrier(ctx, *opts.barrier_state);
+  }
+  // Drain: everything not yet claimed is already in the mailbox.
+  const std::int64_t expect = static_cast<std::int64_t>(P - 1) * opts.msgs_per_peer;
+  for (std::int64_t i = 0; i < expect; ++i)
+    (void)co_await ctx.recv(opts.tag);
+}
+
+Task ring_broadcast(Ctx ctx, const std::vector<ProcId>& group,
+                    std::int64_t nwords, std::uint32_t words_per_msg,
+                    std::int32_t tag) {
+  const auto sz = static_cast<std::int64_t>(group.size());
+  if (sz <= 1 || nwords <= 0) co_return;
+  std::int64_t pos = -1;
+  for (std::int64_t i = 0; i < sz; ++i)
+    if (group[static_cast<std::size_t>(i)] == ctx.proc()) pos = i;
+  LOGP_CHECK_MSG(pos >= 0, "caller is not a member of the broadcast group");
+  // Header + data chunks, exactly like ring_broadcast_data, so the counted
+  // and data-carrying variants have identical timing.
+  const std::int64_t chunks =
+      1 + (nwords + words_per_msg - 1) / words_per_msg;
+
+  if (pos == 0) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      Message m;
+      m.dst = group[1];
+      m.tag = tag;
+      m.seq = static_cast<std::uint32_t>(c);
+      m.nwords = words_per_msg;
+      co_await ctx.send(m);
+    }
+  } else {
+    const ProcId prev = group[static_cast<std::size_t>(pos - 1)];
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      Message m = co_await ctx.recv(tag, prev);
+      if (pos + 1 < sz) {
+        m.dst = group[static_cast<std::size_t>(pos + 1)];
+        co_await ctx.send(m);
+      }
+    }
+  }
+}
+
+Task ring_broadcast_data(Ctx ctx, const std::vector<ProcId>& group,
+                         std::vector<std::uint64_t>* data,
+                         std::uint32_t words_per_msg, std::int32_t tag) {
+  LOGP_CHECK(words_per_msg >= 1 && words_per_msg <= sim::kMaxMessageWords - 1);
+  const auto sz = static_cast<std::int64_t>(group.size());
+  if (sz <= 1) co_return;
+  std::int64_t pos = -1;
+  for (std::int64_t i = 0; i < sz; ++i)
+    if (group[static_cast<std::size_t>(i)] == ctx.proc()) pos = i;
+  LOGP_CHECK_MSG(pos >= 0, "caller is not a member of the broadcast group");
+
+  constexpr std::uint32_t kHeaderSeq = 0xFFFFFFFu;
+  if (pos == 0) {
+    const auto total = static_cast<std::int64_t>(data->size());
+    const std::int64_t chunks = (total + words_per_msg - 1) / words_per_msg;
+    Message header;
+    header.dst = group[1];
+    header.tag = tag;
+    header.seq = kHeaderSeq;
+    header.push_word(static_cast<std::uint64_t>(total));
+    co_await ctx.send(header);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      Message m;
+      m.dst = group[1];
+      m.tag = tag;
+      m.seq = static_cast<std::uint32_t>(c);
+      m.push_word(static_cast<std::uint64_t>(c));
+      const std::int64_t base = c * words_per_msg;
+      for (std::uint32_t i = 0; i < words_per_msg && base + i < total; ++i)
+        m.push_word((*data)[static_cast<std::size_t>(base + i)]);
+      co_await ctx.send(m);
+    }
+  } else {
+    const ProcId prev = group[static_cast<std::size_t>(pos - 1)];
+    const bool forward = pos + 1 < sz;
+    const ProcId next = forward ? group[static_cast<std::size_t>(pos + 1)] : -1;
+    auto relay = [&](Message m) -> Task {
+      m.dst = next;
+      co_await ctx.send(m);
+    };
+    // Chunks may overtake the header when latency is randomized.
+    std::vector<Message> early;
+    Message header;
+    for (;;) {
+      Message m = co_await ctx.recv(tag, prev);
+      if (forward) co_await relay(m);
+      if (m.seq == kHeaderSeq) {
+        header = m;
+        break;
+      }
+      early.push_back(m);
+    }
+    const auto total = static_cast<std::int64_t>(header.word(0));
+    data->assign(static_cast<std::size_t>(total), 0);
+    const std::int64_t chunks = (total + words_per_msg - 1) / words_per_msg;
+    auto place = [&](const Message& m) {
+      const auto idx = static_cast<std::int64_t>(m.word(0));
+      const std::int64_t base = idx * words_per_msg;
+      for (std::uint32_t i = 1; i < m.nwords; ++i)
+        (*data)[static_cast<std::size_t>(base + i - 1)] = m.word(i);
+    };
+    for (const auto& m : early) place(m);
+    for (std::int64_t c = static_cast<std::int64_t>(early.size()); c < chunks;
+         ++c) {
+      Message m = co_await ctx.recv(tag, prev);
+      if (forward) co_await relay(m);
+      place(m);
+    }
+  }
+}
+
+}  // namespace logp::runtime::coll

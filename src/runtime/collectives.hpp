@@ -1,0 +1,133 @@
+// Message-based collective operations for LogP programs.
+//
+// The model has no synchronization hardware: "all synchronization is done by
+// messages" (paper Section 6.3). Every collective here is an ordinary Task
+// built from send/recv, so its cost is fully accounted by the machine.
+//
+// All collectives are SPMD: every processor's program must call the same
+// collective with compatible arguments, exactly like an MPI communicator-
+// wide operation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "core/summation.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace logp::runtime::coll {
+
+// Reserved tag blocks (all below kReservedTagBase).
+inline constexpr std::int32_t kBarrierTag = kReservedTagBase;      // 128 tags
+inline constexpr std::int32_t kBcastTag = kReservedTagBase + 128;
+inline constexpr std::int32_t kReduceTag = kReservedTagBase + 129;
+inline constexpr std::int32_t kGatherTag = kReservedTagBase + 130;
+inline constexpr std::int32_t kScanTag = kReservedTagBase + 131;   // 64 tags
+inline constexpr std::int32_t kA2ATag = kReservedTagBase + 256;
+inline constexpr std::int32_t kAllreduceTag = kReservedTagBase + 257;  // +2
+inline constexpr std::int32_t kScatterTag = kReservedTagBase + 260;
+inline constexpr std::int32_t kAllgatherTag = kReservedTagBase + 4096;  // +P
+
+/// Shared state for a barrier "communicator": per-processor generation
+/// counters so that back-to-back barriers cannot confuse each other's
+/// messages (adjacent generations use disjoint tag parities; processors can
+/// be at most one barrier apart).
+struct BarrierState {
+  explicit BarrierState(int P) : generation(static_cast<std::size_t>(P), 0) {}
+  std::vector<int> generation;
+};
+
+/// Dissemination barrier: ceil(log2 P) rounds of send + recv.
+Task barrier(Ctx ctx, BarrierState& st);
+
+/// Broadcast of one word along the LogP-optimal tree of Figure 3.
+/// Tree node i runs on processor i; the root is processor 0. On return
+/// every processor's *value holds the datum.
+Task broadcast_optimal(Ctx ctx, const BroadcastTree& tree,
+                       std::uint64_t* value, std::int32_t tag = kBcastTag);
+
+/// Broadcast along a binomial tree rooted at 0 (the latency-only shape).
+Task broadcast_binomial(Ctx ctx, std::uint64_t* value,
+                        std::int32_t tag = kBcastTag);
+
+/// Baseline: processor 0 sends to everyone itself.
+Task broadcast_linear(Ctx ctx, std::uint64_t* value,
+                      std::int32_t tag = kBcastTag);
+
+/// Summation along the optimal schedule of Figure 4. Processor p executes
+/// schedule node p (processors >= sched.procs_used() idle). `input`
+/// produces this processor's i-th local input value; on return *result
+/// holds the total at the root (untouched elsewhere).
+Task reduce_optimal(Ctx ctx, const SumSchedule& sched,
+                    std::function<std::uint64_t(ProcId, std::int64_t)> input,
+                    std::uint64_t* result, std::int32_t tag = kReduceTag);
+
+/// Binomial-tree sum of one value per processor; result lands on proc 0.
+Task reduce_binomial(Ctx ctx, std::uint64_t value, std::uint64_t* result,
+                     std::int32_t tag = kReduceTag);
+
+/// Inclusive prefix sum (Hillis–Steele, log P rounds of shifted messages).
+Task scan_inclusive(Ctx ctx, std::uint64_t value, std::uint64_t* result,
+                    std::int32_t tag_base = kScanTag);
+
+/// Every processor contributes one word; proc 0 ends with all P of them.
+Task gather(Ctx ctx, std::uint64_t value, std::vector<std::uint64_t>* out,
+            std::int32_t tag = kGatherTag);
+
+/// Proc 0 holds P words; on return *out on processor p is word p.
+Task scatter(Ctx ctx, const std::vector<std::uint64_t>& values,
+             std::uint64_t* out, std::int32_t tag = kScatterTag);
+
+/// Ring allgather: every processor contributes one word and ends with all
+/// P of them (P-1 rounds of neighbour forwarding; bandwidth-optimal).
+Task allgather_ring(Ctx ctx, std::uint64_t value,
+                    std::vector<std::uint64_t>* out,
+                    std::int32_t tag = kAllgatherTag);
+
+/// Sum across all processors; every processor ends with the total.
+/// Binomial reduce to 0 followed by the optimal broadcast tree.
+Task allreduce_sum(Ctx ctx, const BroadcastTree& tree, std::uint64_t value,
+                   std::uint64_t* out, std::int32_t tag = kAllreduceTag);
+
+/// Communication schedules for the all-to-all personalized exchange of the
+/// FFT remap (paper Section 4.1.2).
+enum class A2ASchedule {
+  kNaive,        ///< everyone walks destinations 0,1,2,... — head-of-line
+                 ///  contention at each destination in turn
+  kStaggered,    ///< processor i starts at destination i+1 and wraps —
+                 ///  contention-free when processors stay in step
+  kSynchronized  ///< staggered plus a barrier after each destination block
+};
+
+const char* a2a_schedule_name(A2ASchedule s);
+
+struct A2AOptions {
+  A2ASchedule schedule = A2ASchedule::kStaggered;
+  std::int64_t msgs_per_peer = 1;  ///< small messages sent to each peer
+  std::uint32_t words_per_msg = 2; ///< payload words in each message
+  BarrierState* barrier_state = nullptr;  ///< required for kSynchronized
+  std::int32_t tag = kA2ATag;
+};
+
+/// Performs the exchange (payload words are counted but not meaningful) and
+/// consumes all (P-1)*msgs_per_peer incoming messages.
+Task all_to_all(Ctx ctx, const A2AOptions& opts);
+
+/// Ring-pipelined broadcast of `nwords` counted words from group[0] through
+/// the ordered group: each chunk is forwarded as soon as received, so the
+/// group streams at the per-chunk rate max(g, 2o) instead of store-and-
+/// forwarding whole payloads. Every member must call with the same
+/// arguments. Payload contents are not carried.
+Task ring_broadcast(Ctx ctx, const std::vector<ProcId>& group,
+                    std::int64_t nwords, std::uint32_t words_per_msg,
+                    std::int32_t tag);
+
+/// Data-carrying variant: group[0] provides *data; on return every member's
+/// *data holds the payload. words_per_msg <= 3 (word 0 carries the chunk
+/// index so reordering is safe).
+Task ring_broadcast_data(Ctx ctx, const std::vector<ProcId>& group,
+                         std::vector<std::uint64_t>* data,
+                         std::uint32_t words_per_msg, std::int32_t tag);
+
+}  // namespace logp::runtime::coll

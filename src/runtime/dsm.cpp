@@ -1,0 +1,114 @@
+#include "runtime/dsm.hpp"
+
+#include "util/check.hpp"
+
+namespace logp::runtime::dsm {
+
+GlobalArray::GlobalArray(Scheduler& sched, std::int64_t size)
+    : sched_(sched), size_(size) {
+  const int P = sched.machine().params().P;
+  LOGP_CHECK(size >= 1);
+  block_ = (size + P - 1) / P;
+  shards_.resize(static_cast<std::size_t>(P));
+  for (ProcId p = 0; p < P; ++p) {
+    const std::int64_t lo = p * block_;
+    const std::int64_t hi = std::min<std::int64_t>(size, lo + block_);
+    shards_[static_cast<std::size_t>(p)].assign(
+        static_cast<std::size_t>(std::max<std::int64_t>(0, hi - lo)), 0);
+  }
+  next_ticket_.assign(static_cast<std::size_t>(P), 0);
+  pending_.resize(static_cast<std::size_t>(P));
+
+  // Owner-side active messages. Handlers run at reception; the reply costs
+  // a normal send, issued from a spawned task.
+  sched_.set_handler(kDsmReadTag, [this](Ctx ctx, const Message& m) {
+    const auto index = static_cast<std::int64_t>(m.word(0));
+    const auto ticket = static_cast<std::int32_t>(m.word(1));
+    const std::uint64_t value = backdoor(index);
+    ctx.spawn([](Ctx c, ProcId to, std::int32_t ticket, std::int64_t index,
+                 std::uint64_t value) -> Task {
+      co_await c.send(to, kDsmReplyBase + ticket,
+                      static_cast<std::uint64_t>(index), value);
+    }(ctx, m.src, ticket, index, value));
+  });
+  sched_.set_handler(kDsmWriteTag, [this](Ctx ctx, const Message& m) {
+    const auto index = static_cast<std::int64_t>(m.word(0));
+    backdoor(index) = m.word(1);
+    if (m.nwords >= 3) {  // acknowledged write
+      const auto ticket = static_cast<std::int32_t>(m.word(2));
+      ctx.spawn([](Ctx c, ProcId to, std::int32_t ticket,
+                   std::int64_t index) -> Task {
+        co_await c.send(to, kDsmReplyBase + ticket,
+                        static_cast<std::uint64_t>(index));
+      }(ctx, m.src, ticket, index));
+    }
+  });
+}
+
+std::uint64_t& GlobalArray::backdoor(std::int64_t index) {
+  LOGP_CHECK(index >= 0 && index < size_);
+  return shards_[static_cast<std::size_t>(index / block_)]
+                [static_cast<std::size_t>(index % block_)];
+}
+
+Task GlobalArray::read(Ctx ctx, std::int64_t index, std::uint64_t* out) {
+  co_await prefetch(ctx, index);
+  co_await wait_prefetch(ctx, index, out);
+}
+
+Task GlobalArray::prefetch(Ctx ctx, std::int64_t index) {
+  const ProcId me = ctx.proc();
+  const ProcId owner = owner_of(index);
+  const auto ticket = take_ticket(me);
+  pending_[static_cast<std::size_t>(me)][index].push_back(ticket);
+  if (owner == me) co_return;  // local: satisfied at wait time, free
+  co_await ctx.send(owner, kDsmReadTag, static_cast<std::uint64_t>(index),
+                    static_cast<std::uint64_t>(ticket));
+}
+
+Task GlobalArray::wait_prefetch(Ctx ctx, std::int64_t index,
+                                std::uint64_t* out) {
+  const ProcId me = ctx.proc();
+  auto& fifo = pending_[static_cast<std::size_t>(me)][index];
+  LOGP_CHECK_MSG(!fifo.empty(), "wait without a matching prefetch");
+  const auto ticket = fifo.front();
+  fifo.erase(fifo.begin());
+  if (owner_of(index) == me) {
+    *out = backdoor(index);
+    co_return;
+  }
+  const Message m = co_await ctx.recv(kDsmReplyBase + ticket);
+  LOGP_CHECK(static_cast<std::int64_t>(m.word(0)) == index);
+  *out = m.word(1);
+}
+
+Task GlobalArray::write(Ctx ctx, std::int64_t index, std::uint64_t value) {
+  const ProcId me = ctx.proc();
+  const ProcId owner = owner_of(index);
+  if (owner == me) {
+    backdoor(index) = value;
+    co_return;
+  }
+  const auto ticket = take_ticket(me);
+  Message m;
+  m.dst = owner;
+  m.tag = kDsmWriteTag;
+  m.push_word(static_cast<std::uint64_t>(index));
+  m.push_word(value);
+  m.push_word(static_cast<std::uint64_t>(ticket));
+  co_await ctx.send(m);
+  (void)co_await ctx.recv(kDsmReplyBase + ticket);
+}
+
+Task GlobalArray::write_async(Ctx ctx, std::int64_t index,
+                              std::uint64_t value) {
+  const ProcId owner = owner_of(index);
+  if (owner == ctx.proc()) {
+    backdoor(index) = value;
+    co_return;
+  }
+  co_await ctx.send(owner, kDsmWriteTag, static_cast<std::uint64_t>(index),
+                    value);
+}
+
+}  // namespace logp::runtime::dsm

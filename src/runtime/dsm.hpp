@@ -1,0 +1,78 @@
+// Shared-memory emulation over LogP messages (paper Section 3.2):
+// "Shared memory models are implemented on distributed memory machines
+//  through an implicit exchange of messages. Under LogP, reading a remote
+//  location requires time 2L + 4o. Prefetch operations, which initiate a
+//  read and continue, can be issued every g cycles and cost 2o units of
+//  processing time."
+//
+// GlobalArray is a block-distributed array of 64-bit words. Owners serve
+// requests with active-message handlers; readers either block (read) or
+// pipeline (prefetch + wait). The model is programming-style agnostic —
+// this is the same machine the message-passing algorithms run on.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace logp::runtime::dsm {
+
+inline constexpr std::int32_t kDsmReadTag = kReservedTagBase + 8192;
+inline constexpr std::int32_t kDsmWriteTag = kReservedTagBase + 8193;
+/// Replies/acks use kDsmReplyBase + ticket, so concurrent outstanding
+/// operations from one processor never steal each other's responses.
+inline constexpr std::int32_t kDsmReplyBase = kReservedTagBase + 16384;
+inline constexpr std::int32_t kDsmTicketSpan = 1 << 16;
+
+/// One distributed array. Construct before Scheduler::run() and call
+/// install() once; then any task on any processor may use the accessors.
+class GlobalArray {
+ public:
+  /// `size` words, block-distributed over the scheduler's P processors.
+  GlobalArray(Scheduler& sched, std::int64_t size);
+
+  std::int64_t size() const { return size_; }
+  ProcId owner_of(std::int64_t index) const {
+    return static_cast<ProcId>(index / block_);
+  }
+
+  /// Blocking read: local accesses are free (unit cost is the caller's
+  /// business); remote accesses cost a 2L + 4o round trip.
+  Task read(Ctx ctx, std::int64_t index, std::uint64_t* out);
+  /// Blocking write with acknowledgement (round trip, like read).
+  Task write(Ctx ctx, std::int64_t index, std::uint64_t value);
+  /// Fire-and-forget write (one message; no completion guarantee ordering
+  /// beyond the model's per-pair FIFO under deterministic latency).
+  Task write_async(Ctx ctx, std::int64_t index, std::uint64_t value);
+
+  /// Split-phase read: issue now (costs one send, 2o total processor time
+  /// with the matching wait), collect later with wait_prefetch.
+  Task prefetch(Ctx ctx, std::int64_t index);
+  /// Completes an outstanding prefetch of `index` issued by this processor.
+  Task wait_prefetch(Ctx ctx, std::int64_t index, std::uint64_t* out);
+
+  /// Direct access for initialization/verification outside the simulation.
+  std::uint64_t& backdoor(std::int64_t index);
+
+ private:
+  std::int32_t take_ticket(ProcId p) {
+    auto& t = next_ticket_[static_cast<std::size_t>(p)];
+    const auto ticket = static_cast<std::int32_t>(t);
+    t = (t + 1) % kDsmTicketSpan;
+    return ticket;
+  }
+
+  Scheduler& sched_;
+  std::int64_t size_;
+  std::int64_t block_;
+  std::vector<std::vector<std::uint64_t>> shards_;
+  /// Per-processor ticket for matching replies to requests.
+  std::vector<std::uint32_t> next_ticket_;
+  /// Per-processor FIFO of (ticket) per outstanding-prefetch index.
+  std::vector<std::unordered_map<std::int64_t, std::vector<std::int32_t>>>
+      pending_;
+};
+
+}  // namespace logp::runtime::dsm

@@ -1,0 +1,100 @@
+// Task: a lazily-started coroutine representing code running on one
+// simulated LogP processor.
+//
+// Between co_awaits a task executes in zero simulated time; every cycle a
+// processor spends is accounted for by an awaited operation (compute, send,
+// recv, sleep). Tasks compose: `co_await subtask(ctx, ...)` runs the callee
+// on the same processor and resumes the caller when it finishes (symmetric
+// transfer, no scheduler round-trip). Exceptions propagate to the awaiting
+// caller, or to Scheduler::run() for top-level tasks.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace logp::runtime {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Hand control straight back to the awaiting caller if there is one;
+        // a top-level task simply returns to the scheduler's resume() call,
+        // which detects completion via done().
+        if (h.promise().continuation) return h.promise().continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+
+    std::coroutine_handle<> continuation = nullptr;
+    std::exception_ptr error;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Transfers frame ownership to the caller (used by the scheduler).
+  Handle release() { return std::exchange(handle_, {}); }
+
+  /// Awaiting a Task starts it on the current processor and suspends the
+  /// caller until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle callee;
+      bool await_ready() const noexcept { return !callee || callee.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> caller) noexcept {
+        callee.promise().continuation = caller;
+        return callee;  // symmetric transfer: start the callee now
+      }
+      void await_resume() const {
+        if (callee && callee.promise().error)
+          std::rethrow_exception(callee.promise().error);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace logp::runtime

@@ -1,0 +1,377 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logp::sim {
+
+Machine::Machine(MachineConfig config, Host& host)
+    : cfg_(std::move(config)),
+      host_(host),
+      rng_(cfg_.seed),
+      recorder_(cfg_.record_trace) {
+  cfg_.params.validate();
+  LOGP_CHECK(cfg_.latency_min <= cfg_.params.L);
+  LOGP_CHECK(cfg_.compute_jitter >= 0.0 && cfg_.compute_jitter < 1.0);
+  procs_.resize(static_cast<std::size_t>(cfg_.params.P));
+  for (ProcId p = 0; p < cfg_.params.P; ++p)
+    push_event(0, EvKind::kStartup, p, 0);
+}
+
+void Machine::push_event(Cycles t, EvKind kind, ProcId proc,
+                         std::uint32_t payload) {
+  LOGP_CHECK(t >= now_);
+  events_.push(Event{t, event_seq_++, kind, proc, payload});
+}
+
+Cycles Machine::run() {
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    LOGP_CHECK(ev.t >= now_);
+    now_ = ev.t;
+    if (++events_processed_ > cfg_.max_events)
+      LOGP_CHECK_MSG(false, "event budget exceeded — runaway program?");
+    dispatch(ev);
+  }
+  return now_;
+}
+
+std::uint32_t Machine::alloc_msg(const Message& m) {
+  if (!msg_free_.empty()) {
+    const std::uint32_t idx = msg_free_.back();
+    msg_free_.pop_back();
+    msg_pool_[idx] = m;
+    return idx;
+  }
+  msg_pool_.push_back(m);
+  return static_cast<std::uint32_t>(msg_pool_.size() - 1);
+}
+
+void Machine::free_msg(std::uint32_t idx) { msg_free_.push_back(idx); }
+
+Cycles Machine::sample_latency() {
+  if (cfg_.latency_min < 0 || cfg_.latency_min == cfg_.params.L)
+    return cfg_.params.L;
+  return rng_.uniform_in(cfg_.latency_min, cfg_.params.L);
+}
+
+Cycles Machine::apply_jitter(Cycles dur) {
+  if (cfg_.compute_jitter == 0.0 || dur == 0) return dur;
+  const double u = 2.0 * rng_.uniform01() - 1.0;
+  const double d = static_cast<double>(dur) * (1.0 + u * cfg_.compute_jitter);
+  return std::max<Cycles>(0, static_cast<Cycles>(d + 0.5));
+}
+
+void Machine::start_compute(ProcId p, Cycles dur) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  LOGP_CHECK_MSG(proc.state == CpuState::kIdle, "start_compute: CPU busy");
+  LOGP_CHECK(dur >= 0);
+  dur = apply_jitter(dur);
+  proc.state = CpuState::kCompute;
+  proc.stats.compute += dur;
+  recorder_.record(p, now_, now_ + dur, trace::Activity::kCompute);
+  push_event(now_ + dur, EvKind::kComputeDone, p, 0);
+}
+
+void Machine::start_send(ProcId p, Message m) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  LOGP_CHECK_MSG(proc.state == CpuState::kIdle, "start_send: CPU busy");
+  LOGP_CHECK_MSG(m.dst >= 0 && m.dst < cfg_.params.P, "bad destination");
+  LOGP_CHECK(m.nwords <= kMaxMessageWords);
+  m.src = p;
+  m.bulk_words = 0;
+  proc.current_msg = alloc_msg(m);
+  proc.op_requested = now_;
+  proc.dma_words = 0;
+  proc.dma_gap = 0;
+  if (now_ < proc.send_port_free) {
+    proc.state = CpuState::kSendGapWait;
+    push_event(proc.send_port_free, EvKind::kSendEngage, p, 0);
+  } else {
+    engage_send(p, now_);
+  }
+}
+
+void Machine::start_send_dma(ProcId p, Message m, std::uint64_t words,
+                             Cycles gap_per_word) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  LOGP_CHECK_MSG(proc.state == CpuState::kIdle, "start_send_dma: CPU busy");
+  LOGP_CHECK_MSG(m.dst >= 0 && m.dst < cfg_.params.P, "bad destination");
+  LOGP_CHECK(m.nwords <= kMaxMessageWords);
+  LOGP_CHECK(gap_per_word >= 0);
+  m.src = p;
+  m.bulk_words = words;
+  proc.current_msg = alloc_msg(m);
+  proc.op_requested = now_;
+  proc.dma_words = words;
+  proc.dma_gap = gap_per_word;
+  if (now_ < proc.send_port_free) {
+    proc.state = CpuState::kSendGapWait;
+    push_event(proc.send_port_free, EvKind::kSendEngage, p, 0);
+  } else {
+    engage_send(p, now_);
+  }
+}
+
+void Machine::engage_send(ProcId p, Cycles t) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  const Cycles waited = t - proc.op_requested;
+  if (waited > 0) {
+    proc.stats.gap_wait += waited;
+    recorder_.record(p, proc.op_requested, t, trace::Activity::kGapWait,
+                     msg_pool_[proc.current_msg].dst);
+  }
+  // A DMA stream occupies the port until its last word leaves the NIC;
+  // a small message just re-arms the port after the gap.
+  proc.send_port_free =
+      proc.dma_words > 0
+          ? t + cfg_.params.o +
+                static_cast<Cycles>(proc.dma_words) * proc.dma_gap
+          : t + cfg_.params.g;
+  proc.state = CpuState::kSendOverhead;
+  proc.stats.send_overhead += cfg_.params.o;
+  recorder_.record(p, t, t + cfg_.params.o, trace::Activity::kSendOverhead,
+                   msg_pool_[proc.current_msg].dst);
+  push_event(t + cfg_.params.o, EvKind::kSendOverheadDone, p, 0);
+}
+
+void Machine::try_inject(ProcId p, Cycles t) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  const Message& m = msg_pool_[proc.current_msg];
+  auto& dst = procs_[static_cast<std::size_t>(m.dst)];
+  const int cap = static_cast<int>(cfg_.params.capacity());
+  if (proc.out_inflight >= cap || dst.in_inflight >= cap) {
+    proc.state = CpuState::kSendStalled;
+    proc.pending_injection = true;
+    proc.stall_begin = t;
+    blocked_senders_.push_back(p);
+    maybe_accept_while_stalled(p);
+    return;
+  }
+  inject(p, t);
+}
+
+void Machine::maybe_accept_while_stalled(ProcId p) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  if (!cfg_.drain_while_stalled) return;
+  if (proc.state != CpuState::kSendStalled || proc.arrivals.empty()) return;
+  // Close the current stall segment; the processor spends its wait servicing
+  // an arrival, then retries the injection (see kAcceptDone).
+  if (now_ > proc.stall_begin) {
+    proc.stats.stall += now_ - proc.stall_begin;
+    recorder_.record(p, proc.stall_begin, now_, trace::Activity::kStall,
+                     msg_pool_[proc.current_msg].dst);
+  }
+  proc.op_requested = now_;
+  if (now_ < proc.recv_port_free) {
+    proc.state = CpuState::kAcceptGapWait;
+    push_event(proc.recv_port_free, EvKind::kAcceptStart, p, 0);
+  } else {
+    accept_begin(p, now_);
+  }
+}
+
+void Machine::try_retry_injection(ProcId p) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  LOGP_CHECK(proc.state == CpuState::kSendStalled && proc.pending_injection);
+  const int cap = static_cast<int>(cfg_.params.capacity());
+  const ProcId dst_id = msg_pool_[proc.current_msg].dst;
+  const auto& dst = procs_[static_cast<std::size_t>(dst_id)];
+  if (proc.out_inflight < cap && dst.in_inflight < cap) {
+    inject(p, now_);
+  } else {
+    blocked_senders_.push_back(p);
+    maybe_accept_while_stalled(p);
+  }
+}
+
+void Machine::inject(ProcId p, Cycles t) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  proc.pending_injection = false;
+  const std::uint32_t idx = proc.current_msg;
+  const Message& m = msg_pool_[idx];
+  auto& dst = procs_[static_cast<std::size_t>(m.dst)];
+  ++proc.out_inflight;
+  ++dst.in_inflight;
+  ++proc.stats.msgs_sent;
+  ++total_messages_;
+  // DMA long messages arrive L after the last streamed word.
+  const Cycles stream =
+      proc.dma_words > 0
+          ? static_cast<Cycles>(proc.dma_words) * proc.dma_gap
+          : 0;
+  proc.dma_words = 0;
+  proc.dma_gap = 0;
+  push_event(t + stream + sample_latency(), EvKind::kDeliver, m.dst, idx);
+  proc.state = CpuState::kIdle;
+  host_.on_send_done(p);
+}
+
+void Machine::start_accept(ProcId p) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  LOGP_CHECK_MSG(proc.state == CpuState::kIdle, "start_accept: CPU busy");
+  LOGP_CHECK_MSG(!proc.arrivals.empty(), "start_accept: nothing arrived");
+  proc.op_requested = now_;
+  if (now_ < proc.recv_port_free) {
+    proc.state = CpuState::kAcceptGapWait;
+    push_event(proc.recv_port_free, EvKind::kAcceptStart, p, 0);
+  } else {
+    accept_begin(p, now_);
+  }
+}
+
+void Machine::accept_begin(ProcId p, Cycles t) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+  const Cycles waited = t - proc.op_requested;
+  if (waited > 0) {
+    proc.stats.gap_wait += waited;
+    recorder_.record(p, proc.op_requested, t, trace::Activity::kGapWait);
+  }
+  const std::uint32_t idx = proc.arrivals.front();
+  proc.arrivals.pop_front();
+  const Message& m = msg_pool_[idx];
+  // The message leaves the network the moment the processor engages with it.
+  --procs_[static_cast<std::size_t>(m.src)].out_inflight;
+  --proc.in_inflight;
+  LOGP_CHECK(procs_[static_cast<std::size_t>(m.src)].out_inflight >= 0);
+  LOGP_CHECK(proc.in_inflight >= 0);
+  proc.recv_port_free = t + cfg_.params.g;
+  proc.state = CpuState::kRecvOverhead;
+  // NOTE: current_msg is NOT touched here — it may hold a stalled outgoing
+  // message awaiting injection retry; the incoming message index rides on
+  // the kAcceptDone event instead.
+  proc.stats.recv_overhead += cfg_.params.o;
+  recorder_.record(p, t, t + cfg_.params.o, trace::Activity::kRecvOverhead,
+                   m.src);
+  push_event(t + cfg_.params.o, EvKind::kAcceptDone, p, idx);
+  wake_blocked_senders();
+}
+
+void Machine::wake_blocked_senders() {
+  if (blocked_senders_.empty()) return;
+  const int cap = static_cast<int>(cfg_.params.capacity());
+  // FIFO by stall time; re-check capacity per candidate since each wake
+  // consumes slots. Injecting runs Host callbacks, which can stall new
+  // senders (appending to blocked_senders_) or recurse into this function —
+  // so detach the current list first and re-append survivors.
+  std::vector<ProcId> pending;
+  pending.swap(blocked_senders_);
+  for (const ProcId p : pending) {
+    auto& proc = procs_[static_cast<std::size_t>(p)];
+    if (proc.state != CpuState::kSendStalled) continue;  // woken by recursion
+    const ProcId dst_id = msg_pool_[proc.current_msg].dst;
+    const auto& dst = procs_[static_cast<std::size_t>(dst_id)];
+    if (proc.out_inflight < cap && dst.in_inflight < cap) {
+      const Cycles stalled = now_ - proc.stall_begin;
+      proc.stats.stall += stalled;
+      recorder_.record(p, proc.stall_begin, now_, trace::Activity::kStall,
+                       dst_id);
+      inject(p, now_);
+    } else {
+      blocked_senders_.push_back(p);
+    }
+  }
+}
+
+void Machine::schedule_call(Cycles t, std::function<void()> fn) {
+  LOGP_CHECK(t >= now_);
+  std::uint32_t slot;
+  if (!call_free_.empty()) {
+    slot = call_free_.back();
+    call_free_.pop_back();
+    calls_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(calls_.size());
+    calls_.push_back(std::move(fn));
+  }
+  push_event(t, EvKind::kCall, -1, slot);
+}
+
+ProcStats Machine::total_stats() const {
+  ProcStats total;
+  for (const auto& proc : procs_) {
+    total.compute += proc.stats.compute;
+    total.send_overhead += proc.stats.send_overhead;
+    total.recv_overhead += proc.stats.recv_overhead;
+    total.stall += proc.stats.stall;
+    total.gap_wait += proc.stats.gap_wait;
+    total.msgs_sent += proc.stats.msgs_sent;
+    total.msgs_received += proc.stats.msgs_received;
+    total.max_arrival_backlog =
+        std::max(total.max_arrival_backlog, proc.stats.max_arrival_backlog);
+  }
+  return total;
+}
+
+void Machine::dispatch(const Event& ev) {
+  switch (ev.kind) {
+    case EvKind::kStartup:
+      host_.on_startup(ev.proc);
+      break;
+    case EvKind::kComputeDone: {
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      LOGP_CHECK(proc.state == CpuState::kCompute);
+      proc.state = CpuState::kIdle;
+      host_.on_compute_done(ev.proc);
+      break;
+    }
+    case EvKind::kSendEngage: {
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      LOGP_CHECK(proc.state == CpuState::kSendGapWait);
+      engage_send(ev.proc, ev.t);
+      break;
+    }
+    case EvKind::kSendOverheadDone: {
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      LOGP_CHECK(proc.state == CpuState::kSendOverhead);
+      try_inject(ev.proc, ev.t);
+      break;
+    }
+    case EvKind::kDeliver: {
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      proc.arrivals.push_back(ev.payload);
+      proc.stats.max_arrival_backlog =
+          std::max(proc.stats.max_arrival_backlog,
+                   static_cast<std::int64_t>(proc.arrivals.size()));
+      host_.on_message_arrived(ev.proc);
+      maybe_accept_while_stalled(ev.proc);
+      break;
+    }
+    case EvKind::kAcceptStart: {
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      LOGP_CHECK(proc.state == CpuState::kAcceptGapWait);
+      accept_begin(ev.proc, ev.t);
+      break;
+    }
+    case EvKind::kAcceptDone: {
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      LOGP_CHECK(proc.state == CpuState::kRecvOverhead);
+      ++proc.stats.msgs_received;
+      const Message m = msg_pool_[ev.payload];
+      free_msg(ev.payload);
+      if (proc.pending_injection) {
+        // This reception interrupted a capacity stall; go back to retrying
+        // the outgoing message. The CPU stays non-idle for the Host.
+        proc.state = CpuState::kSendStalled;
+        proc.stall_begin = ev.t;
+        host_.on_accept_done(ev.proc, m);
+        try_retry_injection(ev.proc);
+      } else {
+        proc.state = CpuState::kIdle;
+        host_.on_accept_done(ev.proc, m);
+      }
+      break;
+    }
+    case EvKind::kCall: {
+      auto fn = std::move(calls_[ev.payload]);
+      calls_[ev.payload] = nullptr;
+      call_free_.push_back(ev.payload);
+      fn();
+      break;
+    }
+  }
+}
+
+}  // namespace logp::sim

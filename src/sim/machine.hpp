@@ -1,0 +1,245 @@
+// The LogP machine: a deterministic discrete-event simulator enforcing the
+// model's semantics (paper Section 3):
+//
+//  * Sending engages the processor for `o` cycles; consecutive transmissions
+//    at one processor are at least `g` apart (the send "port").
+//  * A message is injected when its send overhead completes and arrives at
+//    its destination after a latency of at most `L` (deterministic L by
+//    default; optionally uniform in [latency_min, L], which reorders
+//    messages, as the model allows).
+//  * Receiving engages the processor for `o` cycles; consecutive receptions
+//    are at least `g` apart (the receive "port").
+//  * At most ceil(L/g) messages may be in flight from any processor or to
+//    any processor. A send that would exceed either bound stalls its
+//    processor until a slot frees. A message counts as "in flight" from its
+//    injection until the destination processor *begins* receiving it, so a
+//    processor that floods a busy receiver is throttled — the behaviour the
+//    capacity constraint exists to discourage.
+//
+// The machine is policy-free: a Host (normally runtime::Scheduler) decides
+// what each processor does whenever its CPU is free. All Host callbacks are
+// invoked during event processing; the Host may immediately start the next
+// operation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/message.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace logp::sim {
+
+/// Per-processor accounting, all in cycles unless noted.
+struct ProcStats {
+  Cycles compute = 0;
+  Cycles send_overhead = 0;
+  Cycles recv_overhead = 0;
+  Cycles stall = 0;     ///< blocked on network capacity
+  Cycles gap_wait = 0;  ///< waiting for the send/receive port
+  std::int64_t msgs_sent = 0;
+  std::int64_t msgs_received = 0;
+  std::int64_t max_arrival_backlog = 0;  ///< contention indicator
+
+  Cycles busy() const {
+    return compute + send_overhead + recv_overhead + stall + gap_wait;
+  }
+};
+
+/// The Host is informed whenever a processor's CPU becomes free or a message
+/// shows up, and drives the processor by calling Machine::start_*.
+class Host {
+ public:
+  virtual ~Host() = default;
+  /// t = 0: the processor exists and is idle.
+  virtual void on_startup(ProcId p) = 0;
+  /// A compute issued via start_compute finished; CPU is idle.
+  virtual void on_compute_done(ProcId p) = 0;
+  /// A send issued via start_send was injected into the network; CPU is idle.
+  virtual void on_send_done(ProcId p) = 0;
+  /// A reception finished; CPU is idle and `m` is available.
+  virtual void on_accept_done(ProcId p, const Message& m) = 0;
+  /// A message was delivered into p's arrival queue (the processor has not
+  /// yet spent its receive overhead; call start_accept to do so).
+  virtual void on_message_arrived(ProcId p) = 0;
+};
+
+struct MachineConfig {
+  Params params;
+  std::uint64_t seed = 0x10c9;
+  /// Latency is deterministic (== L) when latency_min < 0, otherwise drawn
+  /// uniformly from [latency_min, L] per message.
+  Cycles latency_min = -1;
+  /// Multiplicative jitter on compute durations: each start_compute runs for
+  /// dur * (1 + u * compute_jitter), u uniform in [-1, 1). Models the
+  /// "cache effects, network collisions" drift of paper Section 4.1.4.
+  double compute_jitter = 0.0;
+  bool record_trace = false;
+  /// A processor stalled on network capacity services its own arrivals
+  /// (paying the usual receive overhead) and then retries the injection.
+  /// This mirrors Active Message layers, which poll the receive queue while
+  /// waiting to inject, and is what makes flood patterns (e.g. the naive
+  /// all-to-all schedule) livelock-free. Disable to study pure stalling.
+  bool drain_while_stalled = true;
+  /// Safety valve: run() throws if more events than this are processed.
+  std::uint64_t max_events = std::uint64_t(1) << 62;
+};
+
+class Machine {
+ public:
+  Machine(MachineConfig config, Host& host);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Processes events until the queue is empty (the Host injects all work).
+  /// Returns the final simulated time.
+  Cycles run();
+
+  Cycles now() const { return now_; }
+  const Params& params() const { return cfg_.params; }
+  const MachineConfig& config() const { return cfg_; }
+
+  /// True when the processor can start a new operation.
+  bool cpu_idle(ProcId p) const {
+    return procs_[static_cast<std::size_t>(p)].state == CpuState::kIdle;
+  }
+  /// Number of delivered-but-not-yet-received messages at p.
+  int arrivals_pending(ProcId p) const {
+    return static_cast<int>(procs_[static_cast<std::size_t>(p)].arrivals.size());
+  }
+  /// True when a reception started now would begin immediately (the receive
+  /// port's gap has elapsed). Hosts use this to avoid committing the CPU to
+  /// a port wait while other work is runnable.
+  bool recv_port_ready(ProcId p) const {
+    return procs_[static_cast<std::size_t>(p)].recv_port_free <= now_;
+  }
+
+  /// Occupies p's CPU for `dur` cycles (plus jitter). Requires cpu_idle(p).
+  void start_compute(ProcId p, Cycles dur);
+  /// Begins transmitting `m` from p (m.src is overwritten with p).
+  /// Requires cpu_idle(p). The CPU is engaged through gap wait, overhead and
+  /// any capacity stall; Host::on_send_done fires at injection.
+  void start_send(ProcId p, Message m);
+  /// Long-message (DMA) send, paper Section 5.4 / the LogGP refinement:
+  /// the CPU pays the setup overhead o once, then a network DMA engine
+  /// streams `words` payload words at `gap_per_word` cycles each while the
+  /// CPU computes. The send port stays busy for the whole stream; the
+  /// message (with m.bulk_words = words) arrives L after the last word and
+  /// costs the receiver a single o. Counts as one unit of network capacity.
+  /// Host::on_send_done fires when the CPU is released (after o), not when
+  /// the stream drains.
+  void start_send_dma(ProcId p, Message m, std::uint64_t words,
+                      Cycles gap_per_word);
+  /// Begins receiving the oldest arrival. Requires cpu_idle(p) and
+  /// arrivals_pending(p) > 0. Host::on_accept_done fires o cycles after the
+  /// reception starts (which itself waits for the receive port).
+  void start_accept(ProcId p);
+
+  /// Runs `fn` at absolute time t (>= now). Used for timed program steps.
+  void schedule_call(Cycles t, std::function<void()> fn);
+
+  const ProcStats& stats(ProcId p) const {
+    return procs_[static_cast<std::size_t>(p)].stats;
+  }
+  /// Aggregate over processors.
+  ProcStats total_stats() const;
+
+  std::int64_t total_messages() const { return total_messages_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  trace::Recorder& recorder() { return recorder_; }
+
+ private:
+  enum class CpuState : std::uint8_t {
+    kIdle,
+    kCompute,
+    kSendGapWait,    ///< waiting for the send port
+    kSendOverhead,   ///< paying o
+    kSendStalled,    ///< overhead paid, network full
+    kAcceptGapWait,  ///< waiting for the receive port
+    kRecvOverhead,   ///< paying o
+  };
+
+  enum class EvKind : std::uint8_t {
+    kStartup,
+    kComputeDone,
+    kSendEngage,
+    kSendOverheadDone,
+    kDeliver,
+    kAcceptStart,
+    kAcceptDone,
+    kCall,
+  };
+
+  struct Event {
+    Cycles t;
+    std::uint64_t seq;
+    EvKind kind;
+    ProcId proc;
+    std::uint32_t payload;  ///< message pool index or callback slot
+
+    bool operator>(const Event& rhs) const {
+      if (t != rhs.t) return t > rhs.t;
+      return seq > rhs.seq;
+    }
+  };
+
+  struct Proc {
+    CpuState state = CpuState::kIdle;
+    Cycles send_port_free = 0;
+    Cycles recv_port_free = 0;
+    int out_inflight = 0;
+    int in_inflight = 0;
+    Cycles op_requested = 0;    ///< when the current op was requested
+    Cycles stall_begin = 0;     ///< when a capacity stall started
+    bool pending_injection = false;  ///< stalled send awaiting retry
+    std::uint64_t dma_words = 0;     ///< outgoing DMA stream length
+    Cycles dma_gap = 0;              ///< cycles per streamed word
+    std::uint32_t current_msg = 0;
+    std::deque<std::uint32_t> arrivals;
+    ProcStats stats;
+  };
+
+  void push_event(Cycles t, EvKind kind, ProcId proc, std::uint32_t payload);
+  void dispatch(const Event& ev);
+
+  std::uint32_t alloc_msg(const Message& m);
+  void free_msg(std::uint32_t idx);
+
+  void engage_send(ProcId p, Cycles t);
+  void try_inject(ProcId p, Cycles t);
+  void inject(ProcId p, Cycles t);
+  void accept_begin(ProcId p, Cycles t);
+  void maybe_accept_while_stalled(ProcId p);
+  void try_retry_injection(ProcId p);
+  void wake_blocked_senders();
+  Cycles sample_latency();
+  Cycles apply_jitter(Cycles dur);
+
+  MachineConfig cfg_;
+  Host& host_;
+  std::vector<Proc> procs_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  Cycles now_ = 0;
+
+  std::vector<Message> msg_pool_;
+  std::vector<std::uint32_t> msg_free_;
+
+  std::vector<ProcId> blocked_senders_;
+  std::vector<std::function<void()>> calls_;
+  std::vector<std::uint32_t> call_free_;
+
+  std::int64_t total_messages_ = 0;
+  util::Xoshiro256StarStar rng_;
+  trace::Recorder recorder_;
+};
+
+}  // namespace logp::sim

@@ -1,0 +1,41 @@
+// The small, fixed-size message of the LogP model.
+//
+// The model assumes all messages carry "a word or a small number of words";
+// longer transfers are sequences of small messages (paper Section 3, 5.4).
+// A message carries up to kMaxMessageWords 64-bit words inline — no heap
+// allocation on the hot path — plus a tag and a sequence number that the
+// runtime uses for matching and for fragment reassembly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace logp::sim {
+
+inline constexpr int kMaxMessageWords = 4;
+
+struct Message {
+  ProcId src = -1;
+  ProcId dst = -1;
+  std::int32_t tag = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t nwords = 0;
+  /// Non-zero for a DMA long message (paper Section 5.4): the number of
+  /// payload words streamed by the network interface. The inline words above
+  /// still carry a small header alongside.
+  std::uint64_t bulk_words = 0;
+  std::array<std::uint64_t, kMaxMessageWords> words{};
+
+  void push_word(std::uint64_t w) { words[nwords++] = w; }
+  std::uint64_t word(std::uint32_t i) const { return words[i]; }
+};
+
+/// Wire size of a message in data bytes (for MB/s reporting): the runtime
+/// treats each word as 8 bytes of payload.
+inline int message_payload_bytes(const Message& m) {
+  return static_cast<int>(m.nwords) * 8;
+}
+
+}  // namespace logp::sim

@@ -1,0 +1,16 @@
+#include "trace/recorder.hpp"
+
+namespace logp::trace {
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kCompute: return "compute";
+    case Activity::kSendOverhead: return "send-o";
+    case Activity::kRecvOverhead: return "recv-o";
+    case Activity::kStall: return "stall";
+    case Activity::kGapWait: return "gap";
+  }
+  return "?";
+}
+
+}  // namespace logp::trace

@@ -1,0 +1,55 @@
+// Execution tracing: per-processor activity intervals.
+//
+// The simulator records what every processor was doing and when; the
+// timeline renderer turns the record into the kind of picture shown on the
+// right of the paper's Figure 3 (send/receive overheads, gaps, latencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::trace {
+
+enum class Activity : std::uint8_t {
+  kCompute,
+  kSendOverhead,
+  kRecvOverhead,
+  kStall,     ///< blocked on network capacity
+  kGapWait,   ///< waiting for the send/receive port (g pacing)
+};
+
+const char* activity_name(Activity a);
+
+struct Interval {
+  ProcId proc;
+  Cycles begin;
+  Cycles end;
+  Activity what;
+  ProcId peer;  ///< other endpoint for send/recv, -1 otherwise
+};
+
+/// Collects intervals; cheap when disabled (the simulator checks enabled()
+/// before constructing records).
+class Recorder {
+ public:
+  explicit Recorder(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void record(ProcId proc, Cycles begin, Cycles end, Activity what,
+              ProcId peer = -1) {
+    if (enabled_ && end > begin)
+      intervals_.push_back({proc, begin, end, what, peer});
+  }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  void clear() { intervals_.clear(); }
+
+ private:
+  bool enabled_;
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace logp::trace

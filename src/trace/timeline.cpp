@@ -1,0 +1,66 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace logp::trace {
+
+namespace {
+char activity_glyph(Activity a) {
+  switch (a) {
+    case Activity::kCompute: return '#';
+    case Activity::kSendOverhead: return 's';
+    case Activity::kRecvOverhead: return 'r';
+    case Activity::kStall: return '%';
+    case Activity::kGapWait: return '.';
+  }
+  return '?';
+}
+}  // namespace
+
+std::string render_timeline(const Recorder& rec, int num_procs,
+                            const TimelineOptions& opts) {
+  LOGP_CHECK(opts.cycles_per_col >= 1 && num_procs >= 1);
+  Cycles horizon = 0;
+  for (const auto& iv : rec.intervals()) horizon = std::max(horizon, iv.end);
+  const auto cols = std::min<std::int64_t>(
+      opts.max_cols, (horizon + opts.cycles_per_col - 1) / opts.cycles_per_col);
+
+  std::vector<std::string> rows(static_cast<std::size_t>(num_procs),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+  for (const auto& iv : rec.intervals()) {
+    if (iv.proc < 0 || iv.proc >= num_procs) continue;
+    const char glyph = activity_glyph(iv.what);
+    const auto c0 = iv.begin / opts.cycles_per_col;
+    const auto c1 = (iv.end - 1) / opts.cycles_per_col;
+    for (auto c = c0; c <= c1 && c < cols; ++c)
+      rows[static_cast<std::size_t>(iv.proc)][static_cast<std::size_t>(c)] =
+          glyph;
+  }
+
+  std::ostringstream os;
+  os << "time: 1 col = " << opts.cycles_per_col
+     << " cycle(s); #=compute s=send r=recv %=stall .=gap\n";
+  for (int p = 0; p < num_procs; ++p) {
+    os << 'P';
+    os.width(3);
+    os.setf(std::ios::left, std::ios::adjustfield);
+    os << p;
+    os.unsetf(std::ios::adjustfield);
+    os << '|' << rows[static_cast<std::size_t>(p)] << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_csv(const Recorder& rec) {
+  std::ostringstream os;
+  os << "proc,begin,end,activity,peer\n";
+  for (const auto& iv : rec.intervals())
+    os << iv.proc << ',' << iv.begin << ',' << iv.end << ','
+       << activity_name(iv.what) << ',' << iv.peer << '\n';
+  return os.str();
+}
+
+}  // namespace logp::trace

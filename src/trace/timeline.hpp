@@ -1,0 +1,26 @@
+// ASCII timeline rendering of a trace (cf. paper Figure 3, right half).
+//
+// One row per processor, one column per `cycles_per_col` cycles:
+//   s = send overhead, r = receive overhead, # = compute,
+//   % = capacity stall, . = gap wait, (space) = idle.
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace logp::trace {
+
+struct TimelineOptions {
+  Cycles cycles_per_col = 1;  ///< horizontal resolution
+  int max_cols = 120;         ///< clip long runs
+};
+
+/// Renders all processors that appear in the recorder.
+std::string render_timeline(const Recorder& rec, int num_procs,
+                            const TimelineOptions& opts = {});
+
+/// Renders the trace as CSV rows (proc,begin,end,activity,peer).
+std::string render_csv(const Recorder& rec);
+
+}  // namespace logp::trace

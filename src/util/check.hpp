@@ -1,0 +1,44 @@
+// Checked-precondition macros used across the library.
+//
+// LOGP_CHECK fires in every build type: the simulator is a correctness tool,
+// and silently corrupted schedules are worse than an exception. The message
+// carries the failing expression and location so test logs are actionable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace logp::util {
+
+/// Thrown when an internal invariant or a caller precondition is violated.
+class check_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LOGP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace logp::util
+
+#define LOGP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::logp::util::check_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define LOGP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream logp_check_os_;                              \
+      logp_check_os_ << msg;                                          \
+      ::logp::util::check_failed(#expr, __FILE__, __LINE__,           \
+                                 logp_check_os_.str());               \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "util/format.hpp"
+
+#include <cstdio>
+
+namespace logp::util {
+
+std::string fmt_time_ns(double ns) {
+  char buf[64];
+  if (ns < 1e3)
+    std::snprintf(buf, sizeof buf, "%.1f ns", ns);
+  else if (ns < 1e6)
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  else if (ns < 1e9)
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  else
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  return buf;
+}
+
+std::string fmt_pow2(std::int64_t n) {
+  char buf[64];
+  if (n >= (1 << 20) && n % (1 << 20) == 0)
+    std::snprintf(buf, sizeof buf, "%lld M", static_cast<long long>(n >> 20));
+  else if (n >= (1 << 10) && n % (1 << 10) == 0)
+    std::snprintf(buf, sizeof buf, "%lld K", static_cast<long long>(n >> 10));
+  else
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+  return buf;
+}
+
+std::string fmt_rate_mbs(double bytes_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f MB/s", bytes_per_sec / 1e6);
+  return buf;
+}
+
+}  // namespace logp::util

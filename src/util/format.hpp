@@ -1,0 +1,18 @@
+// Human-readable quantity formatting (times, sizes, rates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace logp::util {
+
+/// "1.5 us", "2.3 ms", "4.0 s" — picks the natural unit for a nanosecond count.
+std::string fmt_time_ns(double ns);
+
+/// "64 K", "16 M" — powers of two, for point counts and sizes.
+std::string fmt_pow2(std::int64_t n);
+
+/// "3.20 MB/s".
+std::string fmt_rate_mbs(double bytes_per_sec);
+
+}  // namespace logp::util

@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace logp::util {
+
+std::int64_t Xoshiro256StarStar::geometric(double p) {
+  LOGP_CHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 1;
+  // Inverse-CDF sampling: ceil(log(1-u) / log(1-p)) >= 1.
+  const double u = uniform01();
+  const double k = std::ceil(std::log1p(-u) / std::log1p(-p));
+  return k < 1.0 ? 1 : static_cast<std::int64_t>(k);
+}
+
+std::vector<std::size_t> random_permutation(std::size_t n,
+                                            Xoshiro256StarStar& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace logp::util

@@ -1,0 +1,39 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Every bench binary reproduces one paper table/figure by printing rows;
+// TablePrinter keeps them aligned and also mirrors the rows to CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace logp::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing , " or newline).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt(double v, int prec = 2);
+/// Formats an integer with thousands separators (1,234,567).
+std::string fmt_count(std::int64_t v);
+
+}  // namespace logp::util

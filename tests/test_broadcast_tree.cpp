@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/broadcast_tree.hpp"
+
+namespace logp {
+namespace {
+
+// The paper's worked example (Figure 3): P=8, L=6, g=4, o=2.
+constexpr Params kFig3{6, 2, 4, 8};
+
+TEST(BroadcastTree, Figure3CompletionIs24) {
+  EXPECT_EQ(optimal_broadcast_time(kFig3), 24);
+}
+
+TEST(BroadcastTree, Figure3ReceiveTimes) {
+  const auto tree = optimal_broadcast_tree(kFig3);
+  std::multiset<Cycles> recv;
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i)
+    recv.insert(tree.nodes[i].recv_done);
+  // Figure 3 right: nodes receive at 10, 14, 18, 20, 22, 24, 24.
+  EXPECT_EQ(recv, (std::multiset<Cycles>{10, 14, 18, 20, 22, 24, 24}));
+}
+
+TEST(BroadcastTree, Figure3RootFanoutIsFour) {
+  const auto tree = optimal_broadcast_tree(kFig3);
+  EXPECT_EQ(tree.fanout(0), 4);  // sends at 0, 4, 8, 12
+  EXPECT_EQ(tree.nodes[0].first_send, 0);
+}
+
+TEST(BroadcastTree, SingleProcessorIsFree) {
+  EXPECT_EQ(optimal_broadcast_time({6, 2, 4, 1}), 0);
+}
+
+TEST(BroadcastTree, TwoProcessorsIsMessageTime) {
+  EXPECT_EQ(optimal_broadcast_time({6, 2, 4, 2}), 10);  // o+L+o
+}
+
+TEST(BroadcastTree, ParentPointersFormTree) {
+  const auto tree = optimal_broadcast_tree({10, 3, 5, 100});
+  EXPECT_EQ(tree.nodes[0].parent, -1);
+  int edges = 0;
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+    const auto& n = tree.nodes[i];
+    ASSERT_GE(n.parent, 0);
+    ASSERT_LT(n.parent, 100);
+    // Parents are created before children in greedy order.
+    EXPECT_LT(n.parent, static_cast<ProcId>(i));
+    ++edges;
+  }
+  int child_links = 0;
+  for (const auto& n : tree.nodes)
+    child_links += static_cast<int>(n.children.size());
+  EXPECT_EQ(child_links, edges);
+}
+
+TEST(BroadcastTree, ReceiveTimesAreConsistentWithParents) {
+  const Params p{7, 2, 3, 64};
+  const auto tree = optimal_broadcast_tree(p);
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+    const auto& n = tree.nodes[i];
+    const auto& parent = tree.nodes[static_cast<std::size_t>(n.parent)];
+    // Child receives only after parent has the datum plus one full message.
+    EXPECT_GE(n.recv_done, parent.recv_done + p.message_time());
+  }
+}
+
+TEST(BroadcastTree, MonotoneInP) {
+  Cycles prev = 0;
+  for (int P : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const Cycles t = optimal_broadcast_time({6, 2, 4, P});
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BroadcastTree, OptimalNeverWorseThanBaselines) {
+  for (int P : {2, 3, 7, 8, 16, 33, 64, 100, 128}) {
+    for (Cycles L : {1, 4, 10, 25}) {
+      for (Cycles o : {0, 1, 3}) {
+        for (Cycles g : {1, 4, 8}) {
+          const Params prm{L, o, g, P};
+          const Cycles opt = optimal_broadcast_time(prm);
+          EXPECT_LE(opt, linear_broadcast_time(prm))
+              << prm.to_string();
+          EXPECT_LE(opt, binomial_broadcast_time(prm))
+              << prm.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(BroadcastTree, LargeGapDegeneratesToForwardingChain) {
+  // With a huge gap relative to the message time, repeat sends are useless:
+  // the optimal tree becomes a pure forwarding chain of P-1 hops.
+  const Params prm{1, 0, 50, 8};
+  const auto tree = optimal_broadcast_tree(prm);
+  EXPECT_EQ(tree.completion, (prm.P - 1) * prm.message_time());
+  for (ProcId p = 0; p < prm.P; ++p) EXPECT_LE(tree.fanout(p), 1);
+}
+
+TEST(BroadcastTree, ZeroOverheadUnitGapMatchesPostalModel) {
+  // o=0, g=1: the tree of [Bar-Noy & Kipnis]; N(t) satisfies the Fibonacci-
+  // like recurrence N(t) = N(t-1) + N(t-L-...); sanity-check small horizon.
+  const Params prm{3, 0, 1, 1024};
+  const auto tree = optimal_broadcast_tree(prm);
+  // Count how many nodes have the datum by each time step; the count must
+  // satisfy N(t) = N(t-1) + N(t-L) with message time L (=L+2o here).
+  std::vector<int> have(40, 0);
+  for (const auto& n : tree.nodes) {
+    for (std::size_t t = static_cast<std::size_t>(n.recv_done); t < have.size();
+         ++t)
+      ++have[t];
+  }
+  for (std::size_t t = 4; t < 12; ++t)
+    EXPECT_EQ(have[t], have[t - 1] + have[t - 3]) << "t=" << t;
+}
+
+TEST(BroadcastBaselines, LinearFormula) {
+  // P-1 sends, paced by max(g,o), plus the trailing message time.
+  EXPECT_EQ(linear_broadcast_time({6, 2, 4, 8}), 6 * 4 + 10);
+  EXPECT_EQ(linear_broadcast_time({6, 2, 4, 2}), 10);
+}
+
+TEST(BroadcastBaselines, BinomialFormula) {
+  EXPECT_EQ(binomial_broadcast_time({6, 2, 4, 8}), 3 * 10);
+  EXPECT_EQ(binomial_broadcast_time({6, 2, 4, 9}), 4 * 10);
+  EXPECT_EQ(binomial_broadcast_time({6, 2, 4, 1}), 0);
+}
+
+}  // namespace
+}  // namespace logp

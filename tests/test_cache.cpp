@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/fft_trace.hpp"
+
+namespace logp::cache {
+namespace {
+
+TEST(Cache, ReadAllocatesLine) {
+  DirectMappedCache c({1024, 32});
+  EXPECT_FALSE(c.read(0));   // cold miss
+  EXPECT_TRUE(c.read(8));    // same line
+  EXPECT_TRUE(c.read(31));
+  EXPECT_FALSE(c.read(32));  // next line
+  EXPECT_EQ(c.stats().read_misses, 2);
+  EXPECT_EQ(c.stats().read_hits, 2);
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  DirectMappedCache c({1024, 32});  // 32 lines
+  EXPECT_FALSE(c.read(0));
+  EXPECT_FALSE(c.read(1024));  // same index, different tag: evicts
+  EXPECT_FALSE(c.read(0));     // conflict miss
+  EXPECT_EQ(c.stats().read_misses, 3);
+}
+
+TEST(Cache, WriteThroughNoAllocate) {
+  DirectMappedCache c({1024, 32});
+  EXPECT_FALSE(c.write(0));  // miss, does not allocate
+  EXPECT_FALSE(c.read(0));   // still a miss
+  EXPECT_TRUE(c.write(0));   // now resident (read allocated it)
+  EXPECT_EQ(c.stats().write_misses, 1);
+  EXPECT_EQ(c.stats().write_hits, 1);
+}
+
+TEST(Cache, FlushInvalidates) {
+  DirectMappedCache c({1024, 32});
+  c.read(0);
+  c.flush();
+  EXPECT_FALSE(c.read(0));
+  EXPECT_EQ(c.stats().read_misses, 2);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHasOnlyColdMisses) {
+  DirectMappedCache c;  // 64 KB
+  const std::int64_t n = 1024;  // 16 KB of complex doubles
+  for (int pass = 0; pass < 8; ++pass)
+    for (std::int64_t i = 0; i < n; ++i) c.read(static_cast<std::uint64_t>(i * 16));
+  // Cold misses only: n*16/32 lines.
+  EXPECT_EQ(c.stats().read_misses, n * 16 / 32);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  DirectMappedCache c;  // 64 KB
+  const std::int64_t n = 8192;  // 128 KB > cache
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::int64_t i = 0; i < n; ++i) c.read(static_cast<std::uint64_t>(i * 16));
+  // Every pass misses every line again.
+  EXPECT_EQ(c.stats().read_misses, 4 * n * 16 / 32);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(DirectMappedCache({1000, 32}), util::check_error);
+  EXPECT_THROW(DirectMappedCache({1024, 24}), util::check_error);
+  EXPECT_THROW(DirectMappedCache({96, 32}), util::check_error);  // 3 lines
+}
+
+TEST(FftTrace, ButterflyCountIsHalfNLogN) {
+  DirectMappedCache c;
+  const auto r = trace_single_fft(c, 0, 1024);
+  EXPECT_EQ(r.butterflies, 1024 / 2 * 10);
+}
+
+TEST(FftTrace, InCacheFftHasVanishingMissRate) {
+  DirectMappedCache c;
+  const auto r = trace_single_fft(c, 0, 2048);  // 32 KB working set
+  EXPECT_LT(r.misses_per_butterfly, 0.2);  // cold misses amortized
+}
+
+TEST(FftTrace, OutOfCacheFftMissesEveryStage) {
+  DirectMappedCache c;
+  const auto r = trace_single_fft(c, 0, 1 << 15);  // 512 KB working set
+  // Each stage sweeps the whole array: 2 line misses per line's worth of
+  // butterflies per stage -> about 1 miss per butterfly for large strides.
+  EXPECT_GT(r.misses_per_butterfly, 0.5);
+}
+
+TEST(FftTrace, ManySmallFftsStayFast) {
+  DirectMappedCache big_one, many;
+  const std::int64_t total = 1 << 15;
+  const auto one = trace_single_fft(big_one, 0, total);
+  const auto small = trace_many_ffts(many, 0, 128, total / 128);
+  // Same data volume, far fewer misses per butterfly: each 2 KB sub-FFT
+  // stays resident while the big one sweeps 512 KB every stage.
+  EXPECT_LT(small.misses_per_butterfly, one.misses_per_butterfly / 2);
+}
+
+TEST(FftTrace, RateModelReproducesFigure7Shape) {
+  // Phase I (one big local FFT) drops from ~2.8 to ~2.2 Mflops as the local
+  // size crosses the 64 KB cache; phase III (many P-point FFTs) stays fast.
+  RateModel model;
+  DirectMappedCache tiny_c, big_c, many_c;
+  const double small_rate = model.mflops(trace_single_fft(tiny_c, 0, 2048));
+  const double large_rate =
+      model.mflops(trace_single_fft(big_c, 0, 1 << 17));
+  const double phase3_rate =
+      model.mflops(trace_many_ffts(many_c, 0, 128, (1 << 17) / 128));
+  EXPECT_NEAR(small_rate, 2.8, 0.3);
+  EXPECT_NEAR(large_rate, 2.2, 0.3);
+  EXPECT_GT(phase3_rate, large_rate + 0.2);
+}
+
+TEST(FftTrace, DisjointBuffersDoNotInterfereWhenSmall) {
+  DirectMappedCache c;
+  const auto a = trace_single_fft(c, 0, 256);
+  const auto b = trace_single_fft(c, 1 << 20, 256);
+  EXPECT_EQ(a.cache.read_misses, b.cache.read_misses);
+}
+
+}  // namespace
+}  // namespace logp::cache

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/collectives.hpp"
+#include "trace/timeline.hpp"
+
+namespace logp::runtime::coll {
+namespace {
+
+sim::MachineConfig cfg(Params p) {
+  sim::MachineConfig c;
+  c.params = p;
+  return c;
+}
+
+TEST(Scatter, EachProcessorGetsItsWord) {
+  constexpr int P = 11;
+  Scheduler sched(cfg({10, 2, 3, P}));
+  std::vector<std::uint64_t> input(P);
+  std::iota(input.begin(), input.end(), 500u);
+  std::vector<std::uint64_t> got(P, 0);
+  sched.set_program([&](Ctx ctx) -> Task {
+    return scatter(ctx, input, &got[static_cast<std::size_t>(ctx.proc())]);
+  });
+  sched.run();
+  EXPECT_EQ(got, input);
+}
+
+TEST(AllgatherRing, EveryoneEndsWithEverything) {
+  constexpr int P = 9;
+  Scheduler sched(cfg({10, 2, 3, P}));
+  std::vector<std::vector<std::uint64_t>> got(P);
+  sched.set_program([&](Ctx ctx) -> Task {
+    return allgather_ring(ctx, static_cast<std::uint64_t>(ctx.proc()) * 7,
+                          &got[static_cast<std::size_t>(ctx.proc())]);
+  });
+  sched.run();
+  for (int p = 0; p < P; ++p) {
+    ASSERT_EQ(got[static_cast<std::size_t>(p)].size(),
+              static_cast<std::size_t>(P));
+    for (int q = 0; q < P; ++q)
+      EXPECT_EQ(got[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)],
+                static_cast<std::uint64_t>(q) * 7);
+  }
+}
+
+TEST(AllgatherRing, TimeScalesWithP) {
+  // P-1 rounds, each at least a message time: a bandwidth-optimal ring.
+  for (int P : {4, 8, 16}) {
+    const Params prm{10, 2, 3, P};
+    Scheduler sched(cfg(prm));
+    std::vector<std::vector<std::uint64_t>> got(static_cast<std::size_t>(P));
+    sched.set_program([&](Ctx ctx) -> Task {
+      return allgather_ring(ctx, 1,
+                            &got[static_cast<std::size_t>(ctx.proc())]);
+    });
+    const Cycles t = sched.run();
+    EXPECT_GE(t, (P - 1) * prm.message_time());
+    EXPECT_LE(t, 3 * (P - 1) * prm.message_time());
+  }
+}
+
+TEST(AllreduceSum, EveryoneGetsTheTotal) {
+  constexpr int P = 13;
+  const Params prm{10, 2, 3, P};
+  const auto tree = optimal_broadcast_tree(prm);
+  Scheduler sched(cfg(prm));
+  std::vector<std::uint64_t> got(P, 0);
+  sched.set_program([&](Ctx ctx) -> Task {
+    return allreduce_sum(ctx, tree,
+                         static_cast<std::uint64_t>(ctx.proc()) + 1,
+                         &got[static_cast<std::size_t>(ctx.proc())]);
+  });
+  sched.run();
+  for (const auto v : got) EXPECT_EQ(v, static_cast<std::uint64_t>(P) * (P + 1) / 2);
+}
+
+TEST(RingBroadcastData, CarriesPayloadToAllMembers) {
+  constexpr int P = 6;
+  Scheduler sched(cfg({10, 2, 3, P}));
+  std::vector<std::vector<std::uint64_t>> data(P);
+  data[2] = {11, 22, 33, 44, 55, 66, 77};  // root is processor 2
+  const std::vector<ProcId> group = {2, 4, 0, 5, 1, 3};
+  sched.set_program([&](Ctx ctx) -> Task {
+    return ring_broadcast_data(ctx, group,
+                               &data[static_cast<std::size_t>(ctx.proc())], 3,
+                               77);
+  });
+  sched.run();
+  for (int p = 0; p < P; ++p)
+    EXPECT_EQ(data[static_cast<std::size_t>(p)],
+              (std::vector<std::uint64_t>{11, 22, 33, 44, 55, 66, 77}))
+        << p;
+}
+
+TEST(RingBroadcastData, SurvivesLatencyReordering) {
+  constexpr int P = 5;
+  sim::MachineConfig c = cfg({40, 1, 2, P});
+  c.latency_min = 1;
+  c.seed = 77;
+  Scheduler sched(std::move(c));
+  std::vector<std::vector<std::uint64_t>> data(P);
+  data[0].resize(40);
+  std::iota(data[0].begin(), data[0].end(), 900u);
+  const auto expect = data[0];
+  const std::vector<ProcId> group = {0, 1, 2, 3, 4};
+  sched.set_program([&](Ctx ctx) -> Task {
+    return ring_broadcast_data(ctx, group,
+                               &data[static_cast<std::size_t>(ctx.proc())], 2,
+                               78);
+  });
+  sched.run();
+  for (int p = 0; p < P; ++p) EXPECT_EQ(data[static_cast<std::size_t>(p)], expect) << p;
+}
+
+TEST(SelfSend, MessageToSelfRoundTrips) {
+  Scheduler sched(cfg({6, 2, 4, 3}));
+  std::uint64_t got = 0;
+  Cycles when = -1;
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, std::uint64_t& g, Cycles& w) -> Task {
+      if (c.proc() != 1) co_return;
+      co_await c.send(1, 9, 1234);
+      const Message m = co_await c.recv(9, 1);
+      g = m.word(0);
+      w = c.now();
+    }(ctx, got, when);
+  });
+  sched.run();
+  EXPECT_EQ(got, 1234u);
+  // Send overhead, wire latency, receive overhead — self or not.
+  EXPECT_EQ(when, Cycles{2 + 6 + 2});
+}
+
+TEST(Timeline, RendersAllActivityGlyphs) {
+  sim::MachineConfig c = cfg({6, 2, 4, 2});
+  c.record_trace = true;
+  Scheduler sched(std::move(c));
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx x) -> Task {
+      if (x.proc() == 0) {
+        co_await x.compute(3);
+        co_await x.send(1, 1);
+        co_await x.send(1, 1);  // gap wait
+      } else {
+        (void)co_await x.recv(1);
+        (void)co_await x.recv(1);
+      }
+    }(ctx);
+  });
+  sched.run();
+  const auto text =
+      trace::render_timeline(sched.machine().recorder(), 2);
+  EXPECT_NE(text.find('#'), std::string::npos);  // compute
+  EXPECT_NE(text.find('s'), std::string::npos);  // send overhead
+  EXPECT_NE(text.find('r'), std::string::npos);  // recv overhead
+  EXPECT_NE(text.find('.'), std::string::npos);  // gap wait
+  EXPECT_NE(text.find("P0"), std::string::npos);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+
+  const auto csv = trace::render_csv(sched.machine().recorder());
+  EXPECT_NE(csv.find("proc,begin,end,activity,peer"), std::string::npos);
+  EXPECT_NE(csv.find("compute"), std::string::npos);
+  EXPECT_NE(csv.find("send-o"), std::string::npos);
+}
+
+TEST(Timeline, CoarseResolutionClips) {
+  trace::Recorder rec(true);
+  rec.record(0, 0, 1000, trace::Activity::kCompute);
+  trace::TimelineOptions opts;
+  opts.cycles_per_col = 10;
+  opts.max_cols = 20;
+  const auto text = trace::render_timeline(rec, 1, opts);
+  // 20 columns of '#' at most, plus decoration.
+  EXPECT_LE(text.size(), 200u);
+  EXPECT_NE(text.find("##"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logp::runtime::coll

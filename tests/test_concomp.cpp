@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "algo/concomp.hpp"
+
+namespace logp::algo {
+namespace {
+
+TEST(ConnectedComponents, CorrectOnRandomGraphs) {
+  const Params prm{20, 4, 8, 8};
+  for (double degree : {0.5, 2.0, 8.0}) {
+    CcConfig cfg;
+    cfg.vertices = 512;
+    cfg.avg_degree = degree;
+    cfg.mode = CcMode::kCombined;
+    const auto r = run_connected_components(prm, cfg);
+    EXPECT_TRUE(r.verified) << "degree " << degree;
+    EXPECT_GE(r.components, 1);
+  }
+}
+
+TEST(ConnectedComponents, NaiveAndCombinedAgree) {
+  const Params prm{20, 4, 8, 8};
+  CcConfig a, b;
+  a.vertices = b.vertices = 256;
+  a.avg_degree = b.avg_degree = 4.0;
+  a.mode = CcMode::kNaive;
+  b.mode = CcMode::kCombined;
+  const auto rn = run_connected_components(prm, a);
+  const auto rc = run_connected_components(prm, b);
+  EXPECT_TRUE(rn.verified);
+  EXPECT_TRUE(rc.verified);
+  EXPECT_EQ(rn.components, rc.components);
+}
+
+TEST(ConnectedComponents, CombiningReducesTrafficAndTime) {
+  // Dense-ish graph with a giant component: almost every vertex ends up
+  // querying the same component minimum; deduplication collapses that.
+  const Params prm{20, 4, 8, 16};
+  CcConfig a, b;
+  a.vertices = b.vertices = 1024;
+  a.avg_degree = b.avg_degree = 8.0;
+  a.mode = CcMode::kNaive;
+  b.mode = CcMode::kCombined;
+  const auto rn = run_connected_components(prm, a);
+  const auto rc = run_connected_components(prm, b);
+  EXPECT_GT(rn.query_words, rc.query_words);
+  EXPECT_GT(rn.messages, rc.messages);
+  EXPECT_LT(rc.total, rn.total);
+  // The hottest receiver (owner of the giant component's minimum) sees the
+  // brunt of the duplicate pointer-jump queries in naive mode.
+  EXPECT_GT(rn.max_recv_one_proc, rc.max_recv_one_proc);
+}
+
+TEST(ConnectedComponents, SingleGiantComponent) {
+  const Params prm{20, 4, 8, 4};
+  CcConfig cfg;
+  cfg.vertices = 256;
+  cfg.avg_degree = 16.0;  // far above the connectivity threshold
+  const auto r = run_connected_components(prm, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.components, 1);
+}
+
+TEST(ConnectedComponents, EdgelessGraphTerminatesInOneRound) {
+  const Params prm{20, 4, 8, 4};
+  CcConfig cfg;
+  cfg.vertices = 64;
+  cfg.avg_degree = 0.0;
+  const auto r = run_connected_components(prm, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.components, 64);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(ConnectedComponents, DeterministicReplay) {
+  const Params prm{20, 4, 8, 8};
+  CcConfig cfg;
+  cfg.vertices = 256;
+  const auto a = run_connected_components(prm, cfg);
+  const auto b = run_connected_components(prm, cfg);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace logp::algo

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/fft_cost.hpp"
+#include "core/lu_cost.hpp"
+#include "core/params.hpp"
+#include "util/check.hpp"
+
+namespace logp {
+namespace {
+
+TEST(Params, CapacityIsCeilLOverG) {
+  EXPECT_EQ((Params{6, 2, 4, 8}).capacity(), 2);
+  EXPECT_EQ((Params{8, 2, 4, 8}).capacity(), 2);
+  EXPECT_EQ((Params{9, 2, 4, 8}).capacity(), 3);
+  EXPECT_EQ((Params{4, 2, 4, 8}).capacity(), 1);
+  // Degenerate latency still allows one message in flight.
+  EXPECT_EQ((Params{0, 0, 1, 2}).capacity(), 1);
+}
+
+TEST(Params, DerivedTimes) {
+  const Params p{6, 2, 4, 8};
+  EXPECT_EQ(p.message_time(), 10);      // o + L + o
+  EXPECT_EQ(p.remote_read_time(), 20);  // 2L + 4o
+}
+
+TEST(Params, ValidateRejectsBadValues) {
+  EXPECT_THROW((Params{-1, 0, 1, 1}).validate(), util::check_error);
+  EXPECT_THROW((Params{1, -1, 1, 1}).validate(), util::check_error);
+  EXPECT_THROW((Params{1, 0, 0, 1}).validate(), util::check_error);
+  EXPECT_THROW((Params{1, 0, 1, 0}).validate(), util::check_error);
+  EXPECT_NO_THROW((Params{0, 0, 1, 1}).validate());
+}
+
+TEST(Params, ToStringMentionsAllFour) {
+  const auto s = Params{6, 2, 4, 128}.to_string();
+  EXPECT_NE(s.find("L=6"), std::string::npos);
+  EXPECT_NE(s.find("o=2"), std::string::npos);
+  EXPECT_NE(s.find("g=4"), std::string::npos);
+  EXPECT_NE(s.find("P=128"), std::string::npos);
+}
+
+TEST(Cm5, CalibrationMatchesPaper) {
+  // Section 4.1.4: o = 2us, L = 6us, g = 4us at 33 MHz.
+  const double tick = Cm5::kTickNs;
+  EXPECT_NEAR(Cm5::kO * tick, 2000, 2 * tick);
+  EXPECT_NEAR(Cm5::kL * tick, 6000, 3 * tick);  // paper rounds to 200 ticks
+  EXPECT_NEAR(Cm5::kG * tick, 4000, 2 * tick);
+  EXPECT_NEAR(Cm5::kButterflyTicks * tick, 4500, 2 * tick);
+}
+
+TEST(FftCost, HybridBeatsCyclicByLogP) {
+  const Params p = Cm5::params(128);
+  const std::int64_t n = 1 << 20;
+  const auto cyc = fft_cost(n, FftLayout::kCyclic, p);
+  const auto hyb = fft_cost(n, FftLayout::kHybrid, p);
+  EXPECT_EQ(cyc.compute, hyb.compute);
+  // Communication drops by about a factor of log2(P) = 7.
+  const double ratio = static_cast<double>(cyc.communicate) /
+                       static_cast<double>(hyb.communicate);
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(FftCost, CyclicAndBlockedAreSymmetric) {
+  const Params p = Cm5::params(16);
+  const std::int64_t n = 1 << 12;
+  const auto c = fft_cost(n, FftLayout::kCyclic, p);
+  const auto b = fft_cost(n, FftLayout::kBlocked, p);
+  EXPECT_EQ(c.total(), b.total());
+  EXPECT_EQ(c.remote_refs, b.remote_refs);
+}
+
+TEST(FftCost, HybridRemoteRefsMatchFormula) {
+  // Each processor sends n/P - n/P^2 points.
+  const Params p{6, 2, 4, 8};
+  const std::int64_t n = 1 << 10;
+  const auto h = fft_cost(n, FftLayout::kHybrid, p);
+  EXPECT_EQ(h.remote_refs, n / 8 - n / 64);
+}
+
+TEST(FftCost, RequiresSquareRelation) {
+  const Params p{6, 2, 4, 64};
+  EXPECT_THROW(fft_cost(1 << 8, FftLayout::kHybrid, p), util::check_error);
+  EXPECT_NO_THROW(fft_cost(1 << 12, FftLayout::kHybrid, p));
+}
+
+TEST(FftCost, OptimalityFactor) {
+  const Params p{6, 2, 4, 8};
+  EXPECT_NEAR(fft_hybrid_optimality_factor(1 << 20, p), 1.0 + 4.0 / 20, 1e-12);
+}
+
+TEST(Log2Exact, PowersAndFailures) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(1024), 10);
+  EXPECT_THROW(log2_exact(3), util::check_error);
+  EXPECT_THROW(log2_exact(0), util::check_error);
+}
+
+TEST(LuCost, LayoutOrderingMatchesPaper) {
+  // bad > column > grid in communication; scattered beats blocked overall
+  // because of load balance.
+  const Params p{6, 2, 4, 16};
+  const std::int64_t n = 128;
+  const auto bad = lu_cost(n, LuLayout::kBadScatter, p);
+  const auto col = lu_cost(n, LuLayout::kColumnCyclic, p);
+  const auto gb = lu_cost(n, LuLayout::kGridBlocked, p);
+  const auto gs = lu_cost(n, LuLayout::kGridScattered, p);
+  EXPECT_GT(bad.communicate, col.communicate);
+  EXPECT_GT(col.communicate, gs.communicate);
+  EXPECT_LT(gs.compute, gb.compute);  // scattered keeps processors busy
+  EXPECT_LT(gs.total(), bad.total());
+}
+
+TEST(LuCost, ColumnHalvesBadCommunication) {
+  const Params p{6, 2, 4, 16};
+  const auto bad = lu_cost(256, LuLayout::kBadScatter, p);
+  const auto col = lu_cost(256, LuLayout::kColumnCyclic, p);
+  const double ratio = static_cast<double>(bad.communicate) /
+                       static_cast<double>(col.communicate);
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(LuCost, GridNeedsSquareP) {
+  const Params p{6, 2, 4, 12};
+  EXPECT_THROW(lu_cost(64, LuLayout::kGridBlocked, p), util::check_error);
+}
+
+TEST(LuCost, NamesAreDistinct) {
+  EXPECT_STRNE(lu_layout_name(LuLayout::kBadScatter),
+               lu_layout_name(LuLayout::kGridScattered));
+}
+
+}  // namespace
+}  // namespace logp

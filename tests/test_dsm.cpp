@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/dsm.hpp"
+
+namespace logp::runtime::dsm {
+namespace {
+
+sim::MachineConfig cfg(Params p) {
+  sim::MachineConfig c;
+  c.params = p;
+  return c;
+}
+
+TEST(Dsm, RemoteReadCostsExactly2Lplus4o) {
+  const Params prm{6, 2, 4, 4};
+  Scheduler sched(cfg(prm));
+  GlobalArray arr(sched, 64);
+  arr.backdoor(40) = 777;  // owned by processor 2
+  Cycles elapsed = -1;
+  std::uint64_t got = 0;
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, GlobalArray& a, Cycles& t, std::uint64_t& v) -> Task {
+      if (c.proc() != 0) co_return;
+      const Cycles start = c.now();
+      co_await a.read(c, 40, &v);
+      t = c.now() - start;
+    }(ctx, arr, elapsed, got);
+  });
+  sched.run();
+  EXPECT_EQ(got, 777u);
+  EXPECT_EQ(elapsed, prm.remote_read_time());
+}
+
+TEST(Dsm, LocalReadsAndWritesAreFree) {
+  const Params prm{6, 2, 4, 4};
+  Scheduler sched(cfg(prm));
+  GlobalArray arr(sched, 64);
+  Cycles elapsed = -1;
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, GlobalArray& a, Cycles& t) -> Task {
+      if (c.proc() != 1) co_return;
+      const Cycles start = c.now();
+      co_await a.write(c, 20, 5);  // index 20 lives on processor 1
+      std::uint64_t v = 0;
+      co_await a.read(c, 20, &v);
+      EXPECT_EQ(v, 5u);
+      t = c.now() - start;
+    }(ctx, arr, elapsed);
+  });
+  sched.run();
+  EXPECT_EQ(elapsed, 0);
+}
+
+TEST(Dsm, AcknowledgedWriteRoundTrips) {
+  const Params prm{6, 2, 4, 2};
+  Scheduler sched(cfg(prm));
+  GlobalArray arr(sched, 8);
+  Cycles elapsed = -1;
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, GlobalArray& a, Cycles& t) -> Task {
+      if (c.proc() != 0) co_return;
+      const Cycles start = c.now();
+      co_await a.write(c, 7, 99);  // owned by processor 1
+      t = c.now() - start;
+    }(ctx, arr, elapsed);
+  });
+  sched.run();
+  EXPECT_EQ(arr.backdoor(7), 99u);
+  EXPECT_EQ(elapsed, prm.remote_read_time());  // same round trip as a read
+}
+
+TEST(Dsm, PrefetchPipelinesAtTheGap) {
+  // Section 3.2: prefetches issue every g and cost 2o of processor time.
+  // N pipelined reads take ~N*max(g, 2o) + RTT, not N*(2L+4o).
+  const Params prm{64, 2, 8, 2};
+  constexpr std::int64_t kN = 32;
+  Scheduler sched(cfg(prm));
+  GlobalArray arr(sched, 2 * kN);
+  for (std::int64_t i = 0; i < 2 * kN; ++i)
+    arr.backdoor(i) = static_cast<std::uint64_t>(i) * 3;
+  Cycles blocking = 0, pipelined = 0;
+  std::uint64_t checksum = 0;
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, GlobalArray& a, Cycles& tb, Cycles& tp,
+              std::uint64_t& sum) -> Task {
+      if (c.proc() != 0) co_return;
+      // Blocking reads of kN remote words.
+      Cycles start = c.now();
+      for (std::int64_t i = kN; i < 2 * kN; ++i) {
+        std::uint64_t v = 0;
+        co_await a.read(c, i, &v);
+        sum += v;
+      }
+      tb = c.now() - start;
+      // Prefetch all, then collect.
+      start = c.now();
+      for (std::int64_t i = kN; i < 2 * kN; ++i) co_await a.prefetch(c, i);
+      for (std::int64_t i = kN; i < 2 * kN; ++i) {
+        std::uint64_t v = 0;
+        co_await a.wait_prefetch(c, i, &v);
+        sum += v;
+      }
+      tp = c.now() - start;
+    }(ctx, arr, blocking, pipelined, checksum);
+  });
+  sched.run();
+  std::uint64_t expect = 0;
+  for (std::int64_t i = kN; i < 2 * kN; ++i)
+    expect += 2 * static_cast<std::uint64_t>(i) * 3;
+  EXPECT_EQ(checksum, expect);
+  EXPECT_EQ(blocking, kN * prm.remote_read_time());
+  // Pipelined: one reply per issue slot plus one round trip of fill.
+  EXPECT_LT(pipelined, blocking / 4);
+  EXPECT_GE(pipelined, kN * std::max<Cycles>(prm.g, 2 * prm.o));
+}
+
+TEST(Dsm, ConcurrentReadersDoNotStealReplies) {
+  const Params prm{30, 2, 4, 3};
+  Scheduler sched(cfg(prm));
+  GlobalArray arr(sched, 30);
+  for (std::int64_t i = 0; i < 30; ++i)
+    arr.backdoor(i) = static_cast<std::uint64_t>(1000 + i);
+  std::vector<std::uint64_t> got(8, 0);
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, GlobalArray& a, std::vector<std::uint64_t>& out) -> Task {
+      if (c.proc() != 0) co_return;
+      // Four concurrent tasks each read two remote indices.
+      for (int t = 0; t < 4; ++t) {
+        c.spawn([](Ctx x, GlobalArray& a, std::vector<std::uint64_t>& out,
+                   int t) -> Task {
+          co_await a.read(x, 10 + t, &out[static_cast<std::size_t>(2 * t)]);
+          co_await a.read(x, 20 + t,
+                          &out[static_cast<std::size_t>(2 * t + 1)]);
+        }(c, a, out, t));
+      }
+      co_return;
+    }(ctx, arr, got);
+  });
+  sched.run();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(2 * t)], 1010u + t);
+    EXPECT_EQ(got[static_cast<std::size_t>(2 * t + 1)], 1020u + t);
+  }
+}
+
+TEST(Dsm, AsyncWritesEventuallyLand) {
+  const Params prm{10, 1, 3, 4};
+  Scheduler sched(cfg(prm));
+  GlobalArray arr(sched, 16);
+  sched.set_program([&](Ctx ctx) -> Task {
+    return [](Ctx c, GlobalArray& a) -> Task {
+      // Everyone writes its id into its mirror slot on the next processor.
+      const auto idx = ((c.proc() + 1) % c.nprocs()) * 4;
+      co_await a.write_async(c, idx, static_cast<std::uint64_t>(c.proc()));
+    }(ctx, arr);
+  });
+  sched.run();
+  const int P = 4;
+  for (ProcId p = 0; p < P; ++p)
+    EXPECT_EQ(arr.backdoor(((p + 1) % P) * 4), static_cast<std::uint64_t>(p));
+}
+
+}  // namespace
+}  // namespace logp::runtime::dsm

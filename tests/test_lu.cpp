@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "algo/lu.hpp"
+#include "util/rng.hpp"
+
+namespace logp::algo {
+namespace {
+
+Matrix random_matrix(std::int64_t n, std::uint64_t seed) {
+  Matrix m(n);
+  util::Xoshiro256StarStar rng(seed);
+  for (auto& v : m.a) v = 2.0 * rng.uniform01() - 1.0;
+  return m;
+}
+
+TEST(SerialLu, FactorsRandomMatrices) {
+  for (std::int64_t n : {1, 2, 5, 16, 40}) {
+    const Matrix original = random_matrix(n, 7 + static_cast<std::uint64_t>(n));
+    Matrix m = original;
+    std::vector<std::int64_t> perm;
+    ASSERT_TRUE(lu_factor(m, perm)) << n;
+    EXPECT_LT(lu_residual(original, m, perm), 1e-9) << n;
+  }
+}
+
+TEST(SerialLu, PivotingHandlesZeroDiagonal) {
+  Matrix m(2);
+  m.at(0, 0) = 0;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 0;
+  const Matrix original = m;
+  std::vector<std::int64_t> perm;
+  ASSERT_TRUE(lu_factor(m, perm));
+  EXPECT_LT(lu_residual(original, m, perm), 1e-12);
+  EXPECT_EQ(perm[0], 1);  // rows swapped
+}
+
+TEST(SerialLu, DetectsSingular) {
+  Matrix m(3);  // all zeros
+  std::vector<std::int64_t> perm;
+  EXPECT_FALSE(lu_factor(m, perm));
+}
+
+TEST(LuSim, LayoutOrderingMatchesPaperOnSimulator) {
+  const Params prm{20, 4, 8, 16};
+  auto run = [&](LuLayout layout) {
+    LuSimConfig cfg;
+    cfg.n = 64;
+    cfg.layout = layout;
+    return run_lu_sim(prm, cfg);
+  };
+  const auto bad = run(LuLayout::kBadScatter);
+  const auto col = run(LuLayout::kColumnCyclic);
+  const auto gb = run(LuLayout::kGridBlocked);
+  const auto gs = run(LuLayout::kGridScattered);
+
+  // Communication volume: bad > column > grid (messages actually sent).
+  EXPECT_GT(bad.messages, col.messages);
+  EXPECT_GT(col.messages, gs.messages);
+  // Same asymptotic volume (strip rounding and per-broadcast headers differ
+  // slightly: blocked strips go empty in late steps, scattered's do not).
+  EXPECT_NEAR(static_cast<double>(gb.messages),
+              static_cast<double>(gs.messages),
+              0.15 * static_cast<double>(gs.messages));
+  // Load balance: scattered grid keeps processors busier than blocked grid
+  // and finishes sooner.
+  EXPECT_LT(gs.total, gb.total);
+  EXPECT_GT(gs.busy_fraction, gb.busy_fraction);
+  // End-to-end: the paper's overall story.
+  EXPECT_LT(gs.total, bad.total);
+}
+
+TEST(LuSim, ComputeWorkIsLayoutIndependent) {
+  // Total update flops are identical across layouts; only distribution
+  // differs. (Pivot-scaling accounting differs slightly per layout.)
+  const Params prm{20, 4, 8, 16};
+  LuSimConfig a, b;
+  a.n = b.n = 48;
+  a.layout = LuLayout::kGridBlocked;
+  b.layout = LuLayout::kGridScattered;
+  const auto ra = run_lu_sim(prm, a);
+  const auto rb = run_lu_sim(prm, b);
+  EXPECT_NEAR(static_cast<double>(ra.compute_cycles),
+              static_cast<double>(rb.compute_cycles),
+              0.05 * static_cast<double>(ra.compute_cycles));
+}
+
+TEST(LuSim, ScalesWithMatrixSize) {
+  const Params prm{20, 4, 8, 4};
+  LuSimConfig small, large;
+  small.n = 32;
+  large.n = 64;
+  small.layout = large.layout = LuLayout::kColumnCyclic;
+  const auto rs = run_lu_sim(prm, small);
+  const auto rl = run_lu_sim(prm, large);
+  // Compute grows ~8x (n^3); total strictly more than 4x.
+  EXPECT_GT(rl.total, 4 * rs.total / 2);
+  EXPECT_GT(rl.compute_cycles, 6 * rs.compute_cycles);
+}
+
+TEST(LuSim, GridRequiresDivisibility) {
+  const Params prm{20, 4, 8, 16};
+  LuSimConfig cfg;
+  cfg.n = 62;  // not divisible by sqrt(P)=4
+  cfg.layout = LuLayout::kGridScattered;
+  EXPECT_THROW(run_lu_sim(prm, cfg), util::check_error);
+}
+
+TEST(LuSim, DeterministicReplay) {
+  const Params prm{20, 4, 8, 16};
+  LuSimConfig cfg;
+  cfg.n = 48;
+  cfg.layout = LuLayout::kGridScattered;
+  const auto a = run_lu_sim(prm, cfg);
+  const auto b = run_lu_sim(prm, cfg);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace logp::algo

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "machines/database.hpp"
+#include "machines/probe.hpp"
+#include "util/check.hpp"
+
+namespace logp::machines {
+namespace {
+
+// --- black-box parameter measurement (Section 7) ---
+
+TEST(Probe, RecoversConfiguredParameters) {
+  for (const Params prm : {Params{6, 2, 4, 2}, Params{20, 5, 8, 2},
+                           Params{200, 66, 132, 2}, Params{13, 1, 7, 4}}) {
+    sim::MachineConfig cfg;
+    cfg.params = prm;
+    const auto r = probe_params(cfg);
+    EXPECT_NEAR(r.o, static_cast<double>(prm.o), 0.51) << prm.to_string();
+    EXPECT_NEAR(r.g, static_cast<double>(std::max(prm.g, prm.o)), 0.51)
+        << prm.to_string();
+    EXPECT_NEAR(r.L, static_cast<double>(prm.L), 1.1) << prm.to_string();
+    EXPECT_EQ(r.capacity, static_cast<int>(prm.capacity()))
+        << prm.to_string();
+    EXPECT_EQ(r.rounded(prm.P).L, prm.L) << prm.to_string();
+  }
+}
+
+TEST(Probe, OverheadMasksGapWhenLarger) {
+  // o > g: the issue-rate probe sees o, the same blind spot a real
+  // measurement has (the paper's "increase o to be as large as g" remark
+  // works in reverse too).
+  sim::MachineConfig cfg;
+  cfg.params = {30, 10, 3, 2};
+  const auto r = probe_params(cfg);
+  EXPECT_NEAR(r.g, 10.0, 0.51);
+}
+
+TEST(Table1, HasSevenRows) { EXPECT_EQ(table1().size(), 7u); }
+
+// The T(M=160) column of Table 1, reproduced from the row parameters.
+TEST(Table1, UnloadedTimesMatchPaper) {
+  struct Expect {
+    const char* name;
+    double t160;
+  };
+  const Expect expected[] = {
+      {"nCUBE/2", 6760},   {"CM-5", 3714.4}, {"Dash", 53.6},
+      {"J-Machine", 60.2}, {"Monsoon", 30},  {"nCUBE/2 (AM)", 1360},
+      {"CM-5 (AM)", 246.4},
+  };
+  for (const auto& e : expected) {
+    const auto& row = table1_row(e.name);
+    EXPECT_NEAR(row.unloaded_time(160, row.avg_hops_1024), e.t160, 0.5)
+        << e.name;
+  }
+}
+
+TEST(Table1, OverheadDominatesForCommercialStacks) {
+  // Section 5.2's point: for nCUBE/2 and CM-5 the send/receive overhead is
+  // the overwhelming share of the unloaded message time.
+  for (const char* name : {"nCUBE/2", "CM-5"}) {
+    const auto& row = table1_row(name);
+    const double total = row.unloaded_time(160, row.avg_hops_1024);
+    EXPECT_GT(static_cast<double>(row.snd_rcv) / total, 0.9) << name;
+  }
+}
+
+TEST(Table1, ActiveMessagesCutOverheadsOnly) {
+  const auto& cm5 = table1_row("CM-5");
+  const auto& am = table1_row("CM-5 (AM)");
+  EXPECT_LT(am.snd_rcv, cm5.snd_rcv / 10);
+  EXPECT_EQ(am.hop_delay, cm5.hop_delay);
+  EXPECT_EQ(am.width_bits, cm5.width_bits);
+}
+
+TEST(Table1, UnknownMachineThrows) {
+  EXPECT_THROW(table1_row("Paragon"), util::check_error);
+}
+
+TEST(DeriveLogP, Cm5AmParametersAreCredible) {
+  const auto& am = table1_row("CM-5 (AM)");
+  const Params prm = am.derive_logp(160, am.avg_hops_1024, 128);
+  EXPECT_EQ(prm.o, 66);  // half of 132 cycles
+  EXPECT_EQ(prm.L, 114); // 9.3*8 + 40
+  EXPECT_EQ(prm.P, 128);
+  // g from the 5 MB/s per-processor bisection figure: 20 bytes / 5 MB/s =
+  // 4 us = 160 cycles at 25 ns.
+  EXPECT_EQ(am.derive_logp(20 * 8, am.avg_hops_1024, 128).g, 160);
+  prm.validate();
+}
+
+TEST(DeriveLogP, FallsBackToOverheadWithoutBandwidth) {
+  const auto& dash = table1_row("Dash");
+  const Params prm = dash.derive_logp(160, dash.avg_hops_1024, 64);
+  EXPECT_EQ(prm.g, std::max<Cycles>(1, dash.snd_rcv / 2));
+}
+
+TEST(DeriveLogP, MessageSizeScalesL) {
+  const auto& row = table1_row("nCUBE/2");
+  const auto small = row.derive_logp(16, 5.0, 32);
+  const auto large = row.derive_logp(1024, 5.0, 32);
+  EXPECT_EQ(large.L - small.L, 1024 - 16);  // w = 1 bit/cycle
+}
+
+}  // namespace
+}  // namespace logp::machines

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "algo/matmul.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logp::algo {
+namespace {
+
+TEST(MatmulSerial, IdentityIsNeutral) {
+  const std::int64_t n = 8;
+  std::vector<double> eye(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    eye[static_cast<std::size_t>(i * n + i)] = 1.0;
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  util::Xoshiro256StarStar rng(4);
+  for (auto& v : a) v = rng.uniform01();
+  EXPECT_EQ(matmul_serial(a, eye, n, 4), a);
+  EXPECT_EQ(matmul_serial(eye, a, n, 4), a);
+}
+
+TEST(MatmulSim, SummaMatchesSerialBitForBit) {
+  const Params prm{20, 4, 8, 4};  // 2x2 grid
+  for (const std::int64_t n : {8, 24, 48}) {
+    MatmulConfig cfg;
+    cfg.n = n;
+    cfg.panel = 4;
+    cfg.layout = MatmulLayout::kSumma2D;
+    const auto r = run_matmul_sim(prm, cfg);  // throws on mismatch
+    EXPECT_TRUE(r.verified) << n;
+  }
+}
+
+TEST(MatmulSim, ColumnLayoutMatchesSerialBitForBit) {
+  const Params prm{20, 4, 8, 4};
+  MatmulConfig cfg;
+  cfg.n = 32;
+  cfg.panel = 4;
+  cfg.layout = MatmulLayout::kColumn1D;
+  EXPECT_TRUE(run_matmul_sim(prm, cfg).verified);
+}
+
+TEST(MatmulSim, SummaCommunicatesLessThanColumn) {
+  const Params prm{20, 4, 8, 16};  // 4x4 grid
+  MatmulConfig a, b;
+  a.n = b.n = 64;
+  a.panel = b.panel = 4;  // must divide the 1-D layout's n/P = 4 columns
+  a.carry_data = b.carry_data = false;
+  a.layout = MatmulLayout::kSumma2D;
+  b.layout = MatmulLayout::kColumn1D;
+  const auto rs = run_matmul_sim(prm, a);
+  const auto rc = run_matmul_sim(prm, b);
+  // SUMMA ships O(n^2 (P/sqrt(P))) words total vs O(n^2 P) for 1-D.
+  EXPECT_LT(rs.messages, rc.messages);
+  EXPECT_LT(rs.total, rc.total);
+}
+
+TEST(MatmulSim, CountedAndCarriedTimingsAgree) {
+  const Params prm{20, 4, 8, 4};
+  MatmulConfig with, without;
+  with.n = without.n = 24;
+  with.panel = without.panel = 4;
+  without.carry_data = false;
+  EXPECT_EQ(run_matmul_sim(prm, with).total,
+            run_matmul_sim(prm, without).total);
+}
+
+TEST(MatmulSim, PanelWidthTradesMessagesForPipelining) {
+  const Params prm{20, 4, 8, 16};
+  MatmulConfig narrow, wide;
+  narrow.n = wide.n = 64;
+  narrow.panel = 4;
+  wide.panel = 16;
+  narrow.carry_data = wide.carry_data = false;
+  const auto rn = run_matmul_sim(prm, narrow);
+  const auto rw = run_matmul_sim(prm, wide);
+  // Same data volume either way; narrow panels send more headers.
+  EXPECT_GT(rn.messages, rw.messages);
+}
+
+TEST(MatmulSim, RejectsBadShapes) {
+  const Params prm{20, 4, 8, 6};  // not a square
+  MatmulConfig cfg;
+  cfg.layout = MatmulLayout::kSumma2D;
+  EXPECT_THROW(run_matmul_sim(prm, cfg), util::check_error);
+  const Params prm4{20, 4, 8, 4};
+  cfg.n = 30;  // not divisible by sqrt(P)
+  EXPECT_THROW(run_matmul_sim(prm4, cfg), util::check_error);
+}
+
+}  // namespace
+}  // namespace logp::algo

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "models/bsp.hpp"
+#include "models/pram.hpp"
+#include "util/check.hpp"
+
+namespace logp::models {
+namespace {
+
+TEST(Pram, BroadcastCosts) {
+  PramModel m{64};
+  EXPECT_EQ(m.broadcast_crew(), 1);
+  EXPECT_EQ(m.broadcast_erew(), 6);
+}
+
+TEST(Pram, SumIsWorkPlusTree) {
+  PramModel m{8};
+  EXPECT_EQ(m.sum(64), 7 + 3 + 1);
+}
+
+TEST(Pram, FftIsPerfectlyParallel) {
+  PramModel m{16};
+  EXPECT_EQ(m.fft(1 << 12), (1 << 12) / 16 * 12);
+}
+
+TEST(BspMachine, SuperstepCostFormula) {
+  BspMachine m(4, /*g=*/3, /*l=*/20);
+  const Cycles c = m.superstep([](ProcId p, const auto&, auto& out) {
+    // Proc 0 sends 2 messages, others none; max work is 7.
+    if (p == 0) {
+      out.push_back({-1, 1, 0, 11});
+      out.push_back({-1, 2, 0, 22});
+    }
+    return p == 3 ? 7 : 3;
+  });
+  EXPECT_EQ(c, 7 + 3 * 2 + 20);
+  EXPECT_EQ(m.time(), c);
+  EXPECT_EQ(m.max_h(), 2);
+}
+
+TEST(BspMachine, MessagesVisibleOnlyNextSuperstep) {
+  BspMachine m(2, 1, 5);
+  std::vector<std::uint64_t> seen;
+  m.superstep([](ProcId p, const auto& in, auto& out) {
+    EXPECT_TRUE(in.empty());
+    if (p == 0) out.push_back({-1, 1, 9, 42});
+    return Cycles{1};
+  });
+  m.superstep([&](ProcId p, const auto& in, auto&) {
+    if (p == 1) {
+      EXPECT_EQ(in.size(), 1u);
+      seen.push_back(in[0].word);
+      EXPECT_EQ(in[0].src, 0);
+      EXPECT_EQ(in[0].tag, 9);
+    } else {
+      EXPECT_TRUE(in.empty());
+    }
+    return Cycles{1};
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{42}));
+}
+
+TEST(BspMachine, HRelationIsMaxOfFanInAndFanOut) {
+  BspMachine m(4, 2, 0);
+  m.superstep([](ProcId p, const auto&, auto& out) {
+    // Everyone sends one message to proc 0: h = 3 (fan-in at 0).
+    if (p != 0) out.push_back({-1, 0, 0, 1});
+    return Cycles{0};
+  });
+  EXPECT_EQ(m.max_h(), 3);
+  EXPECT_EQ(m.time(), 2 * 3 + 0);
+}
+
+TEST(BspMachine, RunsARealSumAlgorithm) {
+  // Tree sum over 8 procs: value p, result should be 28 at proc 0.
+  constexpr int P = 8;
+  BspMachine m(P, 2, 12);
+  std::vector<std::uint64_t> acc(P);
+  std::iota(acc.begin(), acc.end(), 0u);
+  for (int stride = 1; stride < P; stride *= 2) {
+    m.superstep([&](ProcId p, const auto& in, auto& out) {
+      for (const auto& msg : in) acc[static_cast<std::size_t>(p)] += msg.word;
+      if ((p & (2 * stride - 1)) == stride)
+        out.push_back({-1, p - stride, 0, acc[static_cast<std::size_t>(p)]});
+      return Cycles{1};
+    });
+  }
+  // One more superstep to deliver the last message.
+  m.superstep([&](ProcId p, const auto& in, auto&) {
+    for (const auto& msg : in) acc[static_cast<std::size_t>(p)] += msg.word;
+    return Cycles{0};
+  });
+  EXPECT_EQ(acc[0], 28u);
+  EXPECT_EQ(m.supersteps(), 4);
+}
+
+TEST(BspMachine, RejectsBadDestination) {
+  BspMachine m(2, 1, 1);
+  EXPECT_THROW(m.superstep([](ProcId, const auto&, auto& out) {
+    out.push_back({-1, 7, 0, 0});
+    return Cycles{0};
+  }),
+               util::check_error);
+}
+
+TEST(BspModel, FormulasAreSane) {
+  BspModel m{64, 4, 50};
+  EXPECT_EQ(m.broadcast_tree(), 6 * (1 + 4 + 50));
+  EXPECT_GT(m.sum(1 << 12), (1 << 12) / 64 - 1);
+  // BSP FFT pays two barriers the LogP hybrid algorithm does not.
+  EXPECT_GT(m.fft(1 << 12), 0);
+}
+
+}  // namespace
+}  // namespace logp::models

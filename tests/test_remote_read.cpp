@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "algo/remote_read.hpp"
+
+namespace logp::algo {
+namespace {
+
+TEST(RemoteRead, DependentReadsCost2Lplus4o) {
+  // Request (o+L+o) + reply (o+L+o) = 2L + 4o per read, Section 3.2.
+  for (const Params prm : {Params{6, 2, 4, 2}, Params{20, 5, 8, 2},
+                           Params{200, 66, 132, 2}}) {
+    const auto r = run_dependent_reads(prm, 50);
+    EXPECT_NEAR(r.cycles_per_read(),
+                static_cast<double>(prm.remote_read_time()), 1.0)
+        << prm.to_string();
+  }
+}
+
+TEST(RemoteRead, MultithreadingSaturatesAtThePipelineBound) {
+  // Throughput grows ~linearly with virtual threads while latency is being
+  // masked, then flattens at the service bound of one read per max(g, 2o)
+  // once about RTT/g requests are in flight (Section 3.2: multithreading
+  // helps only within the network's pipelining limits).
+  const Params prm{128, 2, 8, 2};
+  double prev = 0;
+  std::vector<double> rates;
+  for (int v : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto r = run_multithreaded_reads(prm, v, 40);
+    const double rate =
+        static_cast<double>(r.reads) / static_cast<double>(r.total);
+    rates.push_back(rate);
+    // Monotone up to small tail effects (the last replies drain serially).
+    EXPECT_GE(rate, prev * 0.95) << v;
+    prev = rate;
+  }
+  // Early doubling helps nearly 2x; past the knee it is flat.
+  EXPECT_GT(rates[1], rates[0] * 1.7);
+  EXPECT_LT(rates[7], rates[6] * 1.1);
+  // Saturated rate within 20% of one read per max(g, 2o) cycles.
+  const double bound = 1.0 / static_cast<double>(
+                                 std::max<Cycles>(prm.g, 2 * prm.o));
+  EXPECT_GT(rates[7], 0.8 * bound);
+  EXPECT_LE(rates[7], 1.05 * bound);
+}
+
+TEST(RemoteRead, KneeTracksBandwidthDelayProduct) {
+  // The thread count needed for saturation is the round trip divided by the
+  // issue interval — the bandwidth-delay product of the read pipeline.
+  const Params prm{128, 2, 8, 2};
+  const auto rtt = static_cast<double>(prm.remote_read_time());
+  const int knee = static_cast<int>(rtt / static_cast<double>(prm.g));
+  const auto below = run_multithreaded_reads(prm, knee / 4, 40);
+  const auto above = run_multithreaded_reads(prm, 2 * knee, 40);
+  const double bound = 1.0 / static_cast<double>(
+                                 std::max<Cycles>(prm.g, 2 * prm.o));
+  const double rate_below =
+      static_cast<double>(below.reads) / static_cast<double>(below.total);
+  const double rate_above =
+      static_cast<double>(above.reads) / static_cast<double>(above.total);
+  EXPECT_LT(rate_below, 0.45 * bound);
+  EXPECT_GT(rate_above, 0.9 * bound);
+}
+
+}  // namespace
+}  // namespace logp::algo

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/summation.hpp"
+
+namespace logp {
+namespace {
+
+// The paper's worked example (Figure 4): T=28, P=8, L=5, g=4, o=2.
+constexpr Params kFig4{5, 2, 4, 8};
+
+TEST(Summation, Figure4TreeShape) {
+  const auto s = optimal_sum_schedule(28, kFig4);
+  EXPECT_EQ(s.procs_used(), 8);
+  // Figure 4 labels the nodes with their completion times:
+  // 28 at the root; 18, 14, 10, 6 below it; 8, 4 below 18; 4 below 14.
+  std::multiset<Cycles> budgets;
+  for (const auto& n : s.nodes) budgets.insert(n.budget);
+  EXPECT_EQ(budgets, (std::multiset<Cycles>{28, 18, 14, 10, 6, 8, 4, 4}));
+}
+
+TEST(Summation, Figure4RootChildren) {
+  const auto s = optimal_sum_schedule(28, kFig4);
+  const auto& root = s.nodes[0];
+  ASSERT_EQ(root.children.size(), 4u);
+  // Children complete at T-(2o+L+1), then g earlier each: 18, 14, 10, 6.
+  EXPECT_EQ(s.nodes[root.children[0]].budget, 18);
+  EXPECT_EQ(s.nodes[root.children[1]].budget, 14);
+  EXPECT_EQ(s.nodes[root.children[2]].budget, 10);
+  EXPECT_EQ(s.nodes[root.children[3]].budget, 6);
+}
+
+TEST(Summation, Figure4TotalInputs) {
+  const auto s = optimal_sum_schedule(28, kFig4);
+  std::int64_t total = 0;
+  for (const auto& n : s.nodes) {
+    EXPECT_GE(n.local_inputs, 1);
+    total += n.local_inputs;
+  }
+  EXPECT_EQ(total, s.total_inputs);
+  // With unlimited processors the same deadline sums the same count: the
+  // pruned reception slots convert 1:1 into local additions.
+  EXPECT_EQ(s.total_inputs, max_sum_inputs(28, kFig4));
+}
+
+TEST(Summation, SmallDeadlinesAreLocal) {
+  // T <= L + 2o = 9: a single processor sums T+1 values.
+  for (Cycles T = 0; T <= 9; ++T) {
+    const auto s = optimal_sum_schedule(T, kFig4);
+    EXPECT_EQ(s.procs_used(), 1) << "T=" << T;
+    EXPECT_EQ(s.total_inputs, T + 1) << "T=" << T;
+    EXPECT_EQ(max_sum_inputs(T, kFig4), T + 1);
+  }
+}
+
+TEST(Summation, CapacityIsMonotoneInT) {
+  std::int64_t prev = 0;
+  for (Cycles T = 0; T <= 120; ++T) {
+    const auto n = max_sum_inputs(T, kFig4);
+    EXPECT_GE(n, prev) << "T=" << T;
+    EXPECT_GE(n, T + 1);  // never worse than one processor
+    prev = n;
+  }
+}
+
+TEST(Summation, ScheduleInternalConsistency) {
+  for (Cycles T : {12, 20, 28, 45, 80}) {
+    const auto s = optimal_sum_schedule(T, kFig4);
+    for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+      const auto& n = s.nodes[i];
+      ASSERT_EQ(n.children.size(), n.recv_start.size());
+      for (std::size_t c = 0; c < n.children.size(); ++c) {
+        const auto& child = s.nodes[static_cast<std::size_t>(n.children[c])];
+        EXPECT_EQ(child.parent, static_cast<ProcId>(i));
+        // Child transmits exactly when its own subtree deadline expires.
+        EXPECT_EQ(child.send_start, child.budget);
+        // Reception = send + o (inject) + L (wire).
+        EXPECT_EQ(n.recv_start[c], child.budget + kFig4.o + kFig4.L);
+        // All partial sums represent at least o additions.
+        EXPECT_GE(child.budget, kFig4.o);
+      }
+      // Receptions are far enough apart: sorted gap >= max(g, o+1).
+      for (std::size_t c = 1; c < n.recv_start.size(); ++c)
+        EXPECT_GE(n.recv_start[c - 1] - n.recv_start[c],
+                  std::max(kFig4.g, kFig4.o + 1));
+    }
+  }
+}
+
+TEST(Summation, RespectsProcessorLimit) {
+  for (int P : {1, 2, 3, 5, 8}) {
+    Params prm = kFig4;
+    prm.P = P;
+    const auto s = optimal_sum_schedule(40, prm);
+    EXPECT_LE(s.procs_used(), P);
+  }
+}
+
+TEST(Summation, OneProcessorIsPureChain) {
+  Params prm = kFig4;
+  prm.P = 1;
+  const auto s = optimal_sum_schedule(100, prm);
+  EXPECT_EQ(s.procs_used(), 1);
+  EXPECT_EQ(s.total_inputs, 101);
+}
+
+TEST(Summation, OptimalTimeInvertsCapacity) {
+  for (std::int64_t n : {1, 2, 10, 30, 79, 80, 200}) {
+    const Cycles t = optimal_sum_time(n, kFig4);
+    EXPECT_GE(optimal_sum_schedule(t, kFig4).total_inputs, n);
+    if (t > 0)
+      EXPECT_LT(optimal_sum_schedule(t - 1, kFig4).total_inputs, n);
+  }
+}
+
+TEST(Summation, Figure4DeadlineIsOptimalFor79) {
+  // The Figure 4 schedule sums 79 inputs on 8 processors by T = 28.
+  const auto s = optimal_sum_schedule(28, kFig4);
+  EXPECT_EQ(optimal_sum_time(s.total_inputs, kFig4), 28);
+}
+
+TEST(Summation, BeatsNaiveBinomial) {
+  for (std::int64_t n : {64, 256, 1024, 4096}) {
+    EXPECT_LE(optimal_sum_time(n, kFig4), naive_sum_time(n, kFig4)) << n;
+  }
+}
+
+TEST(Summation, WorksWithZeroOverhead) {
+  const Params prm{4, 0, 2, 64};
+  const auto s = optimal_sum_schedule(30, prm);
+  EXPECT_GT(s.total_inputs, 31);  // parallelism must help
+  EXPECT_LE(s.procs_used(), 64);
+}
+
+TEST(Summation, WorksWhenGapSmallerThanOverhead) {
+  // gr = max(g, o+1) keeps the schedule feasible even when g < o+1.
+  const Params prm{6, 3, 2, 32};
+  const auto s = optimal_sum_schedule(40, prm);
+  for (const auto& n : s.nodes)
+    for (std::size_t c = 1; c < n.recv_start.size(); ++c)
+      EXPECT_GE(n.recv_start[c - 1] - n.recv_start[c], prm.o + 1);
+}
+
+}  // namespace
+}  // namespace logp

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "net/packet_sim.hpp"
+#include "net/topology.hpp"
+#include "util/check.hpp"
+
+namespace logp::net {
+namespace {
+
+TEST(Hypercube, RouteLengthIsHammingDistance) {
+  const auto t = make_hypercube(64);
+  EXPECT_EQ(t->route_length(0, 63), 6);
+  EXPECT_EQ(t->route_length(0, 1), 1);
+  EXPECT_EQ(t->route_length(5, 5 ^ 0b101000), 2);
+}
+
+TEST(Hypercube, AverageDistanceIsHalfLog) {
+  // Over ordered distinct pairs: (P/2 * logP) / (P-1) per source.
+  const auto t = make_hypercube(64);
+  const double exact = t->average_distance();
+  EXPECT_NEAR(exact, 64.0 * 6 / 2 / 63.0, 1e-9);
+  EXPECT_NEAR(formula_avg_distance("Hypercube", 64), 3.0, 1e-9);
+}
+
+TEST(Mesh2D, ManhattanRoutes) {
+  const auto t = make_mesh2d(8, 8, false);
+  EXPECT_EQ(t->route_length(0, 63), 14);  // corner to corner
+  EXPECT_EQ(t->route_length(0, 7), 7);
+  EXPECT_EQ(t->route_length(9, 9), 0);
+}
+
+TEST(Torus2D, WrapsTheShortWay) {
+  const auto t = make_mesh2d(8, 8, true);
+  EXPECT_EQ(t->route_length(0, 7), 1);   // wrap in x
+  EXPECT_EQ(t->route_length(0, 56), 1);  // wrap in y
+  EXPECT_EQ(t->route_length(0, 63), 2);
+  EXPECT_EQ(t->route_length(0, 4), 4);   // exactly halfway: no shortcut
+}
+
+TEST(Mesh3D, DimensionOrderIsExact) {
+  const auto t = make_mesh3d(4, 4, 4, false);
+  // (0,0,0) to (3,3,3): 9 hops.
+  EXPECT_EQ(t->route_length(0, 63), 9);
+  const auto path = t->route(0, 63);
+  EXPECT_EQ(path.size(), 10u);
+}
+
+TEST(Torus3D, AverageDistanceNearFormula) {
+  const auto t = make_mesh3d(8, 8, 8, true);
+  // Formula 3/4 * p^(1/3) = 6 counts ordered pairs including self; the
+  // exact all-distinct-pairs mean is slightly larger.
+  EXPECT_NEAR(t->average_distance(), formula_avg_distance("3d Torus", 512),
+              0.15);
+}
+
+TEST(Mesh2D, AverageDistanceNearFormula) {
+  const auto t = make_mesh2d(16, 16, false);
+  EXPECT_NEAR(t->average_distance(), formula_avg_distance("2d Mesh", 256),
+              0.15);
+}
+
+TEST(Butterfly, AllRoutesTraverseLogPLinks) {
+  const auto t = make_butterfly(32);
+  for (int s : {0, 7, 31})
+    for (int d : {1, 16, 30})
+      if (s != d) EXPECT_EQ(t->route_length(s, d), 5);
+  EXPECT_NEAR(t->average_distance(), 5.0, 1e-9);
+}
+
+TEST(FatTree4, DistanceIsTwiceLcaLevel) {
+  const auto t = make_fat_tree4(64);
+  EXPECT_EQ(t->route_length(0, 1), 2);    // siblings under one switch
+  EXPECT_EQ(t->route_length(0, 5), 4);    // cousins
+  EXPECT_EQ(t->route_length(0, 63), 6);   // across the root
+}
+
+TEST(FatTree4, AverageDistanceMatchesPaperAt1024) {
+  const auto t = make_fat_tree4(1024);
+  // Paper Section 5.1: 9.33 for P = 1024 (ordered pairs incl. self lower it
+  // slightly vs our distinct-pairs mean).
+  EXPECT_NEAR(t->average_distance(), 9.33, 0.15);
+  EXPECT_NEAR(formula_avg_distance("Fattree", 1024), 9.33, 0.01);
+}
+
+TEST(FatTree4, TaperMultipliesUpLinks) {
+  const auto full = make_fat_tree4(64, 1);
+  const auto tapered = make_fat_tree4(64, 2);
+  // Leaf-to-switch links are single channels either way.
+  EXPECT_EQ(full->link_multiplicity(0, full->route(0, 63)[1]), 1);
+  // Up-links above level-1 switches: 4 channels full, 2 tapered.
+  const auto path = full->route(0, 63);
+  EXPECT_EQ(full->link_multiplicity(path[1], path[2]), 4);
+  EXPECT_EQ(tapered->link_multiplicity(path[1], path[2]), 2);
+}
+
+TEST(Formulas, MatchPaperTableAt1024) {
+  EXPECT_NEAR(formula_avg_distance("Hypercube", 1024), 5.0, 1e-9);
+  EXPECT_NEAR(formula_avg_distance("Butterfly", 1024), 10.0, 1e-9);
+  EXPECT_NEAR(formula_avg_distance("Fattree", 1024), 9.33, 0.01);
+  EXPECT_NEAR(formula_avg_distance("3d Torus", 1024), 7.56, 0.06);
+  EXPECT_NEAR(formula_avg_distance("3d Mesh", 1024), 10.08, 0.08);
+  EXPECT_NEAR(formula_avg_distance("2d Torus", 1024), 16.0, 1e-9);
+  EXPECT_NEAR(formula_avg_distance("2d Mesh", 1024), 21.33, 0.01);
+  EXPECT_THROW(formula_avg_distance("Moebius", 1024), util::check_error);
+}
+
+TEST(PacketSim, LightLoadMatchesUnloadedLatency) {
+  const auto t = make_hypercube(16);
+  PacketSimConfig cfg;
+  cfg.injection_rate = 0.0005;
+  cfg.duration = 40000;
+  const auto r = run_packet_sim(*t, cfg);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.latency.count(), 50);
+  const double unloaded = unloaded_packet_time(cfg, t->average_distance());
+  EXPECT_NEAR(r.latency.mean(), unloaded, unloaded * 0.15);
+}
+
+TEST(PacketSim, LatencyGrowsWithLoad) {
+  const auto t = make_mesh2d(4, 4, true);
+  PacketSimConfig lo, hi;
+  lo.injection_rate = 0.001;
+  hi.injection_rate = 0.02;
+  const auto rlo = run_packet_sim(*t, lo);
+  const auto rhi = run_packet_sim(*t, hi);
+  EXPECT_GT(rhi.latency.mean(), rlo.latency.mean());
+}
+
+TEST(PacketSim, SaturationDetected) {
+  const auto t = make_mesh2d(4, 4, false);
+  PacketSimConfig cfg;
+  cfg.injection_rate = 0.5;  // far beyond capacity
+  cfg.duration = 20000;
+  cfg.drain_limit = 60000;
+  const auto r = run_packet_sim(*t, cfg);
+  EXPECT_TRUE(r.saturated || r.throughput < cfg.injection_rate * 0.7);
+}
+
+TEST(PacketSim, DeterministicForFixedSeed) {
+  const auto t = make_hypercube(16);
+  PacketSimConfig cfg;
+  cfg.injection_rate = 0.01;
+  const auto a = run_packet_sim(*t, cfg);
+  const auto b = run_packet_sim(*t, cfg);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+}
+
+}  // namespace
+}  // namespace logp::net

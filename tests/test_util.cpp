@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace logp::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const auto v = rng.uniform_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Xoshiro256StarStar rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256StarStar rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Xoshiro256StarStar rng(5);
+  const double p = 0.1;
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(sum / n, 1.0 / p, 0.3);
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.geometric(0.9), 1);
+  EXPECT_EQ(rng.geometric(1.0), 1);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Xoshiro256StarStar rng(9);
+  const auto perm = random_permutation(100, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat a, b, all;
+  Xoshiro256StarStar rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform01() * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, QuantilesOfUniformSamples) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50, 1.5);
+  EXPECT_NEAR(h.quantile(0.95), 95, 1.5);
+  EXPECT_EQ(h.total(), 100);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0, 10, 10);
+  h.add(-5);
+  h.add(25);
+  EXPECT_EQ(h.total(), 2);
+  EXPECT_EQ(h.bins().front(), 1);
+  EXPECT_EQ(h.bins().back(), 1);
+}
+
+TEST(Table, AlignsAndCounts) {
+  TablePrinter t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("long-header"), std::string::npos);
+  EXPECT_NE(text.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), check_error);
+}
+
+TEST(Table, CsvEscaping) {
+  TablePrinter t({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Format, Counts) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-1234), "-1,234");
+}
+
+TEST(Format, Pow2) {
+  EXPECT_EQ(fmt_pow2(1024), "1 K");
+  EXPECT_EQ(fmt_pow2(1 << 20), "1 M");
+  EXPECT_EQ(fmt_pow2(12345), "12345");
+}
+
+TEST(Format, TimeUnits) {
+  EXPECT_EQ(fmt_time_ns(500), "500.0 ns");
+  EXPECT_EQ(fmt_time_ns(1.5e3), "1.50 us");
+  EXPECT_EQ(fmt_time_ns(2e6), "2.00 ms");
+  EXPECT_EQ(fmt_time_ns(3e9), "3.000 s");
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    LOGP_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace logp::util
