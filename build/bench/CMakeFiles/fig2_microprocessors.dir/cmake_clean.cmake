@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_microprocessors.dir/fig2_microprocessors.cpp.o"
+  "CMakeFiles/fig2_microprocessors.dir/fig2_microprocessors.cpp.o.d"
+  "fig2_microprocessors"
+  "fig2_microprocessors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_microprocessors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

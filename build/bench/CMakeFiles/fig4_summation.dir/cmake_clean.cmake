@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_summation.dir/fig4_summation.cpp.o"
+  "CMakeFiles/fig4_summation.dir/fig4_summation.cpp.o.d"
+  "fig4_summation"
+  "fig4_summation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_summation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fft_layouts.dir/fig5_fft_layouts.cpp.o"
+  "CMakeFiles/fig5_fft_layouts.dir/fig5_fft_layouts.cpp.o.d"
+  "fig5_fft_layouts"
+  "fig5_fft_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fft_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

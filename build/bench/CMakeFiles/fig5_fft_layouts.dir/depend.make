@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_fft_layouts.
+# This may be replaced when dependencies are built.

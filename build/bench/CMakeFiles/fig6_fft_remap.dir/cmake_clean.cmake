@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fft_remap.dir/fig6_fft_remap.cpp.o"
+  "CMakeFiles/fig6_fft_remap.dir/fig6_fft_remap.cpp.o.d"
+  "fig6_fft_remap"
+  "fig6_fft_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fft_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fft_mflops.dir/fig7_fft_mflops.cpp.o"
+  "CMakeFiles/fig7_fft_mflops.dir/fig7_fft_mflops.cpp.o.d"
+  "fig7_fft_mflops"
+  "fig7_fft_mflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fft_mflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

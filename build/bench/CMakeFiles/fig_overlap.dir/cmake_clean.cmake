@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_overlap.dir/fig_overlap.cpp.o"
+  "CMakeFiles/fig_overlap.dir/fig_overlap.cpp.o.d"
+  "fig_overlap"
+  "fig_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

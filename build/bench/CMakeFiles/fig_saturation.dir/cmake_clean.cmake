@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_saturation.dir/fig_saturation.cpp.o"
+  "CMakeFiles/fig_saturation.dir/fig_saturation.cpp.o.d"
+  "fig_saturation"
+  "fig_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

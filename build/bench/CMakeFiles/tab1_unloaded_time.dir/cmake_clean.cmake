@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_unloaded_time.dir/tab1_unloaded_time.cpp.o"
+  "CMakeFiles/tab1_unloaded_time.dir/tab1_unloaded_time.cpp.o.d"
+  "tab1_unloaded_time"
+  "tab1_unloaded_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_unloaded_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_avg_distance.dir/tab_avg_distance.cpp.o"
+  "CMakeFiles/tab_avg_distance.dir/tab_avg_distance.cpp.o.d"
+  "tab_avg_distance"
+  "tab_avg_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_avg_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_concomp.dir/tab_concomp.cpp.o"
+  "CMakeFiles/tab_concomp.dir/tab_concomp.cpp.o.d"
+  "tab_concomp"
+  "tab_concomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_concomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

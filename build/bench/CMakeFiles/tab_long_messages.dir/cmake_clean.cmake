@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_long_messages.dir/tab_long_messages.cpp.o"
+  "CMakeFiles/tab_long_messages.dir/tab_long_messages.cpp.o.d"
+  "tab_long_messages"
+  "tab_long_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_long_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_lu_layouts.dir/tab_lu_layouts.cpp.o"
+  "CMakeFiles/tab_lu_layouts.dir/tab_lu_layouts.cpp.o.d"
+  "tab_lu_layouts"
+  "tab_lu_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_lu_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

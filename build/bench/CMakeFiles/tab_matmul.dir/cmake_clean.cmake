@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_matmul.dir/tab_matmul.cpp.o"
+  "CMakeFiles/tab_matmul.dir/tab_matmul.cpp.o.d"
+  "tab_matmul"
+  "tab_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_models.dir/tab_models.cpp.o"
+  "CMakeFiles/tab_models.dir/tab_models.cpp.o.d"
+  "tab_models"
+  "tab_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_multi_g.dir/tab_multi_g.cpp.o"
+  "CMakeFiles/tab_multi_g.dir/tab_multi_g.cpp.o.d"
+  "tab_multi_g"
+  "tab_multi_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multi_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

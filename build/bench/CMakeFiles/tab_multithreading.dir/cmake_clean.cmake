@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_multithreading.dir/tab_multithreading.cpp.o"
+  "CMakeFiles/tab_multithreading.dir/tab_multithreading.cpp.o.d"
+  "tab_multithreading"
+  "tab_multithreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

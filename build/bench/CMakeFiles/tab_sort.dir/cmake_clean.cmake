@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sort.dir/tab_sort.cpp.o"
+  "CMakeFiles/tab_sort.dir/tab_sort.cpp.o.d"
+  "tab_sort"
+  "tab_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_hybrid.dir/fft_hybrid.cpp.o"
+  "CMakeFiles/fft_hybrid.dir/fft_hybrid.cpp.o.d"
+  "fft_hybrid"
+  "fft_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samplesort.dir/samplesort.cpp.o"
+  "CMakeFiles/samplesort.dir/samplesort.cpp.o.d"
+  "samplesort"
+  "samplesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samplesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

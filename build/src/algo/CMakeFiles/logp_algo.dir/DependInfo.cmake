@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/concomp.cpp" "src/algo/CMakeFiles/logp_algo.dir/concomp.cpp.o" "gcc" "src/algo/CMakeFiles/logp_algo.dir/concomp.cpp.o.d"
+  "/root/repo/src/algo/fft.cpp" "src/algo/CMakeFiles/logp_algo.dir/fft.cpp.o" "gcc" "src/algo/CMakeFiles/logp_algo.dir/fft.cpp.o.d"
+  "/root/repo/src/algo/lu.cpp" "src/algo/CMakeFiles/logp_algo.dir/lu.cpp.o" "gcc" "src/algo/CMakeFiles/logp_algo.dir/lu.cpp.o.d"
+  "/root/repo/src/algo/matmul.cpp" "src/algo/CMakeFiles/logp_algo.dir/matmul.cpp.o" "gcc" "src/algo/CMakeFiles/logp_algo.dir/matmul.cpp.o.d"
+  "/root/repo/src/algo/remote_read.cpp" "src/algo/CMakeFiles/logp_algo.dir/remote_read.cpp.o" "gcc" "src/algo/CMakeFiles/logp_algo.dir/remote_read.cpp.o.d"
+  "/root/repo/src/algo/sort.cpp" "src/algo/CMakeFiles/logp_algo.dir/sort.cpp.o" "gcc" "src/algo/CMakeFiles/logp_algo.dir/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/logp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

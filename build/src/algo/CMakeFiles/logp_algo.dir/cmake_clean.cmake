@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_algo.dir/concomp.cpp.o"
+  "CMakeFiles/logp_algo.dir/concomp.cpp.o.d"
+  "CMakeFiles/logp_algo.dir/fft.cpp.o"
+  "CMakeFiles/logp_algo.dir/fft.cpp.o.d"
+  "CMakeFiles/logp_algo.dir/lu.cpp.o"
+  "CMakeFiles/logp_algo.dir/lu.cpp.o.d"
+  "CMakeFiles/logp_algo.dir/matmul.cpp.o"
+  "CMakeFiles/logp_algo.dir/matmul.cpp.o.d"
+  "CMakeFiles/logp_algo.dir/remote_read.cpp.o"
+  "CMakeFiles/logp_algo.dir/remote_read.cpp.o.d"
+  "CMakeFiles/logp_algo.dir/sort.cpp.o"
+  "CMakeFiles/logp_algo.dir/sort.cpp.o.d"
+  "liblogp_algo.a"
+  "liblogp_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

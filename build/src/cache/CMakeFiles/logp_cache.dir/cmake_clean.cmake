@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_cache.dir/cache.cpp.o"
+  "CMakeFiles/logp_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/logp_cache.dir/fft_trace.cpp.o"
+  "CMakeFiles/logp_cache.dir/fft_trace.cpp.o.d"
+  "liblogp_cache.a"
+  "liblogp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

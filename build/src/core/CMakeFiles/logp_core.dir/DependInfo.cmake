@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/broadcast_tree.cpp" "src/core/CMakeFiles/logp_core.dir/broadcast_tree.cpp.o" "gcc" "src/core/CMakeFiles/logp_core.dir/broadcast_tree.cpp.o.d"
+  "/root/repo/src/core/fft_cost.cpp" "src/core/CMakeFiles/logp_core.dir/fft_cost.cpp.o" "gcc" "src/core/CMakeFiles/logp_core.dir/fft_cost.cpp.o.d"
+  "/root/repo/src/core/lu_cost.cpp" "src/core/CMakeFiles/logp_core.dir/lu_cost.cpp.o" "gcc" "src/core/CMakeFiles/logp_core.dir/lu_cost.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/logp_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/logp_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/summation.cpp" "src/core/CMakeFiles/logp_core.dir/summation.cpp.o" "gcc" "src/core/CMakeFiles/logp_core.dir/summation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

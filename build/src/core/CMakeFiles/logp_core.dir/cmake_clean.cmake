@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_core.dir/broadcast_tree.cpp.o"
+  "CMakeFiles/logp_core.dir/broadcast_tree.cpp.o.d"
+  "CMakeFiles/logp_core.dir/fft_cost.cpp.o"
+  "CMakeFiles/logp_core.dir/fft_cost.cpp.o.d"
+  "CMakeFiles/logp_core.dir/lu_cost.cpp.o"
+  "CMakeFiles/logp_core.dir/lu_cost.cpp.o.d"
+  "CMakeFiles/logp_core.dir/params.cpp.o"
+  "CMakeFiles/logp_core.dir/params.cpp.o.d"
+  "CMakeFiles/logp_core.dir/summation.cpp.o"
+  "CMakeFiles/logp_core.dir/summation.cpp.o.d"
+  "liblogp_core.a"
+  "liblogp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogp_core.a"
+)

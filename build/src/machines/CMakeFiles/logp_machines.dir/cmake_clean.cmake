@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_machines.dir/database.cpp.o"
+  "CMakeFiles/logp_machines.dir/database.cpp.o.d"
+  "CMakeFiles/logp_machines.dir/probe.cpp.o"
+  "CMakeFiles/logp_machines.dir/probe.cpp.o.d"
+  "liblogp_machines.a"
+  "liblogp_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

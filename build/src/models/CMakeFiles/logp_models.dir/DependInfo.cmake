@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bsp.cpp" "src/models/CMakeFiles/logp_models.dir/bsp.cpp.o" "gcc" "src/models/CMakeFiles/logp_models.dir/bsp.cpp.o.d"
+  "/root/repo/src/models/pram.cpp" "src/models/CMakeFiles/logp_models.dir/pram.cpp.o" "gcc" "src/models/CMakeFiles/logp_models.dir/pram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/logp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_models.dir/bsp.cpp.o"
+  "CMakeFiles/logp_models.dir/bsp.cpp.o.d"
+  "CMakeFiles/logp_models.dir/pram.cpp.o"
+  "CMakeFiles/logp_models.dir/pram.cpp.o.d"
+  "liblogp_models.a"
+  "liblogp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_net.dir/packet_sim.cpp.o"
+  "CMakeFiles/logp_net.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/logp_net.dir/topology.cpp.o"
+  "CMakeFiles/logp_net.dir/topology.cpp.o.d"
+  "liblogp_net.a"
+  "liblogp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

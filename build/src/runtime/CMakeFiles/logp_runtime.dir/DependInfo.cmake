@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bulk.cpp" "src/runtime/CMakeFiles/logp_runtime.dir/bulk.cpp.o" "gcc" "src/runtime/CMakeFiles/logp_runtime.dir/bulk.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "src/runtime/CMakeFiles/logp_runtime.dir/collectives.cpp.o" "gcc" "src/runtime/CMakeFiles/logp_runtime.dir/collectives.cpp.o.d"
+  "/root/repo/src/runtime/dsm.cpp" "src/runtime/CMakeFiles/logp_runtime.dir/dsm.cpp.o" "gcc" "src/runtime/CMakeFiles/logp_runtime.dir/dsm.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/logp_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/logp_runtime.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/logp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_runtime.dir/bulk.cpp.o"
+  "CMakeFiles/logp_runtime.dir/bulk.cpp.o.d"
+  "CMakeFiles/logp_runtime.dir/collectives.cpp.o"
+  "CMakeFiles/logp_runtime.dir/collectives.cpp.o.d"
+  "CMakeFiles/logp_runtime.dir/dsm.cpp.o"
+  "CMakeFiles/logp_runtime.dir/dsm.cpp.o.d"
+  "CMakeFiles/logp_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/logp_runtime.dir/scheduler.cpp.o.d"
+  "liblogp_runtime.a"
+  "liblogp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_sim.dir/machine.cpp.o"
+  "CMakeFiles/logp_sim.dir/machine.cpp.o.d"
+  "liblogp_sim.a"
+  "liblogp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_trace.dir/recorder.cpp.o"
+  "CMakeFiles/logp_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/logp_trace.dir/timeline.cpp.o"
+  "CMakeFiles/logp_trace.dir/timeline.cpp.o.d"
+  "liblogp_trace.a"
+  "liblogp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

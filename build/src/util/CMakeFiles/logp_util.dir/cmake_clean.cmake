@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logp_util.dir/format.cpp.o"
+  "CMakeFiles/logp_util.dir/format.cpp.o.d"
+  "CMakeFiles/logp_util.dir/rng.cpp.o"
+  "CMakeFiles/logp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/logp_util.dir/stats.cpp.o"
+  "CMakeFiles/logp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/logp_util.dir/table.cpp.o"
+  "CMakeFiles/logp_util.dir/table.cpp.o.d"
+  "liblogp_util.a"
+  "liblogp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

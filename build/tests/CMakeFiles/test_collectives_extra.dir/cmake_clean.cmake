@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives_extra.dir/test_collectives_extra.cpp.o"
+  "CMakeFiles/test_collectives_extra.dir/test_collectives_extra.cpp.o.d"
+  "test_collectives_extra"
+  "test_collectives_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concomp.dir/test_concomp.cpp.o"
+  "CMakeFiles/test_concomp.dir/test_concomp.cpp.o.d"
+  "test_concomp"
+  "test_concomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

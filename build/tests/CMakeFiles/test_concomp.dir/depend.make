@@ -1,0 +1,2 @@
+# Empty dependencies file for test_concomp.
+# This may be replaced when dependencies are built.

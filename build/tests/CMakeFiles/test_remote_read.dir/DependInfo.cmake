@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_remote_read.cpp" "tests/CMakeFiles/test_remote_read.dir/test_remote_read.cpp.o" "gcc" "tests/CMakeFiles/test_remote_read.dir/test_remote_read.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/logp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/logp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/logp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/logp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/logp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/logp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/logp_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_read.dir/test_remote_read.cpp.o"
+  "CMakeFiles/test_remote_read.dir/test_remote_read.cpp.o.d"
+  "test_remote_read"
+  "test_remote_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summation.dir/test_summation.cpp.o"
+  "CMakeFiles/test_summation.dir/test_summation.cpp.o.d"
+  "test_summation"
+  "test_summation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
