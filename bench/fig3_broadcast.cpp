@@ -4,11 +4,14 @@
 // processor-activity timeline, and (b) sweeps of broadcast completion time
 // against P and against each LogP parameter, comparing the optimal tree with
 // the linear and binomial baselines — both analytically and as executed on
-// the discrete-event machine.
+// the discrete-event machine. The simulated sweep fans out across worker
+// threads (`--threads N`); output is byte-identical for any thread count.
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "core/broadcast_tree.hpp"
+#include "exp/sweep.hpp"
 #include "runtime/collectives.hpp"
 #include "trace/timeline.hpp"
 #include "util/table.hpp"
@@ -17,22 +20,29 @@ namespace {
 
 using namespace logp;
 
-Cycles simulate(const Params& prm, const BroadcastTree& tree) {
-  sim::MachineConfig cfg;
-  cfg.params = prm;
-  runtime::Scheduler sched(cfg);
-  std::vector<std::uint64_t> value(static_cast<std::size_t>(prm.P), 0);
-  value[0] = 1;
-  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
-    return runtime::coll::broadcast_optimal(
-        ctx, tree, &value[static_cast<std::size_t>(ctx.proc())]);
-  });
-  return sched.run();
+/// One grid point of the "completion vs P" sweep: the tree is shared
+/// read-only; the value array is created per run inside the factory.
+exp::ExperimentSpec broadcast_spec(const Params& prm) {
+  auto tree = std::make_shared<const BroadcastTree>(optimal_broadcast_tree(prm));
+  exp::ExperimentSpec spec;
+  spec.label = std::to_string(prm.P);
+  spec.config.params = prm;
+  spec.make_program = [prm, tree]() -> runtime::Program {
+    auto value =
+        std::make_shared<std::vector<std::uint64_t>>(static_cast<std::size_t>(prm.P), 0);
+    (*value)[0] = 1;
+    return [tree, value](runtime::Ctx ctx) -> runtime::Task {
+      return runtime::coll::broadcast_optimal(
+          ctx, *tree, &(*value)[static_cast<std::size_t>(ctx.proc())]);
+    };
+  };
+  return spec;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = exp::threads_from_args(argc, argv);
   std::cout << "== Figure 3: optimal broadcast tree ==\n\n";
 
   const Params fig3{6, 2, 4, 8};
@@ -67,12 +77,17 @@ int main() {
   std::cout << "== Completion time vs P (CM-5 parameters, in us) ==\n\n";
   util::TablePrinter tp({"P", "optimal (analytic)", "optimal (simulated)",
                          "binomial", "linear", "opt fanout(root)"});
-  for (int P : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
-    const Params prm = Cm5::params(P);
+  const std::vector<int> ps = {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  std::vector<exp::ExperimentSpec> specs;
+  for (int P : ps) specs.push_back(broadcast_spec(Cm5::params(P)));
+  const exp::SweepRunner runner({threads});
+  const auto results = runner.run(specs);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const Params prm = Cm5::params(ps[i]);
     const auto t = optimal_broadcast_tree(prm);
     const double us = Cm5::kTickNs / 1000.0;
-    tp.add_row({std::to_string(P), util::fmt(t.completion * us, 1),
-                util::fmt(simulate(prm, t) * us, 1),
+    tp.add_row({std::to_string(ps[i]), util::fmt(t.completion * us, 1),
+                util::fmt(static_cast<double>(results[i].finish) * us, 1),
                 util::fmt(binomial_broadcast_time(prm) * us, 1),
                 util::fmt(linear_broadcast_time(prm) * us, 1),
                 std::to_string(t.fanout(0))});

@@ -1,9 +1,16 @@
 // Harness microbenchmarks (google-benchmark): throughput of the simulator
 // itself — events per second for message ping-pong, broadcast fan-out and
-// all-to-all — so regressions in the engine are visible.
+// all-to-all — so regressions in the engine are visible, plus sweep
+// throughput (events/sec through exp::SweepRunner at 1, 4 and N workers) so
+// regressions in the parallel harness are too.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "core/broadcast_tree.hpp"
+#include "exp/sweep.hpp"
 #include "runtime/collectives.hpp"
 
 namespace {
@@ -72,6 +79,53 @@ void BM_AllToAll(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * P * (P - 1) * 8);
 }
 BENCHMARK(BM_AllToAll)->Arg(16)->Arg(64);
+
+/// A fixed grid of ping-pong experiments pushed through the sweep harness;
+/// items/sec is simulator events/sec summed over the grid. Arg = threads.
+void BM_SweepThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kGridSize = 64;
+  constexpr std::int64_t kRounds = 200;
+  std::vector<exp::ExperimentSpec> specs;
+  for (int i = 0; i < kGridSize; ++i) {
+    exp::ExperimentSpec spec;
+    spec.label = std::to_string(i);
+    spec.config.params = {6 + i % 4, 2, 4, 2};
+    spec.config.seed = 0x10c9 + static_cast<std::uint64_t>(i);
+    spec.make_program = []() -> runtime::Program {
+      return [](runtime::Ctx ctx) -> runtime::Task {
+        return [](runtime::Ctx c, std::int64_t n) -> runtime::Task {
+          for (std::int64_t i = 0; i < n; ++i) {
+            if (c.proc() == 0) {
+              co_await c.send(1, 1);
+              (void)co_await c.recv(2);
+            } else {
+              (void)co_await c.recv(1);
+              co_await c.send(0, 2);
+            }
+          }
+        }(ctx, kRounds);
+      };
+    };
+    specs.push_back(std::move(spec));
+  }
+  const exp::SweepRunner runner({threads});
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto results = runner.run(specs);
+    events = 0;
+    for (const auto& r : results) events += r.events;
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+  state.counters["grid"] = kGridSize;
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->UseRealTime();
 
 }  // namespace
 

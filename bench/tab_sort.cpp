@@ -1,28 +1,49 @@
 // Reproduces the Section 4.2.2 sorting study: splitter sort's
 // compute-remap-compute structure against the oblivious bitonic baseline.
 // Both run with real keys on the simulated machine and are verified.
+//
+// Each (keys, algorithm) grid point is an independent simulation; the sweep
+// harness runs them across `--threads N` workers and merges rows in grid
+// order, so the table is byte-identical for any thread count.
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "algo/sort.hpp"
+#include "exp/sweep.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace logp;
+  const int threads = exp::threads_from_args(argc, argv);
   const Params prm{20, 4, 8, 16};
   std::cout << "== Section 4.2.2: distributed sorting, " << prm.to_string()
             << " ==\n\n";
 
+  const std::vector<std::int64_t> keys = {256, 1024, 4096, 16384};
+  const std::vector<algo::SortAlgo> algos = {algo::SortAlgo::kSplitter,
+                                             algo::SortAlgo::kBitonic,
+                                             algo::SortAlgo::kRadix};
+
+  std::vector<std::function<algo::SortResult()>> jobs;
+  for (const std::int64_t k : keys)
+    for (const auto algo : algos)
+      jobs.push_back([prm, k, algo] {
+        algo::SortConfig cfg;
+        cfg.keys_per_proc = k;
+        cfg.algo = algo;
+        return algo::run_distributed_sort(prm, cfg);
+      });
+  const exp::SweepRunner runner({threads});
+  const auto results = runner.map(jobs);
+
   util::TablePrinter tp({"keys/proc", "algorithm", "total (kcyc)", "messages",
                          "compute frac", "imbalance", "verified"});
-  for (const std::int64_t k : {256, 1024, 4096, 16384}) {
-    for (const auto algo :
-         {algo::SortAlgo::kSplitter, algo::SortAlgo::kBitonic,
-          algo::SortAlgo::kRadix}) {
-      algo::SortConfig cfg;
-      cfg.keys_per_proc = k;
-      cfg.algo = algo;
-      const auto r = algo::run_distributed_sort(prm, cfg);
+  std::size_t job = 0;
+  for (const std::int64_t k : keys) {
+    for (const auto algo : algos) {
+      const auto& r = results[job++];
       tp.add_row({util::fmt_count(k), algo::sort_algo_name(algo),
                   util::fmt(double(r.total) / 1e3, 1),
                   util::fmt_count(r.messages),

@@ -1,0 +1,97 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace logp::exp {
+
+SweepRunner::SweepRunner(SweepOptions opts) : threads_(opts.threads) {
+  if (threads_ <= 0)
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+void SweepRunner::for_index(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return;
+
+  // Exceptions are collected per job; after the join the lowest-index one is
+  // rethrown so failure behaviour does not depend on worker interleaving.
+  std::vector<std::exception_ptr> errors(n);
+
+  const int nworkers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_), n));
+  if (nworkers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::vector<ExperimentResult> SweepRunner::run(
+    const std::vector<ExperimentSpec>& specs) const {
+  std::vector<ExperimentResult> results(specs.size());
+  for_index(specs.size(), [&](std::size_t i) {
+    const ExperimentSpec& spec = specs[i];
+    LOGP_CHECK_MSG(static_cast<bool>(spec.make_program),
+                   "ExperimentSpec " << i << " has no program factory");
+    runtime::Scheduler sched(spec.config);
+    sched.set_program(spec.make_program());
+    ExperimentResult r;
+    r.index = i;
+    r.label = spec.label;
+    r.finish = sched.run();
+    r.totals = sched.machine().total_stats();
+    r.messages = sched.machine().total_messages();
+    r.events = sched.machine().events_processed();
+    results[i] = std::move(r);
+  });
+  return results;
+}
+
+int threads_from_args(int& argc, char** argv, int def) {
+  int threads = def;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return threads;
+}
+
+}  // namespace logp::exp

@@ -1,0 +1,90 @@
+// Parallel experiment-sweep harness.
+//
+// Every figure and table in the paper reproduction is a grid of independent
+// deterministic simulations over (P, L, o, g) points. SweepRunner fans the
+// grid out across a std::thread worker pool and merges the results back in
+// spec order, so the emitted util::table rows are byte-identical to a
+// sequential run regardless of thread count:
+//
+//  * each experiment owns its Scheduler/Machine/RNG — no shared mutable
+//    state between grid points, and every RNG is seeded from the spec;
+//  * workers claim jobs through a single atomic index ("work stealing" by
+//    competing on the shared counter), so scheduling order is arbitrary but
+//    results land in a pre-sized, index-addressed vector;
+//  * the first exception by *spec order* (not completion order) is rethrown
+//    on the caller, so even failures are deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "sim/machine.hpp"
+
+namespace logp::exp {
+
+/// One grid point: a complete machine configuration plus the program to run
+/// on it. The factory runs inside the worker thread; captured state must not
+/// be shared mutably with other specs.
+struct ExperimentSpec {
+  std::string label;
+  sim::MachineConfig config;
+  std::function<runtime::Program()> make_program;
+};
+
+/// Deterministic outputs of one experiment. Wall-clock time is deliberately
+/// absent: rows built from this struct cannot depend on the host machine.
+struct ExperimentResult {
+  std::size_t index = 0;  ///< position in the spec grid
+  std::string label;
+  Cycles finish = 0;             ///< simulated completion time
+  sim::ProcStats totals;         ///< aggregated over processors
+  std::int64_t messages = 0;     ///< total messages carried
+  std::uint64_t events = 0;      ///< events the engine processed
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  int threads = 1;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  int threads() const { return threads_; }
+
+  /// Runs every spec on its own Scheduler and returns results in spec order.
+  std::vector<ExperimentResult> run(
+      const std::vector<ExperimentSpec>& specs) const;
+
+  /// Generic ordered parallel map for sweeps that are not Scheduler programs
+  /// (closed-form cost models, the packet-level simulator, ...). jobs[i] runs
+  /// once on some worker; the returned vector is ordered by job index.
+  template <typename T>
+  std::vector<T> map(const std::vector<std::function<T()>>& jobs) const {
+    std::vector<T> results(jobs.size());
+    for_index(jobs.size(),
+              [&](std::size_t i) { results[i] = jobs[i](); });
+    return results;
+  }
+
+ private:
+  /// Runs body(0..n-1) on the worker pool; rethrows the lowest-index
+  /// exception after all workers join.
+  void for_index(std::size_t n,
+                 const std::function<void(std::size_t)>& body) const;
+
+  int threads_;
+};
+
+/// Consumes a `--threads N` (or `--threads=N`) argument from argv, returning
+/// N, or `def` when the flag is absent. Figure binaries pass their argc/argv
+/// through so `fig3_broadcast --threads 8` works without further plumbing.
+int threads_from_args(int& argc, char** argv, int def = 1);
+
+}  // namespace logp::exp

@@ -1,11 +1,11 @@
 #include "net/packet_sim.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/event_heap.hpp"
 
 namespace logp::net {
 
@@ -22,9 +22,14 @@ struct Event {
   Cycles t;
   std::uint64_t seq;
   std::int32_t packet;
-  bool operator>(const Event& rhs) const {
-    if (t != rhs.t) return t > rhs.t;
-    return seq > rhs.seq;
+};
+
+/// (t, seq) order: seq increases monotonically, so equal-timestamp events
+/// keep FIFO order — identical dispatch order to the old priority_queue.
+struct EventBefore {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
   }
 };
 
@@ -103,7 +108,7 @@ PacketSimResult run_packet_sim(const Topology& topo,
   const Cycles service = cfg.hop_delay + cfg.phits;
 
   std::vector<Packet> packets;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  util::FourAryHeap<Event, EventBefore> events;
   std::uint64_t seq = 0;
 
   // Pre-generate all injections (open-loop source).
@@ -128,9 +133,9 @@ PacketSimResult run_packet_sim(const Topology& topo,
                                static_cast<double>(topo.num_nodes()),
                         4096);
 
+  Event ev;
   while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
+    events.pop_into(ev);
     if (ev.t > cfg.drain_limit) {
       result.saturated = true;
       break;

@@ -65,14 +65,14 @@ void Scheduler::op_compute(ProcId p, Cycles dur, std::coroutine_handle<> h) {
   machine_.start_compute(p, dur);
 }
 
-void Scheduler::op_send(ProcId p, Message m, std::coroutine_handle<> h) {
+void Scheduler::op_send(ProcId p, const Message& m, std::coroutine_handle<> h) {
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   LOGP_CHECK_MSG(!ps.cpu_owner, "two tasks racing for one CPU");
   ps.cpu_owner = h;
   machine_.start_send(p, m);
 }
 
-void Scheduler::op_send_dma(ProcId p, Message m, std::uint64_t words,
+void Scheduler::op_send_dma(ProcId p, const Message& m, std::uint64_t words,
                             Cycles gap, std::coroutine_handle<> h) {
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   LOGP_CHECK_MSG(!ps.cpu_owner, "two tasks racing for one CPU");
@@ -159,6 +159,7 @@ void Scheduler::pump(ProcId p) {
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   if (ps.pumping) return;
   ps.pumping = true;
+  bool resumed = false;
   while (machine_.cpu_idle(p)) {
     const bool have_arrivals = machine_.arrivals_pending(p) > 0;
     const bool have_ready = !ps.ready.empty();
@@ -175,6 +176,7 @@ void Scheduler::pump(ProcId p) {
       auto h = ps.ready.front();
       ps.ready.pop_front();
       resume(p, h);
+      resumed = true;
       continue;
     }
     if (have_arrivals) {
@@ -183,7 +185,9 @@ void Scheduler::pump(ProcId p) {
     }
     break;  // genuinely idle
   }
-  sweep_finished(ps);
+  // Tasks only finish inside resume(); a pump that merely started machine
+  // operations has nothing to reap.
+  if (resumed) sweep_finished(ps);
   ps.pumping = false;
 }
 

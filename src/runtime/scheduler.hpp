@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "runtime/task.hpp"
 #include "sim/machine.hpp"
 #include "util/check.hpp"
+#include "util/ring_deque.hpp"
 
 namespace logp::runtime {
 
@@ -115,8 +115,8 @@ class Scheduler final : public sim::Host {
   // ---- used by awaitables / Ctx (not user-facing) ----
   void spawn_on(ProcId p, Task t);
   void op_compute(ProcId p, Cycles dur, std::coroutine_handle<> h);
-  void op_send(ProcId p, Message m, std::coroutine_handle<> h);
-  void op_send_dma(ProcId p, Message m, std::uint64_t words, Cycles gap,
+  void op_send(ProcId p, const Message& m, std::coroutine_handle<> h);
+  void op_send_dma(ProcId p, const Message& m, std::uint64_t words, Cycles gap,
                    std::coroutine_handle<> h);
   bool try_take_mailbox(ProcId p, std::int32_t tag, ProcId src, Message* out);
   void add_recv_waiter(ProcId p, std::int32_t tag, ProcId src,
@@ -132,10 +132,10 @@ class Scheduler final : public sim::Host {
   };
 
   struct PState {
-    std::deque<std::coroutine_handle<>> ready;
+    util::RingDeque<std::coroutine_handle<>> ready;
     std::coroutine_handle<> cpu_owner = nullptr;  ///< awaiting compute/send
-    std::deque<RecvWaiter> recv_waiters;
-    std::deque<Message> mailbox;
+    std::vector<RecvWaiter> recv_waiters;  ///< tiny; matched front-to-back
+    std::vector<Message> mailbox;          ///< tiny; matched front-to-back
     std::vector<Task> toplevel;  ///< owned frames (spawned tasks)
     bool pumping = false;
     std::int64_t sleepers = 0;

@@ -15,6 +15,7 @@ Machine::Machine(MachineConfig config, Host& host)
   LOGP_CHECK(cfg_.latency_min <= cfg_.params.L);
   LOGP_CHECK(cfg_.compute_jitter >= 0.0 && cfg_.compute_jitter < 1.0);
   procs_.resize(static_cast<std::size_t>(cfg_.params.P));
+  events_.reserve(64 + 4 * static_cast<std::size_t>(cfg_.params.P));
   for (ProcId p = 0; p < cfg_.params.P; ++p)
     push_event(0, EvKind::kStartup, p, 0);
 }
@@ -26,9 +27,9 @@ void Machine::push_event(Cycles t, EvKind kind, ProcId proc,
 }
 
 Cycles Machine::run() {
+  Event ev;
   while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
+    events_.pop_into(ev);
     LOGP_CHECK(ev.t >= now_);
     now_ = ev.t;
     if (++events_processed_ > cfg_.max_events)

@@ -23,14 +23,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "core/params.hpp"
 #include "sim/message.hpp"
 #include "trace/recorder.hpp"
+#include "util/event_heap.hpp"
+#include "util/ring_deque.hpp"
 #include "util/rng.hpp"
 
 namespace logp::sim {
@@ -183,10 +183,14 @@ class Machine {
     EvKind kind;
     ProcId proc;
     std::uint32_t payload;  ///< message pool index or callback slot
+  };
 
-    bool operator>(const Event& rhs) const {
-      if (t != rhs.t) return t > rhs.t;
-      return seq > rhs.seq;
+  /// Orders by (t, seq); seq is strictly increasing at push time, so events
+  /// at equal timestamps dispatch in FIFO push order.
+  struct EventBefore {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
     }
   };
 
@@ -202,7 +206,7 @@ class Machine {
     std::uint64_t dma_words = 0;     ///< outgoing DMA stream length
     Cycles dma_gap = 0;              ///< cycles per streamed word
     std::uint32_t current_msg = 0;
-    std::deque<std::uint32_t> arrivals;
+    util::RingDeque<std::uint32_t> arrivals;
     ProcStats stats;
   };
 
@@ -225,7 +229,7 @@ class Machine {
   MachineConfig cfg_;
   Host& host_;
   std::vector<Proc> procs_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  util::FourAryHeap<Event, EventBefore> events_;
   std::uint64_t event_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   Cycles now_ = 0;

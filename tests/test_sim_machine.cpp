@@ -403,5 +403,49 @@ TEST(Machine, EventBudgetGuard) {
   EXPECT_THROW(m.run(), util::check_error);
 }
 
+// Event-queue ordering regression: events pushed at the same timestamp must
+// dispatch in push (FIFO) order — the determinism guarantee the sweep
+// harness and traces rely on. Scheduled calls at one instant exercise the
+// queue directly, including a same-time call pushed *during* dispatch.
+TEST(Machine, EqualTimestampCallsDispatchFifo) {
+  ScriptHost host;
+  Machine m(cfg({6, 2, 4, 1}), host);
+  std::vector<int> order;
+  host.startup = [&](ProcId) {
+    for (int i = 0; i < 9; ++i)
+      m.schedule_call(7, [&order, i] { order.push_back(i); });
+    m.schedule_call(7, [&] {
+      m.schedule_call(7, [&order] { order.push_back(100); });  // same instant
+    });
+  };
+  m.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 100}));
+}
+
+// Two senders whose messages are delivered at the same cycle: the receiver
+// must accept them in injection order (proc 1 engaged its send first, so its
+// message was pushed onto the queue first).
+TEST(Machine, EqualTimestampDeliveriesAcceptedFifo) {
+  ScriptHost host;
+  Machine m(cfg({6, 2, 4, 3}), host);
+  std::vector<ProcId> accepted_from;
+  host.startup = [&](ProcId p) {
+    if (p == 0) return;
+    Message msg;
+    msg.dst = 0;
+    msg.tag = p;
+    m.start_send(p, msg);  // both sends start at t=0, deliver at o+L
+  };
+  host.arrived = [&](ProcId p) {
+    if (m.cpu_idle(p)) m.start_accept(p);
+  };
+  host.accept_done = [&](ProcId p, const Message& msg) {
+    accepted_from.push_back(msg.src);
+    if (m.arrivals_pending(p) > 0) m.start_accept(p);
+  };
+  m.run();
+  EXPECT_EQ(accepted_from, (std::vector<ProcId>{1, 2}));
+}
+
 }  // namespace
 }  // namespace logp::sim

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "util/table.hpp"
+
+namespace logp::exp {
+namespace {
+
+/// A ping-pong program parameterized by rounds; deterministic and message-y
+/// enough that any engine-ordering difference would change its totals.
+ExperimentSpec ping_pong_spec(Params prm, std::int64_t rounds,
+                              std::uint64_t seed = 0x10c9) {
+  ExperimentSpec spec;
+  spec.label = prm.to_string();
+  spec.config.params = prm;
+  spec.config.seed = seed;
+  spec.make_program = [rounds]() -> runtime::Program {
+    return [rounds](runtime::Ctx ctx) -> runtime::Task {
+      return [](runtime::Ctx c, std::int64_t n) -> runtime::Task {
+        for (std::int64_t i = 0; i < n; ++i) {
+          if (c.proc() == 0) {
+            co_await c.send(1, 1);
+            (void)co_await c.recv(2);
+          } else {
+            (void)co_await c.recv(1);
+            co_await c.send(0, 2);
+          }
+        }
+      }(ctx, rounds);
+    };
+  };
+  return spec;
+}
+
+std::vector<ExperimentSpec> grid() {
+  std::vector<ExperimentSpec> specs;
+  for (Cycles L : {4, 6, 12})
+    for (Cycles g : {2, 4})
+      for (std::int64_t rounds : {5, 23}) specs.push_back(
+          ping_pong_spec(Params{L, 2, g, 2}, rounds));
+  return specs;
+}
+
+std::string render(const std::vector<ExperimentResult>& results) {
+  util::TablePrinter tp({"label", "finish", "messages", "events"});
+  for (const auto& r : results)
+    tp.add_row({r.label, std::to_string(r.finish), std::to_string(r.messages),
+                std::to_string(r.events)});
+  std::ostringstream os;
+  tp.print(os);
+  return os.str();
+}
+
+TEST(Sweep, ResultsIndependentOfThreadCount) {
+  const auto specs = grid();
+  const auto seq = SweepRunner({1}).run(specs);
+  for (int threads : {2, 3, 8, 16}) {
+    const auto par = SweepRunner({threads}).run(specs);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(par[i].index, i);
+      EXPECT_EQ(par[i].label, seq[i].label);
+      EXPECT_EQ(par[i].finish, seq[i].finish);
+      EXPECT_EQ(par[i].messages, seq[i].messages);
+      EXPECT_EQ(par[i].events, seq[i].events);
+      EXPECT_EQ(par[i].totals.send_overhead, seq[i].totals.send_overhead);
+      EXPECT_EQ(par[i].totals.stall, seq[i].totals.stall);
+      EXPECT_EQ(par[i].totals.gap_wait, seq[i].totals.gap_wait);
+    }
+    // The rendered table — what figure binaries emit — is byte-identical.
+    EXPECT_EQ(render(par), render(seq));
+  }
+}
+
+TEST(Sweep, SeedStability) {
+  // Randomized latency makes the trajectory seed-dependent; the same seed
+  // must reproduce the same run on every invocation and thread count.
+  auto with_seed = [](std::uint64_t seed) {
+    auto spec = ping_pong_spec(Params{12, 2, 3, 2}, 40, seed);
+    spec.config.latency_min = 3;  // uniform in [3, L]: reordering possible
+    return spec;
+  };
+  const std::vector<ExperimentSpec> specs = {with_seed(1), with_seed(1),
+                                             with_seed(99)};
+  const auto r1 = SweepRunner({1}).run(specs);
+  const auto r8 = SweepRunner({8}).run(specs);
+  EXPECT_EQ(r1[0].finish, r1[1].finish);  // same seed, same trajectory
+  EXPECT_EQ(r1[0].events, r1[1].events);
+  EXPECT_EQ(r1[0].finish, r8[0].finish);  // threads don't perturb the RNG
+  EXPECT_EQ(r8[0].finish, r8[1].finish);
+  // A different seed draws different latencies; totals diverge.
+  EXPECT_NE(r1[0].totals.gap_wait + r1[0].finish,
+            r1[2].totals.gap_wait + r1[2].finish);
+}
+
+TEST(Sweep, WorkerExceptionPropagates) {
+  auto specs = grid();
+  specs[3].make_program = []() -> runtime::Program {
+    throw std::runtime_error("factory failed on purpose");
+  };
+  for (int threads : {1, 4}) {
+    EXPECT_THROW(SweepRunner({threads}).run(specs), std::runtime_error);
+  }
+}
+
+TEST(Sweep, LowestIndexExceptionWins) {
+  // Two failing specs: the rethrown error must be the lowest-index one no
+  // matter which worker finishes first.
+  auto specs = grid();
+  specs[5].make_program = []() -> runtime::Program {
+    throw std::runtime_error("later failure");
+  };
+  specs[2].make_program = []() -> runtime::Program {
+    throw std::invalid_argument("earlier failure");
+  };
+  for (int threads : {1, 8}) {
+    EXPECT_THROW(SweepRunner({threads}).run(specs), std::invalid_argument);
+  }
+}
+
+TEST(Sweep, DeadlockInsideWorkerPropagates) {
+  auto specs = grid();
+  specs[1].make_program = []() -> runtime::Program {
+    return [](runtime::Ctx ctx) -> runtime::Task {
+      return [](runtime::Ctx c) -> runtime::Task {
+        if (c.proc() == 0) (void)co_await c.recv(42);  // nobody sends
+      }(ctx);
+    };
+  };
+  EXPECT_THROW(SweepRunner({4}).run(specs), runtime::DeadlockError);
+}
+
+TEST(Sweep, MapPreservesOrder) {
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 100; ++i) jobs.push_back([i] { return i * i; });
+  const auto out = SweepRunner({7}).map(jobs);
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(Sweep, ThreadsFromArgs) {
+  {
+    const char* raw[] = {"prog", "--threads", "8", "--other"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1]),
+                    const_cast<char*>(raw[2]), const_cast<char*>(raw[3])};
+    int argc = 4;
+    EXPECT_EQ(threads_from_args(argc, argv), 8);
+    EXPECT_EQ(argc, 2);  // --threads 8 consumed; --other kept
+    EXPECT_STREQ(argv[1], "--other");
+  }
+  {
+    const char* raw[] = {"prog", "--threads=3"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1])};
+    int argc = 2;
+    EXPECT_EQ(threads_from_args(argc, argv), 3);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    const char* raw[] = {"prog"};
+    char* argv[] = {const_cast<char*>(raw[0])};
+    int argc = 1;
+    EXPECT_EQ(threads_from_args(argc, argv, 5), 5);
+  }
+}
+
+TEST(Sweep, ZeroThreadsMeansHardwareConcurrency) {
+  EXPECT_GE(SweepRunner({0}).threads(), 1);
+}
+
+}  // namespace
+}  // namespace logp::exp
