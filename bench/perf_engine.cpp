@@ -2,7 +2,9 @@
 // itself — events per second for message ping-pong, broadcast fan-out and
 // all-to-all — so regressions in the engine are visible, plus sweep
 // throughput (events/sec through exp::SweepRunner at 1, 4 and N workers) so
-// regressions in the parallel harness are too.
+// regressions in the parallel harness are too. BM_PacketSim and
+// BM_MachineChurn guard the zero-allocation hot paths of the packet-level
+// network simulator and the machine's message/continuation pools.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -11,6 +13,8 @@
 
 #include "core/broadcast_tree.hpp"
 #include "exp/sweep.hpp"
+#include "net/packet_sim.hpp"
+#include "net/topology.hpp"
 #include "runtime/collectives.hpp"
 
 namespace {
@@ -79,6 +83,83 @@ void BM_AllToAll(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * P * (P - 1) * 8);
 }
 BENCHMARK(BM_AllToAll)->Arg(16)->Arg(64);
+
+/// Packet-level network simulator throughput (delivered packets/sec of wall
+/// time). Arg = injection rate in units of 1e-4 packets/node/cycle; 200 is
+/// the stable regime, 500 pushes the torus toward its saturation knee, so
+/// both the low-occupancy and the deep-queue paths are timed.
+void BM_PacketSim(benchmark::State& state) {
+  const auto topo = net::make_mesh2d(8, 8, true);
+  net::PacketSimConfig cfg;
+  cfg.injection_rate = static_cast<double>(state.range(0)) * 1e-4;
+  cfg.duration = 20000;
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    const auto r = net::run_packet_sim(*topo, cfg);
+    delivered = r.delivered;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * delivered);
+}
+BENCHMARK(BM_PacketSim)->Arg(200)->Arg(500);
+
+/// Message + timed-call churn on the raw machine: proc 0 streams messages at
+/// proc 1 while every completion schedules a short timed continuation, so
+/// the message pool and the continuation pool recycle constantly. Items/sec
+/// counts messages plus fired calls.
+class ChurnHost final : public sim::Host {
+ public:
+  explicit ChurnHost(std::int64_t messages) : remaining_(messages) {}
+
+  void attach(sim::Machine& m) { machine_ = &m; }
+  std::int64_t calls_fired() const { return calls_fired_; }
+
+  void on_startup(ProcId p) override {
+    if (p == 0) next_send();
+  }
+  void on_compute_done(ProcId) override {}
+  void on_send_done(ProcId) override {
+    ++calls_scheduled_;
+    machine_->schedule_call(machine_->now() + 1, [this] { ++calls_fired_; });
+    next_send();
+  }
+  void on_accept_done(ProcId p, const sim::Message&) override {
+    if (machine_->arrivals_pending(p) > 0) machine_->start_accept(p);
+  }
+  void on_message_arrived(ProcId p) override {
+    if (machine_->cpu_idle(p)) machine_->start_accept(p);
+  }
+
+ private:
+  void next_send() {
+    if (remaining_-- <= 0) return;
+    sim::Message m;
+    m.dst = 1;
+    m.push_word(static_cast<std::uint64_t>(remaining_));
+    machine_->start_send(0, m);
+  }
+
+  sim::Machine* machine_ = nullptr;
+  std::int64_t remaining_ = 0;
+  std::int64_t calls_scheduled_ = 0;
+  std::int64_t calls_fired_ = 0;
+};
+
+void BM_MachineChurn(benchmark::State& state) {
+  const auto messages = static_cast<std::int64_t>(state.range(0));
+  std::int64_t items = 0;
+  for (auto _ : state) {
+    sim::MachineConfig cfg;
+    cfg.params = {6, 2, 4, 2};
+    ChurnHost host(messages);
+    sim::Machine machine(cfg, host);
+    host.attach(machine);
+    benchmark::DoNotOptimize(machine.run());
+    items = machine.total_messages() + host.calls_fired();
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_MachineChurn)->Arg(4000);
 
 /// A fixed grid of ping-pong experiments pushed through the sweep harness;
 /// items/sec is simulator events/sec summed over the grid. Arg = threads.

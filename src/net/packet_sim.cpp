@@ -1,27 +1,46 @@
 #include "net/packet_sim.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/event_heap.hpp"
+#include "util/ring_deque.hpp"
 
 namespace logp::net {
 
 namespace {
 
-struct Packet {
+// The hot-path stores below follow one rule: nothing is heap-allocated per
+// packet. Injections are flat 16-byte records consumed in sorted order; in-
+// network packets live in a struct-of-arrays pool whose delivered slots
+// recycle through a FIFO freelist; routes are resolved once per (src, dst)
+// pair into arena-backed link-id spans shared by every packet on that pair;
+// links live in an open-addressing table instead of a node-per-entry
+// unordered_map, and the hot loop never hashes at all — a packet's next
+// link is an array lookup. After warmup every structure has hit its
+// high-water mark and the steady state performs zero allocations (asserted
+// by tests/test_packet_sim.cpp).
+
+/// One pre-generated injection. Injections are sorted by (born, src) after
+/// generation — exactly their (time, sequence) order, since endpoint streams
+/// are generated in src order with strictly increasing times — and then
+/// merged against the in-flight event heap instead of being pushed into it,
+/// keeping the heap at the peak-in-flight size rather than the total packet
+/// count. At equal timestamps injections dispatch first, which reproduces
+/// the historical order where all injection events carried smaller sequence
+/// numbers than any in-simulation hop event.
+struct Injection {
   Cycles born;
-  std::vector<int> path;  ///< node sequence
-  std::size_t hop = 0;    ///< index of the current node in path
-  bool measured = false;
+  std::int32_t src;
+  std::int32_t dst;
 };
 
 struct Event {
   Cycles t;
   std::uint64_t seq;
-  std::int32_t packet;
+  std::int32_t packet;  ///< active packet-store slot id
 };
 
 /// (t, seq) order: seq increases monotonically, so equal-timestamp events
@@ -33,18 +52,176 @@ struct EventBefore {
   }
 };
 
-/// One directed link: `mult` parallel channels, each free at channel[i].
-struct Link {
-  std::vector<Cycles> channel;
-  Cycles& earliest() {
-    return *std::min_element(channel.begin(), channel.end());
-  }
-};
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
-std::uint64_t link_key(int u, int v) {
+std::uint64_t pair_key(int u, int v) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
          static_cast<std::uint32_t>(v);
 }
+
+/// Open-addressing (u, v) -> dense id map: one flat probe instead of an
+/// unordered_map node walk, and no per-insert allocation once warmed up.
+class PairIndex {
+ public:
+  PairIndex() { rehash(1024); }
+
+  /// Returns (id, fresh). Ids are dense and assigned in first-touch order.
+  std::pair<std::int32_t, bool> find_or_add(std::uint64_t key) {
+    if ((count_ + 1) * 10 >= keys_.size() * 7) rehash(keys_.size() * 2);
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask_;
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return {ids_[i], false};
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    ids_[i] = static_cast<std::int32_t>(count_++);
+    return {ids_[i], true};
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  void rehash(std::size_t cap) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::int32_t> old_ids = std::move(ids_);
+    keys_.assign(cap, kEmpty);
+    ids_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (std::size_t j = 0; j < old_keys.size(); ++j) {
+      if (old_keys[j] == kEmpty) continue;
+      std::size_t i = static_cast<std::size_t>(mix64(old_keys[j])) & mask_;
+      while (keys_[i] != kEmpty) i = (i + 1) & mask_;
+      keys_[i] = old_keys[j];
+      ids_[i] = old_ids[j];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::int32_t> ids_;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Directed links: dense per-link channel spans in one shared buffer,
+/// discovered when a route first touches them. channel[i] holds the cycle
+/// at which channel i frees. Channel contents and semantics are identical
+/// to the old unordered_map<key, vector<Cycles>> — only the lookup changed.
+class LinkTable {
+ public:
+  std::int32_t resolve(const Topology& topo, int u, int v) {
+    const auto [id, fresh] = index_.find_or_add(pair_key(u, v));
+    if (fresh) {
+      chan_off_.push_back(static_cast<std::int32_t>(channels_.size()));
+      const int mult = topo.link_multiplicity(u, v);
+      chan_cnt_.push_back(mult);
+      channels_.insert(channels_.end(), static_cast<std::size_t>(mult), 0);
+    }
+    return id;
+  }
+
+  /// Earliest-free channel of a resolved link; first-minimum tie-break
+  /// matches the std::min_element the old implementation used.
+  Cycles& earliest(std::int32_t id) {
+    const auto off = static_cast<std::size_t>(chan_off_[static_cast<std::size_t>(id)]);
+    const auto cnt = static_cast<std::size_t>(chan_cnt_[static_cast<std::size_t>(id)]);
+    std::size_t best = off;
+    for (std::size_t c = off + 1; c < off + cnt; ++c)
+      if (channels_[c] < channels_[best]) best = c;
+    return channels_[best];
+  }
+
+ private:
+  PairIndex index_;
+  std::vector<std::int32_t> chan_off_;
+  std::vector<std::int32_t> chan_cnt_;
+  std::vector<Cycles> channels_;
+};
+
+/// Route memo: every packet between the same endpoints follows the same
+/// deterministic route, so the route is walked once per (src, dst) pair and
+/// stored as the span of dense link ids it traverses (an arena allocation,
+/// shared read-only by all packets on the pair). This replaces the
+/// per-packet std::vector<int> node path, the repeated virtual next_hop
+/// walks, and the per-hop link hashing of the old implementation.
+class RouteCache {
+ public:
+  explicit RouteCache(const Topology& topo, LinkTable& links)
+      : topo_(topo), links_(links) {}
+
+  /// Link-id sequence for src -> dst; hops = number of links.
+  void get(int src, int dst, const std::int32_t*& route, std::int32_t& hops) {
+    const auto [id, fresh] = index_.find_or_add(pair_key(src, dst));
+    if (fresh) {
+      walk(src, dst);
+      auto* span = arena_.allocate<std::int32_t>(scratch_.size());
+      std::copy(scratch_.begin(), scratch_.end(), span);
+      routes_.push_back(span);
+      hops_.push_back(static_cast<std::int32_t>(scratch_.size()));
+    }
+    route = routes_[static_cast<std::size_t>(id)];
+    hops = hops_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  /// Same walk as Topology::route, emitting link ids into scratch.
+  void walk(int src, int dst) {
+    scratch_.clear();
+    int cur = topo_.endpoint_node(src);
+    const int goal = topo_.endpoint_node(dst);
+    int guard = 4 * topo_.num_nodes() + 64;
+    while (cur != goal) {
+      LOGP_CHECK_MSG(--guard > 0, "routing loop in " << topo_.name());
+      const int next = topo_.next_hop(cur, dst);
+      scratch_.push_back(links_.resolve(topo_, cur, next));
+      cur = next;
+    }
+  }
+
+  const Topology& topo_;
+  LinkTable& links_;
+  PairIndex index_;
+  util::Arena arena_;
+  std::vector<const std::int32_t*> routes_;
+  std::vector<std::int32_t> hops_;
+  std::vector<std::int32_t> scratch_;
+};
+
+/// In-network packets, struct-of-arrays. Slots are recycled FIFO through a
+/// RingDeque freelist when their packet is delivered, so the store's size is
+/// the peak in-flight count, not the injection count.
+struct PacketStore {
+  std::vector<Cycles> born;
+  std::vector<std::int32_t> hop;
+  std::vector<const std::int32_t*> route;  ///< link ids, arena spans
+  std::vector<std::int32_t> hops;
+  std::vector<std::uint8_t> measured;
+  util::RingDeque<std::uint32_t> freelist;
+
+  std::int32_t acquire() {
+    if (!freelist.empty()) {
+      const std::uint32_t slot = freelist.front();
+      freelist.pop_front();
+      return static_cast<std::int32_t>(slot);
+    }
+    const auto slot = static_cast<std::int32_t>(born.size());
+    born.push_back(0);
+    hop.push_back(0);
+    route.push_back(nullptr);
+    hops.push_back(0);
+    measured.push_back(0);
+    return slot;
+  }
+
+  void release(std::int32_t slot) {
+    freelist.push_back(static_cast<std::uint32_t>(slot));
+  }
+
+  std::size_t slots() const { return born.size(); }
+};
 
 int pick_destination(const PacketSimConfig& cfg, int src, int P,
                      util::Xoshiro256StarStar& rng) {
@@ -107,65 +284,95 @@ PacketSimResult run_packet_sim(const Topology& topo,
   result.offered_load = cfg.injection_rate;
   const Cycles service = cfg.hop_delay + cfg.phits;
 
-  std::vector<Packet> packets;
-  util::FourAryHeap<Event, EventBefore> events;
-  std::uint64_t seq = 0;
-
-  // Pre-generate all injections (open-loop source).
+  // Pre-generate all injections (open-loop source). The RNG call sequence is
+  // identical to the historical per-packet-vector implementation, so results
+  // are bit-for-bit unchanged. Routes are resolved lazily at injection time.
+  std::vector<Injection> injections;
   const Cycles inject_end = cfg.warmup + cfg.duration;
   for (int e = 0; e < P; ++e) {
     Cycles t = rng.geometric(cfg.injection_rate);
     while (t < inject_end) {
       const int dst = pick_destination(cfg, e, P, rng);
-      Packet pkt;
-      pkt.born = t;
-      pkt.path = topo.route(e, dst);
-      pkt.measured = t >= cfg.warmup;
-      packets.push_back(std::move(pkt));
-      events.push({t, seq++, static_cast<std::int32_t>(packets.size() - 1)});
+      injections.push_back({t, e, dst});
       ++result.injected;
       t += rng.geometric(cfg.injection_rate);
     }
   }
+  // (born, src) is the historical (time, sequence) dispatch order: streams
+  // were generated per endpoint in src order, each strictly increasing in
+  // time, so a timestamp tie can only involve distinct sources.
+  std::sort(injections.begin(), injections.end(),
+            [](const Injection& a, const Injection& b) {
+              if (a.born != b.born) return a.born < b.born;
+              return a.src < b.src;
+            });
 
-  std::unordered_map<std::uint64_t, Link> links;
+  PacketStore store;
+  LinkTable links;
+  RouteCache routes(topo, links);
+  util::FourAryHeap<Event, EventBefore> events;
+  std::uint64_t seq = 0;
+  std::size_t next_inject = 0;
+  std::int64_t in_flight = 0;
   util::Histogram histo(0, 64.0 * static_cast<double>(service) *
                                static_cast<double>(topo.num_nodes()),
                         4096);
 
   Event ev;
-  while (!events.empty()) {
-    events.pop_into(ev);
-    if (ev.t > cfg.drain_limit) {
-      result.saturated = true;
+  while (true) {
+    // Next event: the earliest of the sorted injection stream and the heap.
+    // Ties go to the injection (historically injections carried the smaller
+    // sequence numbers).
+    std::int32_t slot;
+    if (next_inject < injections.size() &&
+        (events.empty() || injections[next_inject].born <= events.top().t)) {
+      const Injection& inj = injections[next_inject++];
+      if (inj.born > cfg.drain_limit) {
+        result.saturated = true;
+        break;
+      }
+      ev.t = inj.born;
+      slot = store.acquire();
+      const auto s = static_cast<std::size_t>(slot);
+      store.born[s] = inj.born;
+      store.hop[s] = 0;
+      store.measured[s] = inj.born >= cfg.warmup;
+      routes.get(inj.src, inj.dst, store.route[s], store.hops[s]);
+      result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
+    } else if (!events.empty()) {
+      events.pop_into(ev);
+      if (ev.t > cfg.drain_limit) {
+        result.saturated = true;
+        break;
+      }
+      slot = ev.packet;
+    } else {
       break;
     }
-    Packet& pkt = packets[static_cast<std::size_t>(ev.packet)];
-    if (pkt.hop + 1 == pkt.path.size()) {
+
+    const auto s = static_cast<std::size_t>(slot);
+    if (store.hop[s] == store.hops[s]) {
       // Throughput counts only deliveries inside the measurement window so
       // the post-injection drain cannot inflate it.
       if (ev.t >= cfg.warmup && ev.t < cfg.warmup + cfg.duration)
         ++result.delivered;
-      if (pkt.measured) {
-        const auto lat = static_cast<double>(ev.t - pkt.born);
+      if (store.measured[s]) {
+        const auto lat = static_cast<double>(ev.t - store.born[s]);
         result.latency.add(lat);
         histo.add(lat);
       }
+      --in_flight;
+      store.release(slot);
       continue;
     }
-    const int u = pkt.path[pkt.hop];
-    const int v = pkt.path[pkt.hop + 1];
-    auto [it, fresh] = links.try_emplace(link_key(u, v));
-    if (fresh)
-      it->second.channel.assign(
-          static_cast<std::size_t>(topo.link_multiplicity(u, v)), 0);
-    Cycles& free_at = it->second.earliest();
+    Cycles& free_at = links.earliest(store.route[s][store.hop[s]]);
     const Cycles start = std::max(ev.t, free_at);
     free_at = start + service;
-    ++pkt.hop;
-    events.push({start + service, seq++, ev.packet});
+    ++store.hop[s];
+    events.push({start + service, seq++, slot});
   }
 
+  result.pool_slots = static_cast<std::int64_t>(store.slots());
   result.p95_latency = histo.quantile(0.95);
   const double cycles = static_cast<double>(cfg.duration);
   result.throughput =

@@ -53,6 +53,11 @@ struct PacketSimResult {
   double offered_load = 0;     ///< packets / endpoint / cycle
   double throughput = 0;       ///< delivered packets / endpoint / cycle
   bool saturated = false;      ///< drain did not finish within drain_limit
+  /// Pool accounting (see DESIGN.md "Memory management"): the packet store
+  /// recycles delivered slots, so slots created == peak concurrency, not
+  /// packet count. Exposed so tests can pin the zero-growth invariant.
+  std::int64_t peak_in_flight = 0;  ///< max packets simultaneously in network
+  std::int64_t pool_slots = 0;      ///< packet slots ever created
 };
 
 PacketSimResult run_packet_sim(const Topology& topo,

@@ -39,19 +39,6 @@ Cycles Machine::run() {
   return now_;
 }
 
-std::uint32_t Machine::alloc_msg(const Message& m) {
-  if (!msg_free_.empty()) {
-    const std::uint32_t idx = msg_free_.back();
-    msg_free_.pop_back();
-    msg_pool_[idx] = m;
-    return idx;
-  }
-  msg_pool_.push_back(m);
-  return static_cast<std::uint32_t>(msg_pool_.size() - 1);
-}
-
-void Machine::free_msg(std::uint32_t idx) { msg_free_.push_back(idx); }
-
 Cycles Machine::sample_latency() {
   if (cfg_.latency_min < 0 || cfg_.latency_min == cfg_.params.L)
     return cfg_.params.L;
@@ -83,7 +70,7 @@ void Machine::start_send(ProcId p, Message m) {
   LOGP_CHECK(m.nwords <= kMaxMessageWords);
   m.src = p;
   m.bulk_words = 0;
-  proc.current_msg = alloc_msg(m);
+  proc.current_msg = msgs_.emplace(m);
   proc.op_requested = now_;
   proc.dma_words = 0;
   proc.dma_gap = 0;
@@ -104,7 +91,7 @@ void Machine::start_send_dma(ProcId p, Message m, std::uint64_t words,
   LOGP_CHECK(gap_per_word >= 0);
   m.src = p;
   m.bulk_words = words;
-  proc.current_msg = alloc_msg(m);
+  proc.current_msg = msgs_.emplace(m);
   proc.op_requested = now_;
   proc.dma_words = words;
   proc.dma_gap = gap_per_word;
@@ -122,7 +109,7 @@ void Machine::engage_send(ProcId p, Cycles t) {
   if (waited > 0) {
     proc.stats.gap_wait += waited;
     recorder_.record(p, proc.op_requested, t, trace::Activity::kGapWait,
-                     msg_pool_[proc.current_msg].dst);
+                     msgs_[proc.current_msg].dst);
   }
   // A DMA stream occupies the port until its last word leaves the NIC;
   // a small message just re-arms the port after the gap.
@@ -134,13 +121,13 @@ void Machine::engage_send(ProcId p, Cycles t) {
   proc.state = CpuState::kSendOverhead;
   proc.stats.send_overhead += cfg_.params.o;
   recorder_.record(p, t, t + cfg_.params.o, trace::Activity::kSendOverhead,
-                   msg_pool_[proc.current_msg].dst);
+                   msgs_[proc.current_msg].dst);
   push_event(t + cfg_.params.o, EvKind::kSendOverheadDone, p, 0);
 }
 
 void Machine::try_inject(ProcId p, Cycles t) {
   auto& proc = procs_[static_cast<std::size_t>(p)];
-  const Message& m = msg_pool_[proc.current_msg];
+  const Message& m = msgs_[proc.current_msg];
   auto& dst = procs_[static_cast<std::size_t>(m.dst)];
   const int cap = static_cast<int>(cfg_.params.capacity());
   if (proc.out_inflight >= cap || dst.in_inflight >= cap) {
@@ -163,7 +150,7 @@ void Machine::maybe_accept_while_stalled(ProcId p) {
   if (now_ > proc.stall_begin) {
     proc.stats.stall += now_ - proc.stall_begin;
     recorder_.record(p, proc.stall_begin, now_, trace::Activity::kStall,
-                     msg_pool_[proc.current_msg].dst);
+                     msgs_[proc.current_msg].dst);
   }
   proc.op_requested = now_;
   if (now_ < proc.recv_port_free) {
@@ -178,7 +165,7 @@ void Machine::try_retry_injection(ProcId p) {
   auto& proc = procs_[static_cast<std::size_t>(p)];
   LOGP_CHECK(proc.state == CpuState::kSendStalled && proc.pending_injection);
   const int cap = static_cast<int>(cfg_.params.capacity());
-  const ProcId dst_id = msg_pool_[proc.current_msg].dst;
+  const ProcId dst_id = msgs_[proc.current_msg].dst;
   const auto& dst = procs_[static_cast<std::size_t>(dst_id)];
   if (proc.out_inflight < cap && dst.in_inflight < cap) {
     inject(p, now_);
@@ -192,7 +179,7 @@ void Machine::inject(ProcId p, Cycles t) {
   auto& proc = procs_[static_cast<std::size_t>(p)];
   proc.pending_injection = false;
   const std::uint32_t idx = proc.current_msg;
-  const Message& m = msg_pool_[idx];
+  const Message& m = msgs_[idx];
   auto& dst = procs_[static_cast<std::size_t>(m.dst)];
   ++proc.out_inflight;
   ++dst.in_inflight;
@@ -232,7 +219,7 @@ void Machine::accept_begin(ProcId p, Cycles t) {
   }
   const std::uint32_t idx = proc.arrivals.front();
   proc.arrivals.pop_front();
-  const Message& m = msg_pool_[idx];
+  const Message& m = msgs_[idx];
   // The message leaves the network the moment the processor engages with it.
   --procs_[static_cast<std::size_t>(m.src)].out_inflight;
   --proc.in_inflight;
@@ -262,7 +249,7 @@ void Machine::wake_blocked_senders() {
   for (const ProcId p : pending) {
     auto& proc = procs_[static_cast<std::size_t>(p)];
     if (proc.state != CpuState::kSendStalled) continue;  // woken by recursion
-    const ProcId dst_id = msg_pool_[proc.current_msg].dst;
+    const ProcId dst_id = msgs_[proc.current_msg].dst;
     const auto& dst = procs_[static_cast<std::size_t>(dst_id)];
     if (proc.out_inflight < cap && dst.in_inflight < cap) {
       const Cycles stalled = now_ - proc.stall_begin;
@@ -276,18 +263,9 @@ void Machine::wake_blocked_senders() {
   }
 }
 
-void Machine::schedule_call(Cycles t, std::function<void()> fn) {
+void Machine::schedule_call(Cycles t, Call fn) {
   LOGP_CHECK(t >= now_);
-  std::uint32_t slot;
-  if (!call_free_.empty()) {
-    slot = call_free_.back();
-    call_free_.pop_back();
-    calls_[slot] = std::move(fn);
-  } else {
-    slot = static_cast<std::uint32_t>(calls_.size());
-    calls_.push_back(std::move(fn));
-  }
-  push_event(t, EvKind::kCall, -1, slot);
+  push_event(t, EvKind::kCall, -1, calls_.emplace(std::move(fn)));
 }
 
 ProcStats Machine::total_stats() const {
@@ -350,8 +328,8 @@ void Machine::dispatch(const Event& ev) {
       auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
       LOGP_CHECK(proc.state == CpuState::kRecvOverhead);
       ++proc.stats.msgs_received;
-      const Message m = msg_pool_[ev.payload];
-      free_msg(ev.payload);
+      const Message m = msgs_[ev.payload];
+      msgs_.release(ev.payload);
       if (proc.pending_injection) {
         // This reception interrupted a capacity stall; go back to retrying
         // the outgoing message. The CPU stays non-idle for the Host.
@@ -366,9 +344,8 @@ void Machine::dispatch(const Event& ev) {
       break;
     }
     case EvKind::kCall: {
-      auto fn = std::move(calls_[ev.payload]);
-      calls_[ev.payload] = nullptr;
-      call_free_.push_back(ev.payload);
+      Call fn = std::move(calls_[ev.payload]);
+      calls_.release(ev.payload);
       fn();
       break;
     }

@@ -23,13 +23,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "core/params.hpp"
 #include "sim/message.hpp"
 #include "trace/recorder.hpp"
 #include "util/event_heap.hpp"
+#include "util/inplace_function.hpp"
+#include "util/pool.hpp"
 #include "util/ring_deque.hpp"
 #include "util/rng.hpp"
 
@@ -92,6 +93,11 @@ struct MachineConfig {
 
 class Machine {
  public:
+  /// Timed continuation: stored inline (48 bytes), never heap-allocated.
+  /// Captures larger than the inline buffer are a compile error — keep
+  /// continuations down to a few pointers, as every current Host does.
+  using Call = util::InplaceFunction<void()>;
+
   Machine(MachineConfig config, Host& host);
 
   Machine(const Machine&) = delete;
@@ -142,7 +148,9 @@ class Machine {
   void start_accept(ProcId p);
 
   /// Runs `fn` at absolute time t (>= now). Used for timed program steps.
-  void schedule_call(Cycles t, std::function<void()> fn);
+  /// The continuation is moved into a pooled slot; no heap allocation occurs
+  /// once the pool has warmed up.
+  void schedule_call(Cycles t, Call fn);
 
   const ProcStats& stats(ProcId p) const {
     return procs_[static_cast<std::size_t>(p)].stats;
@@ -213,9 +221,6 @@ class Machine {
   void push_event(Cycles t, EvKind kind, ProcId proc, std::uint32_t payload);
   void dispatch(const Event& ev);
 
-  std::uint32_t alloc_msg(const Message& m);
-  void free_msg(std::uint32_t idx);
-
   void engage_send(ProcId p, Cycles t);
   void try_inject(ProcId p, Cycles t);
   void inject(ProcId p, Cycles t);
@@ -234,12 +239,13 @@ class Machine {
   std::uint64_t events_processed_ = 0;
   Cycles now_ = 0;
 
-  std::vector<Message> msg_pool_;
-  std::vector<std::uint32_t> msg_free_;
+  /// In-flight message and pending-continuation records, both addressed by
+  /// the 32-bit pool ids riding on events. Freelist recycling keeps churn
+  /// allocation-free in steady state.
+  util::Pool<Message> msgs_;
+  util::Pool<Call> calls_;
 
   std::vector<ProcId> blocked_senders_;
-  std::vector<std::function<void()>> calls_;
-  std::vector<std::uint32_t> call_free_;
 
   std::int64_t total_messages_ = 0;
   util::Xoshiro256StarStar rng_;

@@ -1,0 +1,110 @@
+// Bump allocator with epoch reset.
+//
+// The simulators allocate many short-lived, identically-scoped objects per
+// run (packet route buffers, scratch spans). A general-purpose heap pays
+// lock/metadata costs per allocation and scatters the objects across memory;
+// the Arena hands out pointers by bumping a cursor through fixed-size chunks
+// and frees everything at once with reset(). Chunks are retained across
+// resets, so a warmed-up arena never touches the heap again — the
+// "steady-state = zero allocations" invariant of DESIGN.md.
+//
+// Pointers returned by allocate() stay valid until reset() (chunks never
+// move), which is what lets pooled objects cache their spans across reuse.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace logp::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {
+    LOGP_CHECK(chunk_bytes_ > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` objects of T, aligned for T.
+  /// Oversized requests get a dedicated chunk; T must be trivially
+  /// destructible since reset() never runs destructors.
+  template <typename T>
+  T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    LOGP_CHECK(align > 0 && (align & (align - 1)) == 0);
+    std::uintptr_t cur = reinterpret_cast<std::uintptr_t>(cursor_);
+    std::uintptr_t aligned = (cur + (align - 1)) & ~(align - 1);
+    if (cursor_ == nullptr ||
+        aligned + bytes > reinterpret_cast<std::uintptr_t>(limit_)) {
+      next_chunk(bytes + align);
+      cur = reinterpret_cast<std::uintptr_t>(cursor_);
+      aligned = (cur + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Starts a new epoch: all outstanding allocations are invalidated and
+  /// their storage is recycled. Chunks are kept, so a warmed-up arena
+  /// allocates nothing on subsequent epochs.
+  void reset() {
+    ++epoch_;
+    active_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = chunks_[0].get();
+      limit_ = cursor_ + chunk_sizes_[0];
+    } else {
+      cursor_ = limit_ = nullptr;
+    }
+  }
+
+  /// Number of reset() calls so far; lets pooled objects detect that a span
+  /// they cached belongs to a previous epoch.
+  std::uint64_t epoch() const { return epoch_; }
+  /// Chunks held (growth indicator: constant once warmed up).
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  /// Switches to the next retained chunk that can hold `need` bytes, or
+  /// grows by one chunk. Called only when the active chunk is exhausted.
+  void next_chunk(std::size_t need) {
+    for (std::size_t i = active_ + (cursor_ != nullptr ? 1 : 0);
+         i < chunks_.size(); ++i) {
+      if (chunk_sizes_[i] >= need) {
+        active_ = i;
+        cursor_ = chunks_[i].get();
+        limit_ = cursor_ + chunk_sizes_[i];
+        return;
+      }
+    }
+    const std::size_t size = std::max(chunk_bytes_, need);
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    chunk_sizes_.push_back(size);
+    active_ = chunks_.size() - 1;
+    cursor_ = chunks_[active_].get();
+    limit_ = cursor_ + size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::size_t> chunk_sizes_;
+  std::size_t active_ = 0;
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace logp::util

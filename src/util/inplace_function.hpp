@@ -1,0 +1,120 @@
+// Small-buffer-only move-only callable: std::function without the heap.
+//
+// sim::Machine::schedule_call used to take a std::function<void()>, which
+// heap-allocates for any capture larger than the implementation's tiny SBO
+// (16 bytes on libstdc++) — one malloc/free per scheduled continuation, on
+// the hottest path of the coroutine runtime. Every continuation the
+// simulator schedules captures a handful of pointers, so InplaceFunction
+// stores the callable inline in a fixed buffer (default 48 bytes) and
+// refuses — at compile time — anything bigger. Construction from an
+// oversized or over-aligned callable does not participate in overload
+// resolution, so `is_constructible` is queryable in tests.
+//
+// Move-only on purpose: continuations capture move-only state (coroutine
+// handles, unique_ptrs) and are invoked exactly once; copyability would
+// force CopyConstructible captures for no benefit.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace logp::util {
+
+inline constexpr std::size_t kInplaceFunctionCapacity = 48;
+
+template <typename Signature, std::size_t Capacity = kInplaceFunctionCapacity>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+  template <typename F>
+  static constexpr bool fits =
+      sizeof(std::decay_t<F>) <= Capacity &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_invocable_r_v<R, std::decay_t<F>&, Args...> &&
+      !std::is_same_v<std::decay_t<F>, InplaceFunction>;
+
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires fits<F>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    vtable_ = &vtable_for<D>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { steal(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    destroy();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { destroy(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    LOGP_CHECK_MSG(vtable_ != nullptr, "calling empty InplaceFunction");
+    return vtable_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* buf, Args&&... args);
+    void (*relocate)(void* dst, void* src);  ///< move-construct dst, destroy src
+    void (*destroy)(void* buf);
+  };
+
+  template <typename D>
+  static constexpr VTable vtable_for{
+      [](void* buf, Args&&... args) -> R {
+        return (*std::launder(static_cast<D*>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D* s = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* buf) { std::launder(static_cast<D*>(buf))->~D(); },
+  };
+
+  void steal(InplaceFunction& other) {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void destroy() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace logp::util

@@ -1,0 +1,81 @@
+// Freelist slab pool with integer handles.
+//
+// The machine simulator keeps in-flight messages and pending timed
+// continuations alive across events and refers to them by 32-bit ids riding
+// on the event records. A Pool owns the objects in fixed-size slabs (stable
+// addresses — a slab is never moved or freed), hands out slot ids from a
+// LIFO freelist, and only touches the heap when every previously created
+// slot is live. Steady-state churn (alloc/free at a bounded high-water mark)
+// therefore performs zero allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace logp::util {
+
+template <typename T, std::size_t kSlabSize = 256>
+class Pool {
+  static_assert(kSlabSize > 0 && (kSlabSize & (kSlabSize - 1)) == 0,
+                "slab size must be a power of two");
+
+ public:
+  /// Constructs a slot from `args` and returns its id. O(1); allocates a
+  /// slab only when the freelist is empty and the last slab is full.
+  template <typename... Args>
+  std::uint32_t emplace(Args&&... args) {
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = next_;
+      if (slot_index(id) == 0)
+        slabs_.push_back(std::make_unique<Slab>());
+      ++next_;
+    }
+    slot(id) = T(std::forward<Args>(args)...);
+    return id;
+  }
+
+  /// Returns `id` to the freelist. The slot's value is overwritten on the
+  /// next emplace; non-trivial payloads are cleared here so resources are
+  /// not held by dead slots.
+  void release(std::uint32_t id) {
+    if constexpr (!std::is_trivially_destructible_v<T>) slot(id) = T{};
+    free_.push_back(id);
+  }
+
+  T& operator[](std::uint32_t id) { return slot(id); }
+  const T& operator[](std::uint32_t id) const { return slot(id); }
+
+  /// Total slots ever created (the churn high-water mark).
+  std::size_t capacity() const { return next_; }
+  /// Slots currently live.
+  std::size_t live() const { return next_ - free_.size(); }
+
+ private:
+  struct Slab {
+    T items[kSlabSize];
+  };
+
+  static std::size_t slab_index(std::uint32_t id) { return id / kSlabSize; }
+  static std::size_t slot_index(std::uint32_t id) { return id % kSlabSize; }
+
+  T& slot(std::uint32_t id) {
+    return slabs_[slab_index(id)]->items[slot_index(id)];
+  }
+  const T& slot(std::uint32_t id) const {
+    return slabs_[slab_index(id)]->items[slot_index(id)];
+  }
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace logp::util

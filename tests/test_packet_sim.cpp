@@ -1,0 +1,135 @@
+// Pins the zero-allocation rewrite of the packet-level network simulator:
+// pooled packet slots must recycle (no growth after warmup), and results
+// must be bit-for-bit identical to the pre-rewrite implementation — the
+// golden values below were captured from the historical per-packet-vector
+// code on the same configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/packet_sim.hpp"
+#include "net/topology.hpp"
+
+namespace logp::net {
+namespace {
+
+PacketSimConfig golden_config(TrafficPattern p) {
+  PacketSimConfig cfg;
+  cfg.pattern = p;
+  cfg.injection_rate = 0.02;
+  cfg.duration = 10000;
+  return cfg;
+}
+
+TEST(PacketSim, FreelistRecyclesDeliveredSlots) {
+  const auto topo = make_mesh2d(8, 8, true);
+  PacketSimConfig cfg;
+  cfg.injection_rate = 0.02;
+  cfg.duration = 40000;  // long churn: many generations through the pool
+  const auto r = run_packet_sim(*topo, cfg);
+  // Slots are created only when the freelist is empty, so the store's size
+  // is exactly the peak number of simultaneously in-flight packets...
+  EXPECT_EQ(r.pool_slots, r.peak_in_flight);
+  // ...which is far below the packet count: delivered slots were recycled.
+  EXPECT_GT(r.injected, 10000);
+  EXPECT_LT(r.pool_slots, r.injected / 10);
+}
+
+TEST(PacketSim, PoolDoesNotGrowAfterWarmup) {
+  const auto topo = make_mesh2d(8, 8, true);
+  PacketSimConfig cfg;
+  cfg.injection_rate = 0.02;
+  // Same load, 4x the duration: 4x the packets must reuse the same
+  // steady-state slot population (peak concurrency is load-bound, not
+  // duration-bound). Allow slack for the tail of the arrival distribution.
+  PacketSimConfig cfg4 = cfg;
+  cfg4.duration = 4 * cfg.duration;
+  const auto r1 = run_packet_sim(*topo, cfg);
+  const auto r4 = run_packet_sim(*topo, cfg4);
+  EXPECT_GT(r4.injected, 3 * r1.injected);
+  EXPECT_LT(r4.pool_slots, 2 * r1.pool_slots);
+}
+
+struct Golden {
+  std::int64_t injected;
+  std::int64_t delivered;
+  bool saturated;
+  double mean, variance, min, max, p95;
+};
+
+/// Captured from the pre-rewrite implementation (torus 8x8, rate 0.02,
+/// duration 10000, default seed). Exact doubles: the simulator is integer-
+/// cycle arithmetic plus a fixed-order deterministic accumulation.
+const Golden kGolden[] = {
+    {15204, 12737, false, 0x1.b31f7272b0751p+5, 0x1.144b6b86bf615p+9,
+     0x1.8p+3, 0x1.44p+7, 0x1.7e9f8176ade28p+6},  // uniform
+    {15223, 12668, false, 0x1.30473291d4666p+7, 0x1.d1e685237e2b3p+13,
+     0x1.8p+3, 0x1.8ap+9, 0x1.9bb46b46b46b1p+8},  // transpose
+    {15223, 12635, false, 0x1.51b008ba5baffp+7, 0x1.955fdcc203a05p+14,
+     0x1.8p+3, 0x1.eb8p+9, 0x1.fd501a6d01a69p+8},  // bit-reverse
+    {15223, 12672, false, 0x1.e9b008ba5bae2p+3, 0x1.0d55118afa755p+5,
+     0x1.8p+3, 0x1.08p+6, 0x1.04e4c759acc86p+5},  // neighbor
+    {15383, 11926, false, 0x1.d1a06f312ec1cp+9, 0x1.0be06362701bp+22,
+     0x1.8p+3, 0x1.33ap+13, 0x1.874199999999p+12},  // hotspot
+};
+
+const TrafficPattern kPatterns[] = {
+    TrafficPattern::kUniform, TrafficPattern::kTranspose,
+    TrafficPattern::kBitReverse, TrafficPattern::kNeighbor,
+    TrafficPattern::kHotspot};
+
+TEST(PacketSim, ByteIdenticalToGoldenRunPerPattern) {
+  const auto topo = make_mesh2d(8, 8, true);
+  for (std::size_t i = 0; i < std::size(kPatterns); ++i) {
+    SCOPED_TRACE(traffic_pattern_name(kPatterns[i]));
+    const auto r = run_packet_sim(*topo, golden_config(kPatterns[i]));
+    const Golden& g = kGolden[i];
+    EXPECT_EQ(r.injected, g.injected);
+    EXPECT_EQ(r.delivered, g.delivered);
+    EXPECT_EQ(r.saturated, g.saturated);
+    EXPECT_EQ(r.latency.mean(), g.mean);
+    EXPECT_EQ(r.latency.variance(), g.variance);
+    EXPECT_EQ(r.latency.min(), g.min);
+    EXPECT_EQ(r.latency.max(), g.max);
+    EXPECT_EQ(r.p95_latency, g.p95);
+  }
+}
+
+TEST(PacketSim, IdenticalRunsBitForBit) {
+  const auto topo = make_hypercube(64);
+  for (const auto pat : kPatterns) {
+    SCOPED_TRACE(traffic_pattern_name(pat));
+    const auto a = run_packet_sim(*topo, golden_config(pat));
+    const auto b = run_packet_sim(*topo, golden_config(pat));
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.latency.mean(), b.latency.mean());
+    EXPECT_EQ(a.latency.variance(), b.latency.variance());
+    EXPECT_EQ(a.p95_latency, b.p95_latency);
+    EXPECT_EQ(a.saturated, b.saturated);
+    EXPECT_EQ(a.pool_slots, b.pool_slots);
+  }
+}
+
+TEST(PacketSim, SaturationFlagStableAcrossIdenticalRuns) {
+  // Hotspot traffic at an aggressive rate with a tight drain limit: the run
+  // saturates, and the flag (plus every counter) must agree across runs.
+  const auto topo = make_mesh2d(8, 8, false);
+  PacketSimConfig cfg;
+  cfg.pattern = TrafficPattern::kHotspot;
+  cfg.hotspot_fraction = 0.5;
+  cfg.injection_rate = 0.1;
+  cfg.duration = 15000;
+  cfg.drain_limit = 60000;
+  const auto a = run_packet_sim(*topo, cfg);
+  const auto b = run_packet_sim(*topo, cfg);
+  EXPECT_TRUE(a.saturated);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.mean(), b.latency.mean());
+}
+
+}  // namespace
+}  // namespace logp::net

@@ -1,16 +1,55 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/format.hpp"
+#include "util/inplace_function.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+// Counting allocator guard: global operator new is replaced with a counting
+// shim so tests can assert that a scope performed zero heap allocations —
+// the "steady-state = zero allocations" invariant of DESIGN.md.
+namespace {
+std::size_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_heap_allocs;
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
 namespace logp::util {
 namespace {
+
+/// Heap allocations performed since construction.
+class AllocationGuard {
+ public:
+  AllocationGuard() : start_(g_heap_allocs) {}
+  std::size_t count() const { return g_heap_allocs - start_; }
+
+ private:
+  std::size_t start_;
+};
 
 TEST(Rng, DeterministicAcrossInstances) {
   Xoshiro256StarStar a(42), b(42);
@@ -176,6 +215,130 @@ TEST(Format, TimeUnits) {
   EXPECT_EQ(fmt_time_ns(1.5e3), "1.50 us");
   EXPECT_EQ(fmt_time_ns(2e6), "2.00 ms");
   EXPECT_EQ(fmt_time_ns(3e9), "3.000 s");
+}
+
+TEST(Arena, EpochResetReusesChunksWithoutAllocating) {
+  Arena arena(1024);
+  void* first = arena.allocate_bytes(100, 8);
+  arena.allocate_bytes(2000, 8);  // forces a second (oversized) chunk
+  const std::size_t warm_chunks = arena.chunk_count();
+  EXPECT_EQ(arena.epoch(), 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.epoch(), 1u);
+  AllocationGuard guard;
+  // Same allocation sequence in the new epoch: storage is recycled in
+  // place — the first span even lands at the same address — and the heap
+  // is never touched.
+  void* again = arena.allocate_bytes(100, 8);
+  arena.allocate_bytes(2000, 8);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(arena.chunk_count(), warm_chunks);
+  EXPECT_EQ(guard.count(), 0u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  arena.allocate<char>(3);  // misalign the cursor
+  const auto d = reinterpret_cast<std::uintptr_t>(arena.allocate<double>(1));
+  EXPECT_EQ(d % alignof(double), 0u);
+  arena.allocate<char>(1);
+  const auto c =
+      reinterpret_cast<std::uintptr_t>(arena.allocate_bytes(16, 64));
+  EXPECT_EQ(c % 64, 0u);
+}
+
+TEST(Arena, SpansAreStableAcrossGrowth) {
+  Arena arena(256);
+  auto* first = arena.allocate<std::int32_t>(8);
+  first[0] = 42;
+  for (int i = 0; i < 100; ++i) arena.allocate<std::int32_t>(32);
+  EXPECT_EQ(first[0], 42);  // chunks never move
+}
+
+TEST(InplaceFunction, RejectsOversizedCapturesAtCompileTime) {
+  struct Big {
+    char bytes[kInplaceFunctionCapacity + 1];
+    void operator()() const {}
+  };
+  struct Fits {
+    char bytes[kInplaceFunctionCapacity];
+    void operator()() const {}
+  };
+  static_assert(!std::is_constructible_v<InplaceFunction<void()>, Big>,
+                "oversized callables must not convert");
+  static_assert(std::is_constructible_v<InplaceFunction<void()>, Fits>,
+                "callables up to the inline capacity must convert");
+  static_assert(
+      std::is_constructible_v<InplaceFunction<void(), sizeof(Big)>, Big>,
+      "a larger explicit capacity admits larger callables");
+}
+
+TEST(InplaceFunction, InvokesAndPassesArguments) {
+  InplaceFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InplaceFunction, SupportsMoveOnlyCaptures) {
+  auto p = std::make_unique<int>(7);
+  InplaceFunction<int()> f = [p = std::move(p)] { return *p; };
+  InplaceFunction<int()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // moved-from is empty
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(InplaceFunction, DestroysCaptureExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InplaceFunction<void()> f = [counter] { ++*counter; };
+    InplaceFunction<void()> g = std::move(f);
+    g();
+  }
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(counter.use_count(), 1);  // both slots released their copy
+}
+
+TEST(InplaceFunction, NeverTouchesTheHeap) {
+  struct {
+    std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5;  // 40-byte capture
+  } state;
+  AllocationGuard guard;
+  InplaceFunction<std::uint64_t()> f = [state] {
+    return state.a + state.b + state.c + state.d + state.e;
+  };
+  InplaceFunction<std::uint64_t()> g = std::move(f);
+  EXPECT_EQ(g(), 15u);
+  EXPECT_EQ(guard.count(), 0u);
+}
+
+TEST(Pool, RecyclesSlotsLifoWithStableAddresses) {
+  Pool<int> pool;
+  const std::uint32_t a = pool.emplace(1);
+  const std::uint32_t b = pool.emplace(2);
+  int* addr_b = &pool[b];
+  EXPECT_EQ(pool.live(), 2u);
+  pool.release(b);
+  EXPECT_EQ(pool.emplace(3), b);  // freelist is LIFO
+  EXPECT_EQ(&pool[b], addr_b);    // slabs never move
+  EXPECT_EQ(pool[a], 1);
+  EXPECT_EQ(pool[b], 3);
+  EXPECT_EQ(pool.capacity(), 2u);
+}
+
+TEST(Pool, SteadyStateChurnDoesNotAllocate) {
+  Pool<std::uint64_t> pool;
+  for (std::uint32_t i = 0; i < 300; ++i) pool.emplace(i);  // warm 2 slabs
+  const std::size_t warm = pool.capacity();
+  for (std::uint32_t i = 0; i < 300; ++i) pool.release(i);
+  AllocationGuard guard;
+  for (int round = 0; round < 10; ++round) {
+    std::uint32_t ids[64];
+    for (auto& id : ids) id = pool.emplace(7);
+    for (const auto id : ids) pool.release(id);
+  }
+  EXPECT_EQ(pool.capacity(), warm);
+  EXPECT_EQ(guard.count(), 0u);
 }
 
 TEST(Check, ThrowsWithMessage) {

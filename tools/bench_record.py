@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Record the repo's perf trajectory: run perf_engine N times, keep medians.
+
+Microbenchmark numbers on a shared machine are noisy; a single run is not a
+record. This tool runs the google-benchmark suite N times (default 10),
+takes the per-benchmark median of wall time and items/second, and writes a
+BENCH_<date>.json snapshot next to the repo root. Committing one snapshot
+per perf-relevant PR gives the project a queryable performance history.
+
+Output format (documented in README.md):
+
+    {
+      "date": "YYYY-MM-DD",
+      "runs": 10,
+      "benchmark_args": ["--benchmark_min_time=0.2"],
+      "benchmarks": {
+        "BM_PacketSim/200": {
+          "real_time_ns": 12862784.0,   // median across runs
+          "cpu_time_ns": 12740341.0,
+          "items_per_second": 1991550.0
+        },
+        ...
+      }
+    }
+
+Usage:
+    tools/bench_record.py --binary build/bench/perf_engine [--runs 10]
+        [--filter REGEX] [--out BENCH_2026-08-06.json] [--label NOTE]
+
+or via the build system:  cmake --build build --target bench-record
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+import tempfile
+
+
+def run_once(binary, bench_filter, min_time, index):
+    """One full suite run; returns {name: {metric: value}}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    cmd = [
+        binary,
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"[bench_record] run {index}: {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        report = json.load(f)
+    pathlib.Path(out_path).unlink()
+
+    results = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        entry = {
+            "real_time_ns": float(bench["real_time"]),
+            "cpu_time_ns": float(bench["cpu_time"]),
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = float(bench["items_per_second"])
+        results[name] = entry
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", default="build/bench/perf_engine",
+                        help="google-benchmark binary to run")
+    parser.add_argument("--runs", type=int, default=10,
+                        help="number of full-suite runs to take medians over")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed through")
+    parser.add_argument("--min-time", default="0.1",
+                        help="--benchmark_min_time per benchmark per run")
+    parser.add_argument("--out", default="",
+                        help="output path (default BENCH_<date>.json in cwd)")
+    parser.add_argument("--label", default="",
+                        help="free-form note stored in the snapshot")
+    args = parser.parse_args()
+
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    binary = pathlib.Path(args.binary)
+    if not binary.exists():
+        parser.error(f"benchmark binary not found: {binary} (build it first)")
+
+    samples = [run_once(str(binary), args.filter, args.min_time, i + 1)
+               for i in range(args.runs)]
+
+    names = sorted({name for run in samples for name in run})
+    benchmarks = {}
+    for name in names:
+        runs = [run[name] for run in samples if name in run]
+        metrics = {}
+        for metric in ("real_time_ns", "cpu_time_ns", "items_per_second"):
+            values = [r[metric] for r in runs if metric in r]
+            if values:
+                metrics[metric] = statistics.median(values)
+        metrics["samples"] = len(runs)
+        benchmarks[name] = metrics
+
+    date = datetime.date.today().isoformat()
+    snapshot = {
+        "date": date,
+        "runs": args.runs,
+        "benchmark_args": [f"--benchmark_min_time={args.min_time}"] +
+                          ([f"--benchmark_filter={args.filter}"]
+                           if args.filter else []),
+        "benchmarks": benchmarks,
+    }
+    if args.label:
+        snapshot["label"] = args.label
+
+    out = pathlib.Path(args.out) if args.out else pathlib.Path(
+        f"BENCH_{date}.json")
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_record] wrote {out} ({len(benchmarks)} benchmarks, "
+          f"median of {args.runs} runs)", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
