@@ -12,6 +12,8 @@
 
 #include "core/broadcast_tree.hpp"
 #include "exp/sweep.hpp"
+#include "obs/cli.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/collectives.hpp"
 #include "trace/timeline.hpp"
 #include "util/table.hpp"
@@ -43,6 +45,9 @@ exp::ExperimentSpec broadcast_spec(const Params& prm) {
 
 int main(int argc, char** argv) {
   const int threads = exp::threads_from_args(argc, argv);
+  // --trace / --profile / --trace-json FILE / --metrics-csv FILE apply to
+  // the worked example below; all default off, keeping stdout byte-stable.
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   std::cout << "== Figure 3: optimal broadcast tree ==\n\n";
 
   const Params fig3{6, 2, 4, 8};
@@ -60,9 +65,11 @@ int main(int argc, char** argv) {
             << "  (paper: last value received at time 24)\n\n";
 
   {
+    obs::MetricsRegistry metrics;
     sim::MachineConfig cfg;
     cfg.params = fig3;
     cfg.record_trace = true;
+    if (!obs_flags.metrics_csv.empty()) cfg.metrics = &metrics;
     runtime::Scheduler sched(cfg);
     std::vector<std::uint64_t> value(8, 0);
     value[0] = 1;
@@ -72,6 +79,8 @@ int main(int argc, char** argv) {
     });
     sched.run();
     std::cout << trace::render_timeline(sched.machine().recorder(), 8) << '\n';
+    obs::emit_machine_obs(obs_flags, sched.machine(), "fig3 worked example",
+                          std::cout, &metrics);
   }
 
   std::cout << "== Completion time vs P (CM-5 parameters, in us) ==\n\n";

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/summation.hpp"
+#include "obs/cli.hpp"
 #include "runtime/collectives.hpp"
 #include "util/table.hpp"
 
@@ -16,20 +17,26 @@ namespace {
 using namespace logp;
 
 Cycles simulate(const Params& prm, const SumSchedule& sched_def,
-                std::uint64_t* result) {
+                std::uint64_t* result, const obs::ObsFlags& flags) {
   sim::MachineConfig cfg;
   cfg.params = prm;
+  cfg.record_trace = flags.wants_trace();
   runtime::Scheduler sched(cfg);
   sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
     return runtime::coll::reduce_optimal(
         ctx, sched_def, [](ProcId, std::int64_t) { return 1; }, result);
   });
-  return sched.run();
+  const Cycles end = sched.run();
+  obs::emit_machine_obs(flags, sched.machine(), "fig4 worked example",
+                        std::cout);
+  return end;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace / --profile / --trace-json FILE apply to the worked example.
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   std::cout << "== Figure 4: optimal summation ==\n\n";
 
   const Params fig4{5, 2, 4, 8};
@@ -46,7 +53,7 @@ int main() {
             << " (paper draws node completion times 28/18/14/10/6/8/4/4)\n";
 
   std::uint64_t result = 0;
-  const Cycles end = simulate(fig4, s, &result);
+  const Cycles end = simulate(fig4, s, &result, obs_flags);
   std::cout << "simulated: sum of " << result << " inputs finished at t="
             << end << (end == 28 ? " — meets the deadline exactly\n\n"
                                  : " — DEADLINE MISSED\n\n");

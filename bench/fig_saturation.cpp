@@ -18,11 +18,53 @@
 #include "exp/sweep.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/cli.hpp"
+#include "obs/net_telemetry.hpp"
+#include "util/format.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Re-runs one (topology, load) point with a telemetry sink and prints what
+/// the summary table cannot show: which links pin at 100% busy beyond the
+/// knee, and how network occupancy compares with the LogP capacity bound.
+/// Re-running is cheap and keeps the sweep itself sink-free (a parallel
+/// sweep must not share observers).
+void profile_point(const logp::net::Topology& topo, double load,
+                   logp::obs::ChromeTraceWriter* trace_writer, int pid) {
+  using namespace logp;
+  net::PacketSimConfig cfg;
+  cfg.duration = 30000;
+  cfg.injection_rate = load;
+  obs::NetTelemetry telem;
+  telem.sample_every = 500;
+  cfg.telemetry = &telem;
+  const auto r = net::run_packet_sim(topo, cfg);
+
+  std::cout << "-- telemetry: " << topo.name() << " @ load " << util::fmt(load, 4)
+            << (r.saturated ? " (SATURATED)" : "") << " --\n"
+            << "max link utilization " << util::fmt(telem.max_utilization(), 3)
+            << ", total queue wait " << util::fmt_count(telem.total_queue_wait())
+            << " cycles, worst backlog " << telem.max_backlog()
+            << " packets, peak in-flight " << r.peak_in_flight << "\n"
+            << telem.render_links_table(8) << '\n';
+  if (trace_writer != nullptr) {
+    trace_writer->add_counter(
+        topo.name() + " in-flight @ " + util::fmt(load, 4), telem.in_flight,
+        pid);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace logp;
   const int threads = exp::threads_from_args(argc, argv);
+  // --profile re-runs an exemplar stable and saturated grid point with link
+  // telemetry; --trace-json FILE writes their in-flight occupancy as Chrome
+  // trace counter tracks. Defaults off: the summary tables stay byte-stable.
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   std::cout << "== Section 5.3: latency vs offered load (packet-level) ==\n\n";
 
   std::vector<std::unique_ptr<net::Topology>> topos;
@@ -73,5 +115,21 @@ int main(int argc, char** argv) {
                "it as the constant L is sound; the LogP capacity constraint\n"
                "(at most ceil(L/g) messages per endpoint) is what keeps\n"
                "programs out of the divergent regime.\n";
+
+  if (obs_flags.profile || !obs_flags.trace_json.empty()) {
+    // The 8x8 mesh (no torus) has the sharpest knee in the grid above:
+    // profile it just below (0.008) and beyond (0.064) the saturation point.
+    obs::ChromeTraceWriter writer;
+    obs::ChromeTraceWriter* w =
+        obs_flags.trace_json.empty() ? nullptr : &writer;
+    const auto mesh = net::make_mesh2d(8, 8, false);
+    std::cout << '\n';
+    profile_point(*mesh, 0.008, w, 0);
+    profile_point(*mesh, 0.064, w, 1);
+    std::cout << "The knee is a link story: at 0.064 the mesh's center links\n"
+                 "run pinned at ~100% busy and queue wait dominates latency,\n"
+                 "while at 0.008 every link still serves arrivals promptly.\n";
+    if (w != nullptr) obs::write_file(obs_flags.trace_json, writer.str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 // CPU cost but none of the wire time.
 #include <iostream>
 
+#include "obs/cli.hpp"
 #include "runtime/bulk.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/format.hpp"
@@ -23,9 +24,11 @@ struct Result {
 
 // One-way transfer of `words` plus `overlap` cycles of independent compute
 // at the sender, measured end to end.
-Result run_train(const Params& prm, std::uint64_t words, Cycles overlap) {
+Result run_train(const Params& prm, std::uint64_t words, Cycles overlap,
+                 const obs::ObsFlags* flags = nullptr) {
   sim::MachineConfig cfg;
   cfg.params = prm;
+  cfg.record_trace = flags != nullptr && flags->wants_trace();
   runtime::Scheduler sched(cfg);
   sched.set_program([&](Ctx ctx) -> Task {
     return [](Ctx c, std::uint64_t w, Cycles ov) -> Task {
@@ -42,13 +45,17 @@ Result run_train(const Params& prm, std::uint64_t words, Cycles overlap) {
   Result r;
   r.total = sched.run();
   r.sender_cpu_busy = sched.machine().stats(0).busy();
+  if (flags != nullptr)
+    obs::emit_machine_obs(*flags, sched.machine(), "small-message train",
+                          std::cout);
   return r;
 }
 
 Result run_dma(const Params& prm, std::uint64_t words, Cycles overlap,
-               Cycles G) {
+               Cycles G, const obs::ObsFlags* flags = nullptr) {
   sim::MachineConfig cfg;
   cfg.params = prm;
+  cfg.record_trace = flags != nullptr && flags->wants_trace();
   runtime::Scheduler sched(cfg);
   sched.set_program([&](Ctx ctx) -> Task {
     return [](Ctx c, std::uint64_t w, Cycles ov, Cycles G) -> Task {
@@ -63,12 +70,17 @@ Result run_dma(const Params& prm, std::uint64_t words, Cycles overlap,
   Result r;
   r.total = sched.run();
   r.sender_cpu_busy = sched.machine().stats(0).busy();
+  if (flags != nullptr)
+    obs::emit_machine_obs(*flags, sched.machine(), "dma stream", std::cout);
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace / --profile apply to one exemplar train + DMA pair (words=300,
+  // full overlap), re-run after the table.
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   const Params prm{20, 4, 8, 2};
   const Cycles G = 3;  // DMA streams one word per 3 cycles (= g per message
                        // of 3 words — same wire bandwidth as the train)
@@ -98,5 +110,16 @@ int main() {
                "fragment overheads; with a full stream's worth of compute\n"
                "the speedup approaches — and cannot exceed — 2x, the\n"
                "paper's bound for adding a message processor per node.\n";
+
+  if (obs_flags.any()) {
+    const std::uint64_t words = 300;
+    // File outputs (--trace-json/--metrics-csv) capture the DMA run only;
+    // the train run would otherwise overwrite them.
+    obs::ObsFlags train_flags = obs_flags;
+    train_flags.trace_json.clear();
+    train_flags.metrics_csv.clear();
+    run_train(prm, words, static_cast<Cycles>(words) * G, &train_flags);
+    run_dma(prm, words, static_cast<Cycles>(words) * G, G, &obs_flags);
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/summation.hpp"
 #include "models/bsp.hpp"
 #include "models/pram.hpp"
+#include "obs/cli.hpp"
 #include "runtime/collectives.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -19,17 +20,23 @@ namespace {
 
 using namespace logp;
 
-Cycles simulate_broadcast(const Params& prm) {
+Cycles simulate_broadcast(const Params& prm,
+                          const obs::ObsFlags* flags = nullptr) {
   const auto tree = optimal_broadcast_tree(prm);
   sim::MachineConfig cfg;
   cfg.params = prm;
+  cfg.record_trace = flags != nullptr && flags->wants_trace();
   runtime::Scheduler sched(cfg);
   std::vector<std::uint64_t> value(static_cast<std::size_t>(prm.P), 1);
   sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
     return runtime::coll::broadcast_optimal(
         ctx, tree, &value[static_cast<std::size_t>(ctx.proc())]);
   });
-  return sched.run();
+  const Cycles end = sched.run();
+  if (flags != nullptr)
+    obs::emit_machine_obs(*flags, sched.machine(), "optimal broadcast P=64",
+                          std::cout);
+  return end;
 }
 
 Cycles simulate_sum(const Params& prm, std::int64_t n) {
@@ -48,7 +55,10 @@ Cycles simulate_sum(const Params& prm, std::int64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace / --profile re-run the optimal-broadcast row's simulation with
+  // recording on after the tables; defaults leave output untouched.
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   const Params prm{20, 4, 8, 64};
   const std::int64_t n = 1 << 16;
   models::PramModel pram{prm.P};
@@ -110,5 +120,7 @@ int main() {
                 util::fmt(double(bsp_time) / double(logp_time), 2)});
   }
   bp.print(std::cout);
+
+  if (obs_flags.any()) simulate_broadcast(prm, &obs_flags);
   return 0;
 }

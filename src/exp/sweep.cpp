@@ -63,6 +63,11 @@ std::vector<ExperimentResult> SweepRunner::run(
     const ExperimentSpec& spec = specs[i];
     LOGP_CHECK_MSG(static_cast<bool>(spec.make_program),
                    "ExperimentSpec " << i << " has no program factory");
+    // A metrics registry has exactly one owner (see obs/metrics.hpp); a
+    // parallel sweep sharing one across grid points would race.
+    LOGP_CHECK_MSG(threads_ <= 1 || spec.config.metrics == nullptr,
+                   "spec " << i << " attaches a MetricsRegistry to a "
+                           << threads_ << "-thread sweep");
     runtime::Scheduler sched(spec.config);
     sched.set_program(spec.make_program());
     ExperimentResult r;
@@ -72,6 +77,10 @@ std::vector<ExperimentResult> SweepRunner::run(
     r.totals = sched.machine().total_stats();
     r.messages = sched.machine().total_messages();
     r.events = sched.machine().events_processed();
+    r.profile = obs::profile_machine(sched.machine());
+    r.profile.check_invariant();
+    if (spec.config.record_trace)
+      r.trace = sched.machine().recorder().intervals();
     results[i] = std::move(r);
   });
   return results;

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/machine.hpp"
+#include "trace/recorder.hpp"
 
 namespace logp::exp {
 
@@ -45,6 +47,13 @@ struct ExperimentResult {
   sim::ProcStats totals;         ///< aggregated over processors
   std::int64_t messages = 0;     ///< total messages carried
   std::uint64_t events = 0;      ///< events the engine processed
+  /// Six-bucket LogP time accounting of the run. The harness checks its
+  /// structural invariant after every grid point, so each sweep doubles as
+  /// a soak test of the machine's cycle accounting.
+  obs::LogPProfile profile;
+  /// Recorded activity intervals when spec.config.record_trace was set
+  /// (empty otherwise). Deterministic: identical across --threads values.
+  std::vector<trace::Interval> trace;
 };
 
 struct SweepOptions {

@@ -17,6 +17,10 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace logp::obs {
+struct NetTelemetry;
+}  // namespace logp::obs
+
 namespace logp::net {
 
 /// Destination pattern for generated traffic (paper Section 5.6: different
@@ -43,6 +47,11 @@ struct PacketSimConfig {
   Cycles duration = 20000;     ///< measured injection window
   Cycles drain_limit = 400000; ///< give up draining after this absolute time
   std::uint64_t seed = 0x9a7e;
+  /// Optional telemetry sink (see obs/net_telemetry.hpp): per-link
+  /// utilization / queue waits plus a sampled in-flight series. Attaching a
+  /// sink is purely observational — RNG draws, event order and every
+  /// PacketSimResult field are unchanged (pinned by tests/test_obs.cpp).
+  obs::NetTelemetry* telemetry = nullptr;
 };
 
 struct PacketSimResult {

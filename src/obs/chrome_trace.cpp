@@ -1,0 +1,156 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace logp::obs {
+
+namespace {
+
+/// Track/category names per activity; categories let the viewer filter.
+const char* activity_cat(trace::Activity a) {
+  switch (a) {
+    case trace::Activity::kCompute: return "cpu";
+    case trace::Activity::kSendOverhead: return "net";
+    case trace::Activity::kRecvOverhead: return "net";
+    case trace::Activity::kStall: return "wait";
+    case trace::Activity::kGapWait: return "wait";
+  }
+  return "?";
+}
+
+struct Flow {
+  Cycles send_ts;  ///< end of the send overhead (injection point)
+  Cycles recv_ts;  ///< begin of the receive overhead
+  ProcId src;
+  ProcId dst;
+};
+
+/// FIFO-pairs send overheads with receive overheads per (src, dst) channel.
+std::vector<Flow> pair_flows(const std::vector<trace::Interval>& intervals) {
+  // Collect both sides in time order. Interval records are appended in event
+  // order, but stall closure can rewind begin times, so sort explicitly.
+  std::map<std::pair<ProcId, ProcId>, std::vector<Cycles>> sends, recvs;
+  for (const auto& iv : intervals) {
+    if (iv.peer < 0) continue;
+    if (iv.what == trace::Activity::kSendOverhead)
+      sends[{iv.proc, iv.peer}].push_back(iv.end);
+    else if (iv.what == trace::Activity::kRecvOverhead)
+      recvs[{iv.peer, iv.proc}].push_back(iv.begin);
+  }
+  std::vector<Flow> flows;
+  for (auto& [ch, s] : sends) {
+    auto it = recvs.find(ch);
+    if (it == recvs.end()) continue;
+    auto& r = it->second;
+    std::sort(s.begin(), s.end());
+    std::sort(r.begin(), r.end());
+    const std::size_t n = std::min(s.size(), r.size());
+    for (std::size_t i = 0; i < n; ++i)
+      flows.push_back({s[i], r[i], ch.first, ch.second});
+  }
+  // Deterministic global order: by send time, then channel.
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    if (a.send_ts != b.send_ts) return a.send_ts < b.send_ts;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  return flows;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add_intervals(
+    const std::vector<trace::Interval>& intervals, int num_procs,
+    const std::string& process_name, int pid) {
+  LOGP_CHECK(num_procs >= 1);
+  {
+    std::ostringstream os;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << process_name << "\"}}";
+    meta_events_.push_back(os.str());
+  }
+  for (int p = 0; p < num_procs; ++p) {
+    std::ostringstream os;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << p << ",\"args\":{\"name\":\"P" << p << "\"}}";
+    meta_events_.push_back(os.str());
+  }
+
+  // Slice events, sorted by (track, begin, end) for byte-determinism.
+  std::vector<trace::Interval> sorted = intervals;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const trace::Interval& a, const trace::Interval& b) {
+              if (a.proc != b.proc) return a.proc < b.proc;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  for (const auto& iv : sorted) {
+    if (iv.proc < 0 || iv.proc >= num_procs) continue;
+    std::ostringstream os;
+    os << "{\"name\":\"" << trace::activity_name(iv.what) << "\",\"cat\":\""
+       << activity_cat(iv.what) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << iv.proc << ",\"ts\":" << iv.begin
+       << ",\"dur\":" << (iv.end - iv.begin);
+    if (iv.peer >= 0) os << ",\"args\":{\"peer\":" << iv.peer << '}';
+    os << '}';
+    events_.push_back(os.str());
+  }
+
+  for (const Flow& f : pair_flows(sorted)) {
+    const std::uint64_t id = next_flow_id_++;
+    std::ostringstream s;
+    s << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":" << id
+      << ",\"pid\":" << pid << ",\"tid\":" << f.src << ",\"ts\":" << f.send_ts
+      << '}';
+    events_.push_back(s.str());
+    std::ostringstream e;
+    e << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
+      << id << ",\"pid\":" << pid << ",\"tid\":" << f.dst
+      << ",\"ts\":" << f.recv_ts << '}';
+    events_.push_back(e.str());
+  }
+}
+
+void ChromeTraceWriter::add_counter(
+    const std::string& name,
+    const std::vector<std::pair<Cycles, std::int64_t>>& series, int pid) {
+  for (const auto& [t, v] : series) {
+    std::ostringstream os;
+    os << "{\"name\":\"" << name << "\",\"cat\":\"counter\",\"ph\":\"C\","
+       << "\"pid\":" << pid << ",\"tid\":0,\"ts\":" << t
+       << ",\"args\":{\"value\":" << v << "}}";
+    events_.push_back(os.str());
+  }
+}
+
+std::string ChromeTraceWriter::str() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : meta_events_) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << ev;
+  }
+  for (const auto& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << ev;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string chrome_trace_json(const std::vector<trace::Interval>& intervals,
+                              int num_procs,
+                              const std::string& process_name) {
+  ChromeTraceWriter w;
+  w.add_intervals(intervals, num_procs, process_name);
+  return w.str();
+}
+
+}  // namespace logp::obs

@@ -1,0 +1,66 @@
+// Chrome trace-event JSON exporter (chrome://tracing / Perfetto "JSON
+// trace" format): one track (tid) per LogP processor carrying complete "X"
+// events for every recorded activity interval, plus flow events ("s"/"f")
+// drawing an arrow from each send overhead to the matching receive overhead.
+//
+// Timestamps are simulated cycles emitted as the format's microsecond field
+// — the viewer's time axis therefore reads in cycles. All values are
+// integers and emission order is deterministic (sorted by track, then
+// time), so the JSON for a given run is byte-identical across repeat runs
+// and across sweep thread counts (tests/test_obs.cpp pins this).
+//
+// Flow pairing: a message's send and receive are matched FIFO per
+// (src, dst) pair, which is exact under deterministic latency (the
+// default). With randomized latency (latency_min >= 0) messages of one pair
+// may reorder in the network and an arrow can connect a send to a reordered
+// receive; the per-track intervals remain exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "trace/recorder.hpp"
+
+namespace logp::obs {
+
+/// Incremental builder so callers can combine interval tracks and counter
+/// series (e.g. packet-sim occupancy) in one file.
+class ChromeTraceWriter {
+ public:
+  /// Adds per-processor tracks for `intervals` under process id `pid`
+  /// (named `process_name` in the viewer).
+  void add_intervals(const std::vector<trace::Interval>& intervals,
+                     int num_procs, const std::string& process_name = "logp",
+                     int pid = 0);
+  void add_intervals(const trace::Recorder& rec, int num_procs,
+                     const std::string& process_name = "logp", int pid = 0) {
+    add_intervals(rec.intervals(), num_procs, process_name, pid);
+  }
+
+  /// Adds a counter track ("C" events): one sample per (t, value) point.
+  void add_counter(const std::string& name,
+                   const std::vector<std::pair<Cycles, std::int64_t>>& series,
+                   int pid = 0);
+
+  /// Assembles {"displayTimeUnit":"ms","traceEvents":[...]}.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> meta_events_;
+  std::vector<std::string> events_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+/// One-shot convenience: tracks + flows for a single machine's trace.
+std::string chrome_trace_json(const std::vector<trace::Interval>& intervals,
+                              int num_procs,
+                              const std::string& process_name = "logp");
+
+inline std::string chrome_trace_json(const trace::Recorder& rec, int num_procs,
+                                     const std::string& process_name = "logp") {
+  return chrome_trace_json(rec.intervals(), num_procs, process_name);
+}
+
+}  // namespace logp::obs

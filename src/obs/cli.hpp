@@ -1,0 +1,75 @@
+// Uniform observability CLI flags for the figure/table bench binaries.
+//
+// Every bench that runs a Scheduler consumes these (in addition to the
+// sweep harness's --threads):
+//
+//   --trace              print the exemplar run's activity-interval CSV
+//   --profile            print the exemplar run's LogP signature table
+//   --trace-json FILE    write a Chrome trace (chrome://tracing / Perfetto)
+//   --metrics-csv FILE   dump the metrics registry attached to the run
+//
+// All default off, so default output stays byte-identical (CI diffs it).
+// Like exp::threads_from_args, parsing consumes the flags from argv.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "trace/timeline.hpp"
+#include "util/check.hpp"
+
+namespace logp::obs {
+
+struct ObsFlags {
+  bool trace = false;
+  bool profile = false;
+  std::string trace_json;   ///< output path; empty = off
+  std::string metrics_csv;  ///< output path; empty = off
+
+  bool any() const {
+    return trace || profile || !trace_json.empty() || !metrics_csv.empty();
+  }
+  /// True when the exemplar run should record intervals.
+  bool wants_trace() const { return trace || !trace_json.empty(); }
+};
+
+/// Consumes the flags above from argv (threads_from_args-style).
+ObsFlags obs_from_args(int& argc, char** argv);
+
+/// Writes `content` to `path`, reporting the write on `err` (benches keep
+/// stdout byte-deterministic for CI diffs; file notices go to stderr).
+void write_file(const std::string& path, const std::string& content,
+                std::ostream& err = std::cerr);
+
+/// Emits everything the flags ask for from one finished machine run.
+/// `metrics` may be null (then --metrics-csv writes an empty registry note).
+/// Header-only so logp_obs does not link logp_sim.
+inline void emit_machine_obs(const ObsFlags& flags, const sim::Machine& m,
+                             const std::string& label, std::ostream& out,
+                             const MetricsRegistry* metrics = nullptr) {
+  if (flags.profile) {
+    const LogPProfile prof = profile_machine(m);
+    prof.check_invariant();
+    out << '\n' << "-- " << label << " --\n" << prof.render_table();
+  }
+  if (flags.trace) {
+    LOGP_CHECK_MSG(m.recorder().enabled(),
+                   "--trace requires the run to record (record_trace)");
+    out << '\n' << "-- " << label << ": activity intervals --\n"
+        << trace::render_csv(m.recorder());
+  }
+  if (!flags.trace_json.empty()) {
+    LOGP_CHECK_MSG(m.recorder().enabled(),
+                   "--trace-json requires the run to record (record_trace)");
+    write_file(flags.trace_json,
+               chrome_trace_json(m.recorder(), m.params().P, label));
+  }
+  if (!flags.metrics_csv.empty() && metrics)
+    write_file(flags.metrics_csv, metrics->to_csv());
+}
+
+}  // namespace logp::obs

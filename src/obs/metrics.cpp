@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace logp::obs {
+
+namespace {
+
+template <typename T, typename... Args>
+T* find_or_add(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
+               const std::string& name, Args&&... args) {
+  for (auto& [n, m] : v)
+    if (n == name) return m.get();
+  v.emplace_back(name, std::make_unique<T>(std::forward<Args>(args)...));
+  return v.back().second.get();
+}
+
+template <typename T>
+std::vector<std::pair<std::string, const T*>> sorted_view(
+    const std::vector<std::pair<std::string, std::unique_ptr<T>>>& v) {
+  std::vector<std::pair<std::string, const T*>> out;
+  out.reserve(v.size());
+  for (const auto& [n, m] : v) out.emplace_back(n, m.get());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+/// Minimal JSON number formatting: integers print exactly; doubles print
+/// with enough digits to round-trip but no locale dependence.
+void json_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    os << tmp.str();
+  }
+}
+
+/// Metric names are identifiers chosen by this codebase (dots, dashes,
+/// alnum); escaping covers the JSON-mandatory set anyway.
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  return find_or_add(counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  return find_or_add(gauges_, name);
+}
+
+FixedHistogram* MetricsRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t bins) {
+  return find_or_add(histograms_, name, lo, hi, bins);
+}
+
+void MetricsRegistry::render_csv(std::ostream& os) const {
+  os << "name,type,value,max,p50,p95\n";
+  // One merged, name-sorted emission keeps the dump deterministic and easy
+  // to diff. Names never contain commas/quotes (see DESIGN.md), so no
+  // RFC-4180 quoting is required.
+  struct Row {
+    std::string name;
+    std::string rest;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, c] : sorted_view(counters_)) {
+    std::ostringstream r;
+    r << "counter," << c->value() << ",,,";
+    rows.push_back({name, r.str()});
+  }
+  for (const auto& [name, g] : sorted_view(gauges_)) {
+    std::ostringstream r;
+    r << "gauge," << g->value() << ',' << g->max() << ",,";
+    rows.push_back({name, r.str()});
+  }
+  for (const auto& [name, h] : sorted_view(histograms_)) {
+    std::ostringstream r;
+    r << "histogram," << h->count() << ',' << h->max() << ','
+      << h->quantile(0.5) << ',' << h->quantile(0.95);
+    rows.push_back({name, r.str()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  for (const auto& row : rows) os << row.name << ',' << row.rest << '\n';
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream os;
+  render_csv(os);
+  return os.str();
+}
+
+void MetricsRegistry::render_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : sorted_view(counters_)) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : sorted_view(gauges_)) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, name);
+    os << ":{\"value\":" << g->value() << ",\"max\":" << g->max() << '}';
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : sorted_view(histograms_)) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, name);
+    os << ":{\"count\":" << h->count() << ",\"min\":";
+    json_number(os, h->count() ? h->min() : 0.0);
+    os << ",\"max\":";
+    json_number(os, h->count() ? h->max() : 0.0);
+    os << ",\"sum\":";
+    json_number(os, h->sum());
+    os << ",\"lo\":";
+    json_number(os, h->lo());
+    os << ",\"hi\":";
+    json_number(os, h->hi());
+    os << ",\"bins\":[";
+    const auto& bins = h->bins();
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      if (i) os << ',';
+      os << bins[i];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  render_json(os);
+  return os.str();
+}
+
+}  // namespace logp::obs

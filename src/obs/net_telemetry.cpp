@@ -1,0 +1,79 @@
+#include "obs/net_telemetry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace logp::obs {
+
+namespace {
+
+std::vector<const LinkTelemetry*> by_utilization(const NetTelemetry& t) {
+  std::vector<const LinkTelemetry*> v;
+  v.reserve(t.links.size());
+  for (const auto& l : t.links) v.push_back(&l);
+  std::stable_sort(v.begin(), v.end(),
+                   [&](const LinkTelemetry* a, const LinkTelemetry* b) {
+                     const double ua = a->utilization(t.horizon);
+                     const double ub = b->utilization(t.horizon);
+                     if (ua != ub) return ua > ub;
+                     if (a->u != b->u) return a->u < b->u;
+                     return a->v < b->v;
+                   });
+  return v;
+}
+
+}  // namespace
+
+std::string NetTelemetry::render_links_table(std::size_t top) const {
+  util::TablePrinter tp({"link", "util", "packets", "busy cyc", "queue wait",
+                         "max wait", "max backlog"});
+  const auto ordered = by_utilization(*this);
+  const std::size_t n =
+      top == 0 ? ordered.size() : std::min(top, ordered.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const LinkTelemetry& l = *ordered[i];
+    std::string name = std::to_string(l.u) + "->" + std::to_string(l.v);
+    if (l.channels > 1) name += " x" + std::to_string(l.channels);
+    tp.add_row({name, util::fmt(100.0 * l.utilization(horizon), 1) + "%",
+                util::fmt_count(l.packets), util::fmt_count(l.busy),
+                util::fmt_count(l.queue_wait), util::fmt_count(l.max_queue_wait),
+                util::fmt_count(l.max_backlog)});
+  }
+  std::ostringstream os;
+  tp.print(os);
+  return os.str();
+}
+
+std::string NetTelemetry::to_csv() const {
+  std::ostringstream os;
+  os << "u,v,channels,packets,busy,utilization,queue_wait,max_queue_wait,"
+        "max_backlog\n";
+  for (const LinkTelemetry* l : by_utilization(*this))
+    os << l->u << ',' << l->v << ',' << l->channels << ',' << l->packets << ','
+       << l->busy << ',' << util::fmt(l->utilization(horizon), 4) << ','
+       << l->queue_wait << ',' << l->max_queue_wait << ',' << l->max_backlog
+       << '\n';
+  return os.str();
+}
+
+double NetTelemetry::max_utilization() const {
+  double m = 0.0;
+  for (const auto& l : links) m = std::max(m, l.utilization(horizon));
+  return m;
+}
+
+Cycles NetTelemetry::total_queue_wait() const {
+  Cycles total = 0;
+  for (const auto& l : links) total += l.queue_wait;
+  return total;
+}
+
+std::int64_t NetTelemetry::max_backlog() const {
+  std::int64_t m = 0;
+  for (const auto& l : links) m = std::max(m, l.max_backlog);
+  return m;
+}
+
+}  // namespace logp::obs

@@ -1,0 +1,72 @@
+// Packet-network telemetry channel, filled by net::run_packet_sim when a
+// NetTelemetry sink is attached to its config.
+//
+// The saturation experiment's knee is a statement about *links*: below the
+// knee every link serves its arrivals immediately; beyond it some links run
+// at 100% busy and queues grow without bound. This sink exposes exactly
+// that: per-link utilization and queue-wait high-water marks, plus a
+// sampled time series of network-wide in-flight packets to compare against
+// the LogP capacity bound P * ceil(L/g) the model would impose.
+//
+// Collection only observes the simulation — attaching a sink never changes
+// RNG draws, event order or any PacketSimResult field (pinned by
+// tests/test_obs.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::obs {
+
+/// One directed link (u -> v) of the simulated network.
+struct LinkTelemetry {
+  int u = 0;
+  int v = 0;
+  int channels = 1;           ///< parallel channels (link multiplicity)
+  std::int64_t packets = 0;   ///< packets serviced
+  Cycles busy = 0;            ///< channel-cycles spent serving
+  Cycles queue_wait = 0;      ///< total cycles packets waited for a channel
+  Cycles max_queue_wait = 0;  ///< worst single wait
+  std::int64_t max_backlog = 0;  ///< high-water of queued service slots
+
+  /// Fraction of channel capacity used over `horizon` cycles.
+  double utilization(Cycles horizon) const {
+    if (horizon <= 0) return 0.0;
+    return static_cast<double>(busy) /
+           (static_cast<double>(horizon) * static_cast<double>(channels));
+  }
+};
+
+struct NetTelemetry {
+  /// Sampling period for the in-flight series; 0 disables the series.
+  /// Set before the run.
+  Cycles sample_every = 0;
+
+  // ---- filled by run_packet_sim ----
+  Cycles horizon = 0;  ///< last simulated cycle observed
+  std::vector<LinkTelemetry> links;
+  /// Network-wide in-flight packet count sampled every sample_every cycles.
+  std::vector<std::pair<Cycles, std::int64_t>> in_flight;
+
+  void clear() {
+    horizon = 0;
+    links.clear();
+    in_flight.clear();
+  }
+
+  /// Links sorted by descending utilization; `top` rows (0 = all).
+  std::string render_links_table(std::size_t top = 0) const;
+  /// CSV `u,v,channels,packets,busy,utilization,queue_wait,max_queue_wait,
+  /// max_backlog` with header, same order as render_links_table.
+  std::string to_csv() const;
+
+  // Aggregates over links.
+  double max_utilization() const;
+  Cycles total_queue_wait() const;
+  std::int64_t max_backlog() const;
+};
+
+}  // namespace logp::obs

@@ -1,0 +1,152 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace logp::obs {
+
+ProcSignature LogPProfile::aggregate() const {
+  ProcSignature total;
+  for (const auto& s : procs) {
+    total.compute += s.compute;
+    total.send_o += s.send_o;
+    total.recv_o += s.recv_o;
+    total.gap_wait += s.gap_wait;
+    total.stall += s.stall;
+    total.idle += s.idle;
+  }
+  return total;
+}
+
+void LogPProfile::check_invariant() const {
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    const ProcSignature& s = procs[p];
+    LOGP_CHECK_MSG(s.compute >= 0 && s.send_o >= 0 && s.recv_o >= 0 &&
+                       s.gap_wait >= 0 && s.stall >= 0 && s.idle >= 0,
+                   "negative bucket at proc " << p);
+    LOGP_CHECK_MSG(s.sum() == total_cycles,
+                   "LogP signature leak at proc "
+                       << p << ": buckets sum to " << s.sum()
+                       << " but the run took " << total_cycles << " cycles");
+  }
+}
+
+namespace {
+
+std::string pct(Cycles part, Cycles whole) {
+  if (whole <= 0) return "0.0%";
+  return util::fmt(100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole),
+                   1) +
+         "%";
+}
+
+void csv_row(std::ostream& os, std::int64_t proc, const ProcSignature& s) {
+  os << proc << ',' << s.compute << ',' << s.send_o << ',' << s.recv_o << ','
+     << s.gap_wait << ',' << s.stall << ',' << s.idle << ',' << s.sum()
+     << '\n';
+}
+
+void json_sig(std::ostream& os, const ProcSignature& s) {
+  os << "{\"compute\":" << s.compute << ",\"send_o\":" << s.send_o
+     << ",\"recv_o\":" << s.recv_o << ",\"gap_wait\":" << s.gap_wait
+     << ",\"stall\":" << s.stall << ",\"idle\":" << s.idle << '}';
+}
+
+}  // namespace
+
+std::string LogPProfile::render_table() const {
+  util::TablePrinter tp({"proc", "compute", "send-o", "recv-o", "g-wait",
+                         "stall", "idle", "busy%"});
+  auto row = [&](const std::string& name, const ProcSignature& s,
+                 Cycles whole) {
+    tp.add_row({name,
+                util::fmt_count(s.compute) + " (" + pct(s.compute, whole) + ")",
+                util::fmt_count(s.send_o) + " (" + pct(s.send_o, whole) + ")",
+                util::fmt_count(s.recv_o) + " (" + pct(s.recv_o, whole) + ")",
+                util::fmt_count(s.gap_wait) + " (" + pct(s.gap_wait, whole) +
+                    ")",
+                util::fmt_count(s.stall) + " (" + pct(s.stall, whole) + ")",
+                util::fmt_count(s.idle) + " (" + pct(s.idle, whole) + ")",
+                pct(s.busy(), whole)});
+  };
+  for (std::size_t p = 0; p < procs.size(); ++p)
+    row("P" + std::to_string(p), procs[p], total_cycles);
+  const ProcSignature agg = aggregate();
+  row("all", agg, total_cycles * static_cast<Cycles>(procs.size()));
+
+  std::ostringstream os;
+  os << "LogP signature over " << util::fmt_count(total_cycles)
+     << " cycles x " << procs.size() << " procs:\n";
+  tp.print(os);
+  return os.str();
+}
+
+std::string LogPProfile::to_csv() const {
+  std::ostringstream os;
+  os << "proc,compute,send_o,recv_o,gap_wait,stall,idle,total\n";
+  for (std::size_t p = 0; p < procs.size(); ++p)
+    csv_row(os, static_cast<std::int64_t>(p), procs[p]);
+  csv_row(os, -1, aggregate());
+  return os.str();
+}
+
+std::string LogPProfile::to_json() const {
+  std::ostringstream os;
+  os << "{\"total_cycles\":" << total_cycles << ",\"procs\":[";
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    if (p) os << ',';
+    json_sig(os, procs[p]);
+  }
+  os << "],\"aggregate\":";
+  json_sig(os, aggregate());
+  os << '}';
+  return os.str();
+}
+
+LogPProfile profile_intervals(const std::vector<trace::Interval>& intervals,
+                              int num_procs, Cycles finish) {
+  LogPProfile prof;
+  prof.total_cycles = finish;
+  prof.procs.resize(static_cast<std::size_t>(num_procs));
+
+  // Per-proc interval lists, sorted by begin, to verify the tiling property
+  // (no two busy intervals of one processor overlap).
+  std::vector<std::vector<std::pair<Cycles, Cycles>>> spans(
+      static_cast<std::size_t>(num_procs));
+  for (const trace::Interval& iv : intervals) {
+    LOGP_CHECK_MSG(iv.proc >= 0 && iv.proc < num_procs,
+                   "interval for unknown proc " << iv.proc);
+    LOGP_CHECK_MSG(iv.begin >= 0 && iv.end > iv.begin && iv.end <= finish,
+                   "malformed interval [" << iv.begin << ", " << iv.end
+                                          << ") on proc " << iv.proc);
+    ProcSignature& s = prof.procs[static_cast<std::size_t>(iv.proc)];
+    const Cycles len = iv.end - iv.begin;
+    switch (iv.what) {
+      case trace::Activity::kCompute: s.compute += len; break;
+      case trace::Activity::kSendOverhead: s.send_o += len; break;
+      case trace::Activity::kRecvOverhead: s.recv_o += len; break;
+      case trace::Activity::kGapWait: s.gap_wait += len; break;
+      case trace::Activity::kStall: s.stall += len; break;
+    }
+    spans[static_cast<std::size_t>(iv.proc)].emplace_back(iv.begin, iv.end);
+  }
+  for (int p = 0; p < num_procs; ++p) {
+    auto& sp = spans[static_cast<std::size_t>(p)];
+    std::sort(sp.begin(), sp.end());
+    for (std::size_t i = 1; i < sp.size(); ++i)
+      LOGP_CHECK_MSG(sp[i].first >= sp[i - 1].second,
+                     "overlapping intervals on proc "
+                         << p << ": [" << sp[i - 1].first << ", "
+                         << sp[i - 1].second << ") and [" << sp[i].first
+                         << ", " << sp[i].second << ")");
+    ProcSignature& s = prof.procs[static_cast<std::size_t>(p)];
+    LOGP_CHECK(s.busy() <= finish);
+    s.idle = finish - s.busy();
+  }
+  return prof;
+}
+
+}  // namespace logp::obs

@@ -1,0 +1,106 @@
+// LogP signature profiler: the paper's claim is that execution time
+// decomposes into exactly the model's knobs, so a run's time budget can be
+// accounted *completely* — every processor-cycle of a simulation lands in
+// one of six buckets:
+//
+//   compute | send-o | recv-o | g-wait | capacity stall | idle
+//
+// with the structural invariant (enforced by check_invariant and by
+// tests/test_obs.cpp):
+//
+//   sum over procs of sum over buckets == total simulated cycles * P, exactly.
+//
+// Two independent builders feed it: profile_machine() reads the machine's
+// per-processor ProcStats (always available, O(P)); profile_intervals()
+// re-derives the same buckets from trace::Recorder intervals (available when
+// record_trace is on). The two must agree bucket-for-bucket — a cross-check
+// that the recorder's intervals tile the run with no overlap and no loss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "trace/recorder.hpp"
+#include "util/check.hpp"
+
+namespace logp::obs {
+
+/// One processor's time accounting, in cycles. All six buckets are
+/// disjoint; their sum is the run's final simulated time.
+struct ProcSignature {
+  Cycles compute = 0;
+  Cycles send_o = 0;
+  Cycles recv_o = 0;
+  Cycles gap_wait = 0;
+  Cycles stall = 0;
+  Cycles idle = 0;
+
+  Cycles busy() const { return compute + send_o + recv_o + gap_wait + stall; }
+  Cycles sum() const { return busy() + idle; }
+
+  bool operator==(const ProcSignature&) const = default;
+};
+
+/// Per-processor and aggregate LogP time accounting of one finished run.
+struct LogPProfile {
+  Cycles total_cycles = 0;  ///< the run's final simulated time
+  std::vector<ProcSignature> procs;
+
+  ProcSignature aggregate() const;
+
+  /// Asserts the paper-given structural invariant: every bucket is
+  /// non-negative and each processor's six buckets sum to total_cycles
+  /// exactly (so the grand total is total_cycles * P).
+  void check_invariant() const;
+
+  /// Aligned table: one row per processor plus an aggregate row, cycles and
+  /// percent per bucket.
+  std::string render_table() const;
+  /// CSV rows `proc,compute,send_o,recv_o,gap_wait,stall,idle,total` with a
+  /// header; proc -1 is the aggregate.
+  std::string to_csv() const;
+  /// {"total_cycles":..,"procs":[{"compute":..,...},...]}
+  std::string to_json() const;
+
+  bool operator==(const LogPProfile&) const = default;
+};
+
+/// Builds the signature from the machine's ProcStats. `finish` defaults to
+/// machine.now() (run() returns the same value). Header-only so logp_obs
+/// does not link against logp_sim.
+inline LogPProfile profile_machine(const sim::Machine& m) {
+  LogPProfile prof;
+  prof.total_cycles = m.now();
+  const int P = m.params().P;
+  prof.procs.resize(static_cast<std::size_t>(P));
+  for (ProcId p = 0; p < P; ++p) {
+    const sim::ProcStats& s = m.stats(p);
+    ProcSignature& sig = prof.procs[static_cast<std::size_t>(p)];
+    sig.compute = s.compute;
+    sig.send_o = s.send_overhead;
+    sig.recv_o = s.recv_overhead;
+    sig.gap_wait = s.gap_wait;
+    sig.stall = s.stall;
+    // Idle is the complement: the invariant below is the real check that the
+    // five busy buckets never exceed (or double-count within) the run.
+    LOGP_CHECK_MSG(sig.busy() <= prof.total_cycles,
+                   "proc " << p << " busy " << sig.busy()
+                           << " exceeds run time " << prof.total_cycles);
+    sig.idle = prof.total_cycles - sig.busy();
+  }
+  return prof;
+}
+
+/// Re-derives the signature from recorded intervals (requires
+/// record_trace). Also verifies that no two intervals of one processor
+/// overlap — the recorder's tiling property.
+LogPProfile profile_intervals(const std::vector<trace::Interval>& intervals,
+                              int num_procs, Cycles finish);
+
+inline LogPProfile profile_intervals(const trace::Recorder& rec, int num_procs,
+                                     Cycles finish) {
+  return profile_intervals(rec.intervals(), num_procs, finish);
+}
+
+}  // namespace logp::obs

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace logp::runtime {
 
 Scheduler::Scheduler(sim::MachineConfig cfg)
     : machine_(std::move(cfg), *this),
-      pstates_(static_cast<std::size_t>(machine_.params().P)) {}
+      pstates_(static_cast<std::size_t>(machine_.params().P)) {
+#ifndef LOGP_OBS_DISABLED
+  if (obs::MetricsRegistry* reg = machine_.config().metrics) {
+    obs_.tasks_spawned = reg->counter("rt.tasks.spawned");
+    obs_.handlers_invoked = reg->counter("rt.handlers.invoked");
+    obs_.mailbox_depth = reg->gauge("rt.mailbox.depth");
+    obs_.recv_waiters_depth = reg->gauge("rt.recv_waiters.depth");
+  }
+#endif
+}
 
 Scheduler::~Scheduler() = default;
 
@@ -52,6 +63,7 @@ Cycles Scheduler::run() {
 
 void Scheduler::spawn_on(ProcId p, Task t) {
   LOGP_CHECK(t.valid());
+  LOGP_OBS_COUNT(obs_.tasks_spawned, 1);
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   ps.ready.push_back(t.handle());
   ps.toplevel.push_back(std::move(t));
@@ -98,6 +110,8 @@ void Scheduler::add_recv_waiter(ProcId p, std::int32_t tag, ProcId src,
                                 std::coroutine_handle<> h, Message* slot) {
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   ps.recv_waiters.push_back(RecvWaiter{tag, src, h, slot});
+  LOGP_OBS_GAUGE_SET(obs_.recv_waiters_depth,
+                     static_cast<std::int64_t>(ps.recv_waiters.size()));
   // The processor may have been left idle with arrivals pending (e.g. it
   // was mid-resume when they landed); make sure acceptance restarts.
   pump(p);
@@ -132,6 +146,7 @@ void Scheduler::on_accept_done(ProcId p, const Message& m) {
   bool handled = false;
   for (auto& [tag, fn] : handlers_) {
     if (tag == m.tag) {
+      LOGP_OBS_COUNT(obs_.handlers_invoked, 1);
       fn(Ctx(this, p), m);
       handled = true;
       break;
@@ -148,7 +163,11 @@ void Scheduler::on_accept_done(ProcId p, const Message& m) {
         break;
       }
     }
-    if (!matched) ps.mailbox.push_back(m);
+    if (!matched) {
+      ps.mailbox.push_back(m);
+      LOGP_OBS_GAUGE_SET(obs_.mailbox_depth,
+                         static_cast<std::int64_t>(ps.mailbox.size()));
+    }
   }
   pump(p);
 }

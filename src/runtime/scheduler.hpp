@@ -22,6 +22,11 @@
 #include "util/check.hpp"
 #include "util/ring_deque.hpp"
 
+namespace logp::obs {
+class Counter;
+class Gauge;
+}  // namespace logp::obs
+
 namespace logp::runtime {
 
 using sim::Message;
@@ -159,6 +164,16 @@ class Scheduler final : public sim::Host {
     if (!first_error_) first_error_ = e;
   }
 
+  /// rt.* metrics, resolved from the machine config's registry at
+  /// construction; all null when no registry is attached (or obs is
+  /// compiled out), so updates are one predicted branch.
+  struct Instruments {
+    obs::Counter* tasks_spawned = nullptr;
+    obs::Counter* handlers_invoked = nullptr;
+    obs::Gauge* mailbox_depth = nullptr;
+    obs::Gauge* recv_waiters_depth = nullptr;
+  };
+
   sim::Machine machine_;
   Program program_;
   std::vector<std::pair<std::int32_t, Handler>> handlers_;
@@ -166,6 +181,7 @@ class Scheduler final : public sim::Host {
   bool accept_priority_ = true;
   std::exception_ptr first_error_;
   bool ran_ = false;
+  Instruments obs_;
 };
 
 // ---- Ctx inline implementations ------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace logp::sim {
@@ -16,6 +17,18 @@ Machine::Machine(MachineConfig config, Host& host)
   LOGP_CHECK(cfg_.compute_jitter >= 0.0 && cfg_.compute_jitter < 1.0);
   procs_.resize(static_cast<std::size_t>(cfg_.params.P));
   events_.reserve(64 + 4 * static_cast<std::size_t>(cfg_.params.P));
+#ifndef LOGP_OBS_DISABLED
+  if (cfg_.metrics != nullptr) {
+    // Resolve once; the hot paths then update through nullable pointers.
+    // Stall segments rarely exceed a few L, so [0, 4096) x 64 bins keeps
+    // quantiles meaningful for every current experiment.
+    obs_.stalls_entered = cfg_.metrics->counter("sim.sends.stalled");
+    obs_.stall_wakeups = cfg_.metrics->counter("sim.stall.wakeups");
+    obs_.drained_accepts = cfg_.metrics->counter("sim.stall.drained_accepts");
+    obs_.stall_cycles =
+        cfg_.metrics->histogram("sim.stall.segment_cycles", 0.0, 4096.0, 64);
+  }
+#endif
   for (ProcId p = 0; p < cfg_.params.P; ++p)
     push_event(0, EvKind::kStartup, p, 0);
 }
@@ -36,7 +49,28 @@ Cycles Machine::run() {
       LOGP_CHECK_MSG(false, "event budget exceeded — runaway program?");
     dispatch(ev);
   }
+  flush_metrics();
   return now_;
+}
+
+/// Cold: totals the per-event loop already tracks are published once, after
+/// the event queue drains, so attaching a registry adds nothing per event.
+void Machine::flush_metrics() {
+#ifndef LOGP_OBS_DISABLED
+  if (cfg_.metrics == nullptr) return;
+  cfg_.metrics->gauge("sim.events")
+      ->set(static_cast<std::int64_t>(events_processed_));
+  cfg_.metrics->gauge("sim.msgs.sent")->set(total_messages_);
+  cfg_.metrics->gauge("sim.finish.cycles")->set(now_);
+  cfg_.metrics->gauge("sim.msg_pool.slots")
+      ->set(static_cast<std::int64_t>(msgs_.capacity()));
+  cfg_.metrics->gauge("sim.call_pool.slots")
+      ->set(static_cast<std::int64_t>(calls_.capacity()));
+  std::int64_t backlog = 0;
+  for (const auto& proc : procs_)
+    backlog = std::max(backlog, proc.stats.max_arrival_backlog);
+  cfg_.metrics->gauge("sim.arrival_backlog.max")->set(backlog);
+#endif
 }
 
 Cycles Machine::sample_latency() {
@@ -131,6 +165,7 @@ void Machine::try_inject(ProcId p, Cycles t) {
   auto& dst = procs_[static_cast<std::size_t>(m.dst)];
   const int cap = static_cast<int>(cfg_.params.capacity());
   if (proc.out_inflight >= cap || dst.in_inflight >= cap) {
+    LOGP_OBS_COUNT(obs_.stalls_entered, 1);
     proc.state = CpuState::kSendStalled;
     proc.pending_injection = true;
     proc.stall_begin = t;
@@ -151,7 +186,10 @@ void Machine::maybe_accept_while_stalled(ProcId p) {
     proc.stats.stall += now_ - proc.stall_begin;
     recorder_.record(p, proc.stall_begin, now_, trace::Activity::kStall,
                      msgs_[proc.current_msg].dst);
+    LOGP_OBS_OBSERVE(obs_.stall_cycles,
+                     static_cast<double>(now_ - proc.stall_begin));
   }
+  LOGP_OBS_COUNT(obs_.drained_accepts, 1);
   proc.op_requested = now_;
   if (now_ < proc.recv_port_free) {
     proc.state = CpuState::kAcceptGapWait;
@@ -256,6 +294,8 @@ void Machine::wake_blocked_senders() {
       proc.stats.stall += stalled;
       recorder_.record(p, proc.stall_begin, now_, trace::Activity::kStall,
                        dst_id);
+      LOGP_OBS_COUNT(obs_.stall_wakeups, 1);
+      LOGP_OBS_OBSERVE(obs_.stall_cycles, static_cast<double>(stalled));
       inject(p, now_);
     } else {
       blocked_senders_.push_back(p);

@@ -34,6 +34,12 @@
 #include "util/ring_deque.hpp"
 #include "util/rng.hpp"
 
+namespace logp::obs {
+class Counter;
+class FixedHistogram;
+class MetricsRegistry;
+}  // namespace logp::obs
+
 namespace logp::sim {
 
 /// Per-processor accounting, all in cycles unless noted.
@@ -89,6 +95,13 @@ struct MachineConfig {
   bool drain_while_stalled = true;
   /// Safety valve: run() throws if more events than this are processed.
   std::uint64_t max_events = std::uint64_t(1) << 62;
+  /// Optional metrics sink (see obs/metrics.hpp). The machine registers
+  /// sim.* counters/gauges/histograms at construction and updates them as it
+  /// runs; null (the default) costs one predicted branch on the few paths
+  /// instrumented, and -DLOGP_OBS=OFF compiles even that out. The registry
+  /// must outlive the machine and must not be shared with a machine running
+  /// on another thread (one registry per experiment, like the RNG).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Machine {
@@ -162,6 +175,7 @@ class Machine {
   std::uint64_t events_processed() const { return events_processed_; }
 
   trace::Recorder& recorder() { return recorder_; }
+  const trace::Recorder& recorder() const { return recorder_; }
 
  private:
   enum class CpuState : std::uint8_t {
@@ -218,8 +232,19 @@ class Machine {
     ProcStats stats;
   };
 
+  /// Resolved metric pointers (all null when cfg_.metrics is null or obs is
+  /// compiled out). Stall-related updates sit on contention paths only; the
+  /// per-event loop is untouched — totals are flushed once at end of run().
+  struct Instruments {
+    obs::Counter* stalls_entered = nullptr;
+    obs::Counter* stall_wakeups = nullptr;
+    obs::Counter* drained_accepts = nullptr;
+    obs::FixedHistogram* stall_cycles = nullptr;
+  };
+
   void push_event(Cycles t, EvKind kind, ProcId proc, std::uint32_t payload);
   void dispatch(const Event& ev);
+  void flush_metrics();
 
   void engage_send(ProcId p, Cycles t);
   void try_inject(ProcId p, Cycles t);
@@ -250,6 +275,7 @@ class Machine {
   std::int64_t total_messages_ = 0;
   util::Xoshiro256StarStar rng_;
   trace::Recorder recorder_;
+  Instruments obs_;
 };
 
 }  // namespace logp::sim

@@ -20,7 +20,18 @@ struct TimelineOptions {
 std::string render_timeline(const Recorder& rec, int num_procs,
                             const TimelineOptions& opts = {});
 
-/// Renders the trace as CSV rows (proc,begin,end,activity,peer).
+/// Renders the trace as CSV. Schema (documented in DESIGN.md and pinned by
+/// tests/test_obs.cpp), one header row then one row per interval in record
+/// order:
+///
+///   proc,begin,end,activity,peer
+///
+///  * proc      processor id (0-based int)
+///  * begin,end half-open interval [begin, end) in cycles; end > begin
+///  * activity  one of the fixed tokens compute|send-o|recv-o|stall|gap
+///    (trace::activity_name) — all comma- and quote-free, so rows never
+///    need escaping
+///  * peer      remote processor for send-o/recv-o/stall, -1 when none
 std::string render_csv(const Recorder& rec);
 
 }  // namespace logp::trace

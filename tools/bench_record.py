@@ -28,6 +28,13 @@ Usage:
         [--filter REGEX] [--out BENCH_2026-08-06.json] [--label NOTE]
 
 or via the build system:  cmake --build build --target bench-record
+
+Comparison mode prints the per-benchmark items/s delta between two
+snapshots (baseline first) and exits nonzero when any benchmark regresses
+by more than --tolerance (default 3%, the bound in ISSUE/DESIGN):
+
+    tools/bench_record.py --compare BASELINE.json CANDIDATE.json
+        [--tolerance 0.03]
 """
 
 import argparse
@@ -73,6 +80,41 @@ def run_once(binary, bench_filter, min_time, index):
     return results
 
 
+def compare(baseline_path, candidate_path, tolerance):
+    """Prints per-benchmark deltas; returns the number of regressions."""
+    with open(baseline_path) as f:
+        base = json.load(f)["benchmarks"]
+    with open(candidate_path) as f:
+        cand = json.load(f)["benchmarks"]
+
+    regressions = 0
+    names = sorted(set(base) & set(cand))
+    if not names:
+        print("[bench_record] no common benchmarks to compare",
+              file=sys.stderr)
+        return 1
+    width = max(len(n) for n in names)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'candidate':>14}"
+          f"  {'delta':>8}")
+    for name in names:
+        b = base[name].get("items_per_second")
+        c = cand[name].get("items_per_second")
+        if not b or not c:
+            continue
+        delta = (c - b) / b
+        flag = ""
+        if delta < -tolerance:
+            flag = "  REGRESSION"
+            regressions += 1
+        print(f"{name.ljust(width)}  {b:14.0f}  {c:14.0f}  {delta:+7.1%}"
+              f"{flag}")
+    only = sorted(set(base) ^ set(cand))
+    if only:
+        print(f"[bench_record] not in both snapshots: {', '.join(only)}",
+              file=sys.stderr)
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--binary", default="build/bench/perf_engine",
@@ -87,7 +129,16 @@ def main():
                         help="output path (default BENCH_<date>.json in cwd)")
     parser.add_argument("--label", default="",
                         help="free-form note stored in the snapshot")
+    parser.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                        help="compare two snapshots instead of recording")
+    parser.add_argument("--tolerance", type=float, default=0.03,
+                        help="max allowed items/s regression in --compare "
+                             "mode (fraction, default 0.03)")
     args = parser.parse_args()
+
+    if args.compare:
+        sys.exit(1 if compare(args.compare[0], args.compare[1],
+                              args.tolerance) else 0)
 
     if args.runs < 1:
         parser.error("--runs must be >= 1")

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Summarize logp observability artifacts as per-phase breakdown tables.
+
+Accepts any of the three machine-readable formats the obs layer emits and
+autodetects which one it was given:
+
+  * Chrome trace JSON   (bench --trace-json FILE): per-processor "X" slices
+    are summed by activity; flow ("s"/"f") pairs are counted as messages.
+  * activity-interval CSV (bench --trace, schema proc,begin,end,activity,peer
+    — see DESIGN.md "Observability"): same accounting, straight from rows.
+  * metrics registry JSON/CSV (obs::MetricsRegistry::to_json / to_csv):
+    printed as a flat name/value table.
+
+For interval inputs the output mirrors obs::LogPProfile::render_table():
+one row per processor plus an aggregate, cycles and percent per activity,
+with idle derived as horizon minus busy.
+
+Usage:
+    tools/trace_summary.py FILE [--top N]
+
+--top N limits per-processor rows to the N busiest processors (0 = all),
+which keeps wide-P traces readable.
+"""
+
+import argparse
+import csv
+import io
+import json
+import pathlib
+import sys
+
+ACTIVITIES = ["compute", "send-o", "recv-o", "gap", "stall"]
+
+
+def render_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def summarize_intervals(per_proc, horizon, top, messages=None):
+    """per_proc: {proc: {activity: cycles}}; prints the breakdown table."""
+    if not per_proc:
+        print("no intervals found")
+        return
+    procs = sorted(per_proc)
+    busiest = sorted(procs, key=lambda p: -sum(per_proc[p].values()))
+    shown = set(busiest[:top]) if top else set(procs)
+
+    def fmt_bucket(cycles):
+        pct = 100.0 * cycles / horizon if horizon else 0.0
+        return f"{cycles} ({pct:.1f}%)"
+
+    headers = ["proc"] + ACTIVITIES + ["idle", "busy%"]
+    rows = []
+    total = {a: 0 for a in ACTIVITIES}
+    for p in procs:
+        buckets = per_proc[p]
+        for a in ACTIVITIES:
+            total[a] += buckets.get(a, 0)
+        if p not in shown:
+            continue
+        busy = sum(buckets.values())
+        row = [f"P{p}"] + [fmt_bucket(buckets.get(a, 0)) for a in ACTIVITIES]
+        row.append(fmt_bucket(max(horizon - busy, 0)))
+        row.append(f"{100.0 * busy / horizon:.1f}%" if horizon else "-")
+        rows.append(row)
+    if top and len(procs) > top:
+        rows.append([f"... {len(procs) - top} more procs elided"] +
+                    [""] * (len(headers) - 1))
+
+    grand = horizon * len(procs)
+    busy_all = sum(total.values())
+    agg = ["all"]
+    for a in ACTIVITIES:
+        pct = 100.0 * total[a] / grand if grand else 0.0
+        agg.append(f"{total[a]} ({pct:.1f}%)")
+    idle = grand - busy_all
+    agg.append(f"{idle} ({100.0 * idle / grand:.1f}%)" if grand else "0")
+    agg.append(f"{100.0 * busy_all / grand:.1f}%" if grand else "-")
+    rows.append(agg)
+
+    print(f"LogP signature over {horizon} cycles x {len(procs)} procs:")
+    print(render_table(headers, rows))
+    if messages is not None:
+        print(f"messages (flow pairs): {messages}")
+
+
+def load_chrome(doc, top):
+    per_proc = {}
+    horizon = 0
+    flows = 0
+    counters = set()
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "s":
+            flows += 1
+        if ph == "C":
+            counters.add(ev.get("name", "?"))
+        if ph != "X":
+            continue
+        proc = int(ev.get("tid", 0))
+        name = ev.get("name", "?")
+        dur = int(ev.get("dur", 0))
+        horizon = max(horizon, int(ev.get("ts", 0)) + dur)
+        per_proc.setdefault(proc, {})
+        per_proc[proc][name] = per_proc[proc].get(name, 0) + dur
+    if not per_proc and counters:
+        print("no processor slices; counter tracks only:")
+        for name in sorted(counters):
+            print(f"  {name}")
+        return
+    summarize_intervals(per_proc, horizon, top, messages=flows)
+
+
+def load_trace_csv(text, top):
+    per_proc = {}
+    horizon = 0
+    for row in csv.DictReader(io.StringIO(text)):
+        try:
+            proc = int(row["proc"])
+            begin, end = int(row["begin"]), int(row["end"])
+        except (TypeError, ValueError):
+            break  # benches print tables after the CSV block; stop there
+        horizon = max(horizon, end)
+        per_proc.setdefault(proc, {})
+        act = row["activity"]
+        per_proc[proc][act] = per_proc[proc].get(act, 0) + (end - begin)
+    summarize_intervals(per_proc, horizon, top)
+
+
+def load_metrics_json(doc):
+    rows = []
+    for name, value in sorted(doc.get("counters", {}).items()):
+        rows.append([name, "counter", value, ""])
+    for name, g in sorted(doc.get("gauges", {}).items()):
+        rows.append([name, "gauge", g["value"], g["max"]])
+    for name, h in sorted(doc.get("histograms", {}).items()):
+        rows.append([name, "histogram", h["count"],
+                     f"sum={h['sum']:g} max={h['max']:g}"])
+    print(render_table(["name", "type", "value", "max/detail"], rows))
+
+
+def load_metrics_csv(text):
+    rows = [[r["name"], r["type"], r["value"], r["max"]]
+            for r in csv.DictReader(io.StringIO(text))]
+    print(render_table(["name", "type", "value", "max"], rows))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", type=pathlib.Path,
+                    help="Chrome trace JSON, trace CSV, or metrics JSON/CSV")
+    ap.add_argument("--top", type=int, default=0,
+                    help="show only the N busiest processors (0 = all)")
+    args = ap.parse_args()
+
+    text = args.file.read_text()
+    first_line = text.split("\n", 1)[0].strip()
+    if first_line.startswith("{"):
+        doc = json.loads(text)
+        if "traceEvents" in doc:
+            load_chrome(doc, args.top)
+        elif {"counters", "gauges", "histograms"} & doc.keys():
+            load_metrics_json(doc)
+        else:
+            sys.exit(f"{args.file}: unrecognized JSON document")
+    elif first_line == "proc,begin,end,activity,peer":
+        load_trace_csv(text, args.top)
+    elif first_line == "name,type,value,max,p50,p95":
+        load_metrics_csv(text)
+    else:
+        sys.exit(f"{args.file}: unrecognized format (header {first_line!r})")
+
+
+if __name__ == "__main__":
+    main()
