@@ -32,11 +32,13 @@ namespace {
 /// Re-running is cheap and keeps the sweep itself sink-free (a parallel
 /// sweep must not share observers).
 void profile_point(const logp::net::Topology& topo, double load,
-                   logp::obs::ChromeTraceWriter* trace_writer, int pid) {
+                   int sim_threads, logp::obs::ChromeTraceWriter* trace_writer,
+                   int pid) {
   using namespace logp;
   net::PacketSimConfig cfg;
   cfg.duration = 30000;
   cfg.injection_rate = load;
+  cfg.sim_threads = sim_threads;
   obs::NetTelemetry telem;
   telem.sample_every = 500;
   cfg.telemetry = &telem;
@@ -61,6 +63,10 @@ void profile_point(const logp::net::Topology& topo, double load,
 int main(int argc, char** argv) {
   using namespace logp;
   const int threads = exp::threads_from_args(argc, argv);
+  // Intra-simulation threads for the bounded-lag engine. Output — including
+  // the --profile telemetry — is byte-identical for any value (CI diffs
+  // --sim-threads 1 against 4); only wall-clock time changes.
+  const int sim_threads = exp::sim_threads_from_args(argc, argv);
   // --profile re-runs an exemplar stable and saturated grid point with link
   // telemetry; --trace-json FILE writes their in-flight occupancy as Chrome
   // trace counter tracks. Defaults off: the summary tables stay byte-stable.
@@ -81,13 +87,16 @@ int main(int argc, char** argv) {
   std::vector<std::function<net::PacketSimResult()>> jobs;
   for (const auto& topo : topos)
     for (const double load : loads)
-      jobs.push_back([&topo, load] {
+      jobs.push_back([&topo, load, sim_threads] {
         net::PacketSimConfig cfg;
         cfg.duration = 30000;
         cfg.injection_rate = load;
+        cfg.sim_threads = sim_threads;
         return net::run_packet_sim(*topo, cfg);
       });
-  const exp::SweepRunner runner({threads});
+  // Declare the intra-job parallelism so outer x inner stays within the
+  // machine (the explicit nesting policy of SweepOptions).
+  const exp::SweepRunner runner({threads, sim_threads});
   const auto results = runner.map(jobs);
 
   std::size_t job = 0;
@@ -124,8 +133,8 @@ int main(int argc, char** argv) {
         obs_flags.trace_json.empty() ? nullptr : &writer;
     const auto mesh = net::make_mesh2d(8, 8, false);
     std::cout << '\n';
-    profile_point(*mesh, 0.008, w, 0);
-    profile_point(*mesh, 0.064, w, 1);
+    profile_point(*mesh, 0.008, sim_threads, w, 0);
+    profile_point(*mesh, 0.064, sim_threads, w, 1);
     std::cout << "The knee is a link story: at 0.064 the mesh's center links\n"
                  "run pinned at ~100% busy and queue wait dominates latency,\n"
                  "while at 0.008 every link still serves arrivals promptly.\n";

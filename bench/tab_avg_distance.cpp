@@ -6,11 +6,16 @@
 #include <memory>
 #include <vector>
 
+#include "exp/sweep.hpp"
 #include "net/topology.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace logp;
+  // Fans the exact O(P^2) route walks over the shared ThreadPool; the
+  // per-source subtotals are integers, so the table is byte-identical for
+  // any --sim-threads value.
+  const int sim_threads = exp::sim_threads_from_args(argc, argv);
   std::cout << "== Section 5.1: average distance between nodes ==\n\n";
 
   struct Row {
@@ -35,7 +40,8 @@ int main() {
     const auto& r = rows[i];
     tp.add_row({r.paper_name, r.formula,
                 util::fmt(net::formula_avg_distance(r.paper_name, 1024), 2),
-                util::fmt(r.topo->average_distance(), 2), paper[i]});
+                util::fmt(r.topo->average_distance(sim_threads), 2),
+                paper[i]});
   }
   tp.print(std::cout);
 

@@ -3,57 +3,56 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logp::exp {
 
-SweepRunner::SweepRunner(SweepOptions opts) : threads_(opts.threads) {
-  if (threads_ <= 0)
-    threads_ = std::max(1u, std::thread::hardware_concurrency());
+namespace {
+
+int consume_int_flag(int& argc, char** argv, const char* flag, int def) {
+  const std::size_t flag_len = std::strlen(flag);
+  int value = def;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, flag) == 0 && i + 1 < argc) {
+      value = std::atoi(argv[++i]);
+    } else if (std::strncmp(arg, flag, flag_len) == 0 &&
+               arg[flag_len] == '=') {
+      value = std::atoi(arg + flag_len + 1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : threads_(opts.threads), inner_threads_(std::max(1, opts.inner_threads)) {
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  if (threads_ <= 0) threads_ = hw;
+  // Nesting policy: outer sweep workers x declared inner threads must not
+  // oversubscribe the machine. The outer budget gives way (a sweep point
+  // that asked for intra-run parallelism presumably profits more from it
+  // than from grid-level concurrency), but never below one worker.
+  if (inner_threads_ > 1)
+    threads_ = std::max(1, std::min(threads_, hw / inner_threads_));
 }
 
 void SweepRunner::for_index(
     std::size_t n, const std::function<void(std::size_t)>& body) const {
-  if (n == 0) return;
-
-  // Exceptions are collected per job; after the join the lowest-index one is
-  // rethrown so failure behaviour does not depend on worker interleaving.
-  std::vector<std::exception_ptr> errors(n);
-
-  const int nworkers =
-      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_), n));
-  if (nworkers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      try {
-        body(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          body(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(nworkers));
-    for (int w = 0; w < nworkers; ++w) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
-
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // The shared pool keeps its workers resident across run() calls — a sweep
+  // no longer pays a thread spawn/join per invocation — and implements the
+  // same contract the harness always had: every index runs exactly once,
+  // results land by index, and the lowest-index exception is rethrown.
+  util::ThreadPool::shared().for_index(n, threads_, body);
 }
 
 std::vector<ExperimentResult> SweepRunner::run(
@@ -87,20 +86,11 @@ std::vector<ExperimentResult> SweepRunner::run(
 }
 
 int threads_from_args(int& argc, char** argv, int def) {
-  int threads = def;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = std::atoi(arg + 10);
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
-  return threads;
+  return consume_int_flag(argc, argv, "--threads", def);
+}
+
+int sim_threads_from_args(int& argc, char** argv, int def) {
+  return consume_int_flag(argc, argv, "--sim-threads", def);
 }
 
 }  // namespace logp::exp

@@ -59,6 +59,16 @@ struct ExperimentResult {
 struct SweepOptions {
   /// Worker threads; 0 means one per hardware thread.
   int threads = 1;
+  /// Declared intra-job parallelism: how many threads each job may itself
+  /// use (e.g. PacketSimConfig::sim_threads for a packet-sim sweep). The
+  /// nesting policy is explicit: outer x inner must not oversubscribe the
+  /// machine, so the runner divides its worker budget by this value —
+  /// SweepOptions{0, 4} on a 16-way host runs 4 jobs concurrently, each
+  /// entitled to 4 simulator threads. Purely a budget declaration; jobs
+  /// nested inside sweep workers degrade to serial execution anyway (see
+  /// util::ThreadPool reentrancy), so the budget is also what keeps a
+  /// sim-threaded sweep from silently serializing its inner engines.
+  int inner_threads = 1;
 };
 
 class SweepRunner {
@@ -66,6 +76,7 @@ class SweepRunner {
   explicit SweepRunner(SweepOptions opts = {});
 
   int threads() const { return threads_; }
+  int inner_threads() const { return inner_threads_; }
 
   /// Runs every spec on its own Scheduler and returns results in spec order.
   std::vector<ExperimentResult> run(
@@ -83,17 +94,25 @@ class SweepRunner {
   }
 
  private:
-  /// Runs body(0..n-1) on the worker pool; rethrows the lowest-index
-  /// exception after all workers join.
+  /// Runs body(0..n-1) on the shared util::ThreadPool (workers are resident
+  /// across run() calls); rethrows the lowest-index exception after all
+  /// participants finish.
   void for_index(std::size_t n,
                  const std::function<void(std::size_t)>& body) const;
 
   int threads_;
+  int inner_threads_;
 };
 
 /// Consumes a `--threads N` (or `--threads=N`) argument from argv, returning
 /// N, or `def` when the flag is absent. Figure binaries pass their argc/argv
 /// through so `fig3_broadcast --threads 8` works without further plumbing.
 int threads_from_args(int& argc, char** argv, int def = 1);
+
+/// Consumes `--sim-threads N` (or `--sim-threads=N`): intra-simulation
+/// threads for benches that drive net::run_packet_sim or other internally
+/// parallel engines. Output must be byte-identical for any value (CI diffs
+/// it); only wall-clock time may change.
+int sim_threads_from_args(int& argc, char** argv, int def = 1);
 
 }  // namespace logp::exp

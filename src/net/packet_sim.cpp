@@ -1,7 +1,9 @@
 #include "net/packet_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "obs/net_telemetry.hpp"
@@ -9,6 +11,7 @@
 #include "util/check.hpp"
 #include "util/event_heap.hpp"
 #include "util/ring_deque.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logp::net {
 
@@ -21,37 +24,68 @@ namespace {
 // pair into arena-backed link-id spans shared by every packet on that pair;
 // links live in an open-addressing table instead of a node-per-entry
 // unordered_map, and the hot loop never hashes at all — a packet's next
-// link is an array lookup. After warmup every structure has hit its
-// high-water mark and the steady state performs zero allocations (asserted
-// by tests/test_packet_sim.cpp).
+// link is an array lookup. Capacities are pre-reserved from the config's
+// capacity bound, so after warmup the steady state performs zero
+// allocations (asserted by tests/test_packet_sim.cpp).
+//
+// Event order is canonical: every event is keyed (time, injection id),
+// where the injection id is the packet's index in the (born, src)-sorted
+// injection array. A packet has at most one pending event, so this is a
+// total order, and — unlike a global pop-sequence counter — it can be
+// evaluated by any thread without knowing the full dispatch history. That
+// property is what lets the bounded-lag parallel engine below reproduce the
+// serial trajectory bit-for-bit at every thread count.
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
 
 /// One pre-generated injection. Injections are sorted by (born, src) after
-/// generation — exactly their (time, sequence) order, since endpoint streams
-/// are generated in src order with strictly increasing times — and then
-/// merged against the in-flight event heap instead of being pushed into it,
-/// keeping the heap at the peak-in-flight size rather than the total packet
-/// count. At equal timestamps injections dispatch first, which reproduces
-/// the historical order where all injection events carried smaller sequence
-/// numbers than any in-simulation hop event.
+/// generation — a canonical order, since endpoint streams are generated in
+/// src order with strictly increasing times, so a timestamp tie can only
+/// involve distinct sources. The sorted index IS the packet's injection id.
 struct Injection {
   Cycles born;
   std::int32_t src;
   std::int32_t dst;
 };
 
+/// Serial-engine event: `inj` keys the canonical order, `slot` addresses the
+/// packet store.
 struct Event {
   Cycles t;
-  std::uint64_t seq;
-  std::int32_t packet;  ///< active packet-store slot id
+  std::int32_t inj;
+  std::int32_t slot;
 };
 
-/// (t, seq) order: seq increases monotonically, so equal-timestamp events
-/// keep FIFO order — identical dispatch order to the old priority_queue.
 struct EventBefore {
   bool operator()(const Event& a, const Event& b) const {
     if (a.t != b.t) return a.t < b.t;
-    return a.seq < b.seq;
+    return a.inj < b.inj;
   }
+};
+
+/// Parallel-engine event; doubles as the cross-shard handoff record. The
+/// packet's mutable state is just (inj, hop): born/route/hops live in the
+/// pre-resolved per-injection arrays, so no packet store is needed.
+struct PEvent {
+  Cycles t;
+  std::int32_t inj;
+  std::int32_t hop;
+};
+
+struct PEventBefore {
+  bool operator()(const PEvent& a, const PEvent& b) const {
+    if (a.t != b.t) return a.t < b.t;
+    return a.inj < b.inj;
+  }
+};
+
+/// A completed packet, recorded by the shard that owned its last link.
+/// Per-shard delivery lists are (t, inj)-sorted by construction — windows
+/// advance monotonically and each window processes in (t, inj) order — so
+/// the reduction pass merges them without sorting.
+struct Delivery {
+  Cycles t;
+  std::int32_t inj;
 };
 
 std::uint64_t mix64(std::uint64_t z) {
@@ -110,8 +144,9 @@ class PairIndex {
 
 /// Directed links: dense per-link channel spans in one shared buffer,
 /// discovered when a route first touches them. channel[i] holds the cycle
-/// at which channel i frees. Channel contents and semantics are identical
-/// to the old unordered_map<key, vector<Cycles>> — only the lookup changed.
+/// at which channel i frees. All links are resolved in the pre-pass, so the
+/// table is structurally immutable while the engines run — the parallel
+/// engine's shards mutate only the channel cells of links they own.
 class LinkTable {
  public:
   std::int32_t resolve(const Topology& topo, int u, int v) {
@@ -156,9 +191,7 @@ class LinkTable {
 /// Route memo: every packet between the same endpoints follows the same
 /// deterministic route, so the route is walked once per (src, dst) pair and
 /// stored as the span of dense link ids it traverses (an arena allocation,
-/// shared read-only by all packets on the pair). This replaces the
-/// per-packet std::vector<int> node path, the repeated virtual next_hop
-/// walks, and the per-hop link hashing of the old implementation.
+/// shared read-only by all packets on the pair).
 class RouteCache {
  public:
   explicit RouteCache(const Topology& topo, LinkTable& links)
@@ -202,9 +235,10 @@ class RouteCache {
   std::vector<std::int32_t> scratch_;
 };
 
-/// In-network packets, struct-of-arrays. Slots are recycled FIFO through a
-/// RingDeque freelist when their packet is delivered, so the store's size is
-/// the peak in-flight count, not the injection count.
+/// In-network packets, struct-of-arrays (serial engine only; the parallel
+/// engine keys everything by injection id). Slots are recycled FIFO through
+/// a RingDeque freelist when their packet is delivered, so the store's size
+/// is the peak in-flight count, not the injection count.
 struct PacketStore {
   std::vector<Cycles> born;
   std::vector<std::int32_t> hop;
@@ -212,6 +246,15 @@ struct PacketStore {
   std::vector<std::int32_t> hops;
   std::vector<std::uint8_t> measured;
   util::RingDeque<std::uint32_t> freelist;
+
+  void reserve(std::size_t n) {
+    born.reserve(n);
+    hop.reserve(n);
+    route.reserve(n);
+    hops.reserve(n);
+    measured.reserve(n);
+    freelist.reserve(n);
+  }
 
   std::int32_t acquire() {
     if (!freelist.empty()) {
@@ -272,62 +315,60 @@ int pick_destination(const PacketSimConfig& cfg, int src, int P,
   return dst;
 }
 
-}  // namespace
+/// Everything both engines consume, produced once by the pre-pass: the
+/// sorted injection array with per-injection route spans, and the fully
+/// resolved link table.
+struct SimContext {
+  const Topology& topo;
+  const PacketSimConfig& cfg;
+  LinkTable& links;
+  std::vector<Injection>& injections;
+  std::vector<const std::int32_t*>& route;  ///< per injection id
+  std::vector<std::int32_t>& hops;          ///< per injection id
+  std::size_t dispatchable;  ///< injections with born <= drain_limit
+  Cycles service;
+  std::size_t reserve;
+};
 
-const char* traffic_pattern_name(TrafficPattern p) {
-  switch (p) {
-    case TrafficPattern::kUniform: return "uniform";
-    case TrafficPattern::kTranspose: return "transpose";
-    case TrafficPattern::kBitReverse: return "bit-reverse";
-    case TrafficPattern::kNeighbor: return "neighbor";
-    case TrafficPattern::kHotspot: return "hotspot";
-  }
-  return "?";
+void accumulate_link(obs::LinkTelemetry& lt, Cycles service, Cycles wait) {
+  ++lt.packets;
+  lt.busy += service;
+  lt.queue_wait += wait;
+  lt.max_queue_wait = std::max(lt.max_queue_wait, wait);
+  // No explicit queue structure exists (packets wait inside the event
+  // heap), so backlog is derived: a wait of k service times means k
+  // packets were scheduled ahead on this link's channels.
+  lt.max_backlog =
+      std::max<std::int64_t>(lt.max_backlog, (wait + service - 1) / service);
 }
 
-PacketSimResult run_packet_sim(const Topology& topo,
-                               const PacketSimConfig& cfg) {
-  LOGP_CHECK(cfg.injection_rate > 0.0 && cfg.injection_rate <= 1.0);
-  const int P = topo.num_endpoints();
-  LOGP_CHECK(P >= 2);
-  util::Xoshiro256StarStar rng(cfg.seed);
-
-  PacketSimResult result;
-  result.offered_load = cfg.injection_rate;
-  const Cycles service = cfg.hop_delay + cfg.phits;
-
-  // Pre-generate all injections (open-loop source). The RNG call sequence is
-  // identical to the historical per-packet-vector implementation, so results
-  // are bit-for-bit unchanged. Routes are resolved lazily at injection time.
-  std::vector<Injection> injections;
-  const Cycles inject_end = cfg.warmup + cfg.duration;
-  for (int e = 0; e < P; ++e) {
-    Cycles t = rng.geometric(cfg.injection_rate);
-    while (t < inject_end) {
-      const int dst = pick_destination(cfg, e, P, rng);
-      injections.push_back({t, e, dst});
-      ++result.injected;
-      t += rng.geometric(cfg.injection_rate);
-    }
+void fill_link_telemetry(obs::NetTelemetry* telem, const LinkTable& links,
+                         const std::vector<obs::LinkTelemetry>& acc) {
+  for (std::size_t id = 0; id < links.count(); ++id) {
+    obs::LinkTelemetry lt =
+        id < acc.size() ? acc[id] : obs::LinkTelemetry{};
+    const auto [u, v] = links.endpoints(static_cast<std::int32_t>(id));
+    lt.u = u;
+    lt.v = v;
+    lt.channels = links.channels(static_cast<std::int32_t>(id));
+    telem->links.push_back(lt);
   }
-  // (born, src) is the historical (time, sequence) dispatch order: streams
-  // were generated per endpoint in src order, each strictly increasing in
-  // time, so a timestamp tie can only involve distinct sources.
-  std::sort(injections.begin(), injections.end(),
-            [](const Injection& a, const Injection& b) {
-              if (a.born != b.born) return a.born < b.born;
-              return a.src < b.src;
-            });
+}
+
+/// Reference engine: one thread, one heap, canonical (t, inj) order.
+void run_serial(const SimContext& sc, PacketSimResult& result) {
+  const PacketSimConfig& cfg = sc.cfg;
+  const Cycles service = sc.service;
+  const int P = sc.topo.num_endpoints();
 
   PacketStore store;
-  LinkTable links;
-  RouteCache routes(topo, links);
+  store.reserve(sc.reserve);
   util::FourAryHeap<Event, EventBefore> events;
-  std::uint64_t seq = 0;
+  events.reserve(sc.reserve);
   std::size_t next_inject = 0;
   std::int64_t in_flight = 0;
   util::Histogram histo(0, 64.0 * static_cast<double>(service) *
-                               static_cast<double>(topo.num_nodes()),
+                               static_cast<double>(sc.topo.num_nodes()),
                         4096);
 
   // Telemetry is a passive observer: per-link accumulators indexed by the
@@ -336,33 +377,38 @@ PacketSimResult run_packet_sim(const Topology& topo,
   // predictable branch per hop and changes nothing else.
   obs::NetTelemetry* const telem = cfg.telemetry;
   std::vector<obs::LinkTelemetry> link_acc;
-  if (telem) telem->clear();
+  if (telem) {
+    telem->clear();
+    link_acc.resize(sc.links.count());
+  }
   // With no sink (or sampling off) the sentinel keeps the in-loop sample
-  // check a single always-false compare; the sample loops below only
-  // dereference `telem` once `next_sample` is real. Each sample is taken
-  // before its event mutates in_flight, so it reports the level that held
-  // on [previous event, t). `horizon_acc` shadows the last processed event
+  // check a single always-false compare. Each sample is taken before its
+  // event mutates in_flight, so it reports the level that held on
+  // [previous event, t). `horizon_acc` shadows the last processed event
   // time in a register (event times are nondecreasing) and is published to
   // the sink once, after the loop.
   Cycles next_sample = (telem != nullptr && telem->sample_every > 0)
                            ? telem->sample_every
-                           : std::numeric_limits<Cycles>::max();
+                           : kNever;
   Cycles horizon_acc = 0;
 
   Event ev;
   while (true) {
-    // Next event: the earliest of the sorted injection stream and the heap.
-    // Ties go to the injection (historically injections carried the smaller
-    // sequence numbers).
+    // Next event in canonical (t, injection-id) order. Every in-flight
+    // event carries a smaller injection id than the next undispatched
+    // injection (its packet dispatched earlier), so the heap wins
+    // timestamp ties and the merge test reduces to a strict compare.
     std::int32_t slot;
-    if (next_inject < injections.size() &&
-        (events.empty() || injections[next_inject].born <= events.top().t)) {
-      const Injection& inj = injections[next_inject++];
+    if (next_inject < sc.injections.size() &&
+        (events.empty() ||
+         sc.injections[next_inject].born < events.top().t)) {
+      const Injection& inj = sc.injections[next_inject];
       if (inj.born > cfg.drain_limit) {
         result.saturated = true;
         break;
       }
       ev.t = inj.born;
+      ev.inj = static_cast<std::int32_t>(next_inject);
       while (next_sample <= ev.t) {
         telem->in_flight.emplace_back(next_sample, in_flight);
         next_sample += telem->sample_every;
@@ -372,7 +418,9 @@ PacketSimResult run_packet_sim(const Topology& topo,
       store.born[s] = inj.born;
       store.hop[s] = 0;
       store.measured[s] = inj.born >= cfg.warmup;
-      routes.get(inj.src, inj.dst, store.route[s], store.hops[s]);
+      store.route[s] = sc.route[next_inject];
+      store.hops[s] = sc.hops[next_inject];
+      ++next_inject;
       result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
     } else if (!events.empty()) {
       events.pop_into(ev);
@@ -384,7 +432,7 @@ PacketSimResult run_packet_sim(const Topology& topo,
         telem->in_flight.emplace_back(next_sample, in_flight);
         next_sample += telem->sample_every;
       }
-      slot = ev.packet;
+      slot = ev.slot;
     } else {
       break;
     }
@@ -406,46 +454,379 @@ PacketSimResult run_packet_sim(const Topology& topo,
       continue;
     }
     const std::int32_t link_id = store.route[s][store.hop[s]];
-    Cycles& free_at = links.earliest(link_id);
+    Cycles& free_at = sc.links.earliest(link_id);
     const Cycles start = std::max(ev.t, free_at);
     free_at = start + service;
     ++store.hop[s];
-    events.push({start + service, seq++, slot});
-    if (telem) {
-      if (static_cast<std::size_t>(link_id) >= link_acc.size())
-        link_acc.resize(links.count());
-      obs::LinkTelemetry& lt = link_acc[static_cast<std::size_t>(link_id)];
-      ++lt.packets;
-      lt.busy += service;
-      const Cycles wait = start - ev.t;
-      lt.queue_wait += wait;
-      lt.max_queue_wait = std::max(lt.max_queue_wait, wait);
-      // No explicit queue structure exists (packets wait inside the event
-      // heap), so backlog is derived: a wait of k service times means k
-      // packets were scheduled ahead on this link's channels.
-      lt.max_backlog =
-          std::max<std::int64_t>(lt.max_backlog, (wait + service - 1) / service);
-    }
+    events.push({start + service, ev.inj, slot});
+    if (telem)
+      accumulate_link(link_acc[static_cast<std::size_t>(link_id)], service,
+                      start - ev.t);
   }
 
   if (telem) {
     telem->horizon = horizon_acc;
-    link_acc.resize(links.count());
-    for (std::size_t id = 0; id < link_acc.size(); ++id) {
-      obs::LinkTelemetry lt = link_acc[id];
-      const auto [u, v] = links.endpoints(static_cast<std::int32_t>(id));
-      lt.u = u;
-      lt.v = v;
-      lt.channels = links.channels(static_cast<std::int32_t>(id));
-      telem->links.push_back(lt);
-    }
+    fill_link_telemetry(telem, sc.links, link_acc);
   }
 
   result.pool_slots = static_cast<std::int64_t>(store.slots());
   result.p95_latency = histo.quantile(0.95);
-  const double cycles = static_cast<double>(cfg.duration);
-  result.throughput =
-      static_cast<double>(result.delivered) / cycles / static_cast<double>(P);
+  result.throughput = static_cast<double>(result.delivered) /
+                      static_cast<double>(cfg.duration) /
+                      static_cast<double>(P);
+}
+
+/// Per-worker state of the bounded-lag engine. A shard owns a subset of the
+/// links (see assign_link_shards): only it reads or writes their channel
+/// cells, so window execution needs no locks at all.
+struct Shard {
+  util::FourAryHeap<PEvent, PEventBefore> heap;
+  std::vector<std::int32_t> inj_ids;  ///< injections whose first link we own
+  std::size_t next_inj = 0;
+  std::vector<Delivery> deliveries;
+  std::vector<obs::LinkTelemetry> link_acc;  ///< only owned ids ever touched
+  /// Double-buffered cross-shard staging: during a round of parity p each
+  /// shard appends handoffs to outbox[p][dst]; at the start of round p+1
+  /// the destination drains every shard's outbox[p][self]. Producer and
+  /// consumer therefore never touch the same buffer in the same round —
+  /// the for_index barrier between rounds is the only synchronization.
+  std::vector<std::vector<PEvent>> outbox[2];
+  Cycles last_t = 0;   ///< latest event processed (horizon contribution)
+  Cycles next_t = kNever;  ///< earliest pending work after the window
+};
+
+/// Conservative bounded-lag parallel engine. Correctness argument:
+///
+///  * Lookahead. Every event processed at time t schedules its successor at
+///    start + service >= t + service, so with windows of width
+///    lag = service = lookahead(cfg), an event inside [W, W + lag) can only
+///    create events at >= W + lag. The event population of a window is
+///    therefore fully known when the window starts — no straggler can
+///    appear behind the sweep.
+///  * Ownership. Links are partitioned across shards; a packet's hop on
+///    link l is processed by owner(l), so each link's FIFO/channel state
+///    sees exactly the serial engine's event subsequence for that link, in
+///    the same canonical (t, inj) order. Identical contention, identical
+///    start times, identical successor times.
+///  * Handoff. Successors always land >= W + lag, i.e. strictly after the
+///    current window, so cross-shard handoffs are published at the window
+///    barrier (parity buffers above) and consumed at the next round's
+///    start — never mid-window.
+///
+/// Statistics are NOT accumulated during window execution (float order
+/// would then depend on the partition). Shards record only per-packet
+/// delivery times; the reduction below replays deliveries and injections in
+/// canonical order, reproducing the serial accumulation bit-for-bit.
+void run_windowed(const SimContext& sc, int threads, int num_shards,
+                  PacketSimResult& result) {
+  const PacketSimConfig& cfg = sc.cfg;
+  const Cycles service = sc.service;
+  const Cycles drain = cfg.drain_limit;
+  const int P = sc.topo.num_endpoints();
+  const int S = num_shards;
+  obs::NetTelemetry* const telem = cfg.telemetry;
+  if (telem) telem->clear();
+
+  const std::vector<std::int32_t> owner =
+      assign_link_shards(sc.links.count(), S);
+
+  std::vector<Shard> shards(static_cast<std::size_t>(S));
+  for (Shard& sh : shards) {
+    sh.heap.reserve(sc.reserve / static_cast<std::size_t>(S) + 64);
+    sh.outbox[0].resize(static_cast<std::size_t>(S));
+    sh.outbox[1].resize(static_cast<std::size_t>(S));
+    if (telem) sh.link_acc.resize(sc.links.count());
+  }
+  // Partition dispatchable injections by the owner of their first link
+  // (hopless src==dst injections, which no current topology produces, fall
+  // to shard 0). Pushed in global order, so each shard's list stays sorted
+  // by (born, injection id).
+  for (std::size_t i = 0; i < sc.dispatchable; ++i) {
+    const int s = sc.hops[i] > 0 ? owner[static_cast<std::size_t>(
+                                       sc.route[i][0])]
+                                 : 0;
+    shards[static_cast<std::size_t>(s)].inj_ids.push_back(
+        static_cast<std::int32_t>(i));
+  }
+  for (Shard& sh : shards)
+    sh.deliveries.reserve(sh.inj_ids.size() + sh.inj_ids.size() / 8 + 16);
+
+  Cycles window_start = sc.injections.empty() ? kNever
+                                              : sc.injections.front().born;
+  int parity = 0;
+
+  auto run_window = [&](std::size_t si) {
+    Shard& sh = shards[si];
+    const Cycles wend = window_start + service;
+    // Drain handoffs staged for us during the previous round.
+    for (int q = 0; q < S; ++q) {
+      std::vector<PEvent>& in =
+          shards[static_cast<std::size_t>(q)].outbox[parity ^ 1][si];
+      for (const PEvent& e : in) sh.heap.push(e);
+      in.clear();
+    }
+    Cycles staged_min = kNever;
+    for (;;) {
+      // Merge the shard's injection stream against its heap in (t, inj)
+      // order, without consuming past the window end or the drain limit.
+      const bool have_heap = !sh.heap.empty();
+      const bool have_inj = sh.next_inj < sh.inj_ids.size();
+      if (!have_heap && !have_inj) break;
+      bool from_inj = false;
+      Cycles t;
+      if (have_inj) {
+        const std::int32_t id = sh.inj_ids[sh.next_inj];
+        const Cycles born = sc.injections[static_cast<std::size_t>(id)].born;
+        from_inj = !have_heap || born < sh.heap.top().t ||
+                   (born == sh.heap.top().t && id < sh.heap.top().inj);
+        t = from_inj ? born : sh.heap.top().t;
+      } else {
+        t = sh.heap.top().t;
+      }
+      if (t >= wend || t > drain) break;
+      PEvent ev;
+      if (from_inj) {
+        ev = {t, sh.inj_ids[sh.next_inj], 0};
+        ++sh.next_inj;
+      } else {
+        sh.heap.pop_into(ev);
+      }
+      sh.last_t = ev.t;
+
+      const auto inj = static_cast<std::size_t>(ev.inj);
+      const std::int32_t hops = sc.hops[inj];
+      if (ev.hop == hops) {
+        sh.deliveries.push_back({ev.t, ev.inj});
+        continue;
+      }
+      const std::int32_t link_id = sc.route[inj][ev.hop];
+      Cycles& free_at = sc.links.earliest(link_id);
+      const Cycles start = std::max(ev.t, free_at);
+      free_at = start + service;
+      if (telem)
+        accumulate_link(sh.link_acc[static_cast<std::size_t>(link_id)],
+                        service, start - ev.t);
+      const PEvent nxt{start + service, ev.inj, ev.hop + 1};
+      const int dst = nxt.hop == hops
+                          ? static_cast<int>(si)  // delivery: last link's owner
+                          : owner[static_cast<std::size_t>(
+                                sc.route[inj][nxt.hop])];
+      if (dst == static_cast<int>(si)) {
+        sh.heap.push(nxt);
+      } else {
+        sh.outbox[parity][static_cast<std::size_t>(dst)].push_back(nxt);
+        staged_min = std::min(staged_min, nxt.t);
+      }
+    }
+    // Earliest pending work (own heap, own stream, or events just staged to
+    // other shards) — the driver's next window start is the minimum.
+    Cycles nt = kNever;
+    if (!sh.heap.empty()) nt = sh.heap.top().t;
+    if (sh.next_inj < sh.inj_ids.size())
+      nt = std::min(
+          nt, sc.injections[static_cast<std::size_t>(
+                                sh.inj_ids[sh.next_inj])].born);
+    sh.next_t = std::min(nt, staged_min);
+  };
+
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  while (window_start != kNever && window_start <= drain) {
+    pool.for_index(static_cast<std::size_t>(S), threads, run_window);
+    parity ^= 1;
+    Cycles next = kNever;
+    for (const Shard& sh : shards) next = std::min(next, sh.next_t);
+    window_start = next;
+  }
+  // Pending work past the drain limit — parked events or never-dispatched
+  // injections — is exactly the serial engine's saturation predicate.
+  result.saturated = window_start != kNever ||
+                     sc.dispatchable < sc.injections.size();
+
+  // ---- Deterministic reduction: replay in canonical (t, inj) order. ----
+  // Merging the (sorted) per-shard delivery lists against the injection
+  // array reconstructs the serial engine's +1/-1 in-flight walk and its
+  // floating-point accumulation order exactly; which shard produced a
+  // delivery no longer matters.
+  util::Histogram histo(0, 64.0 * static_cast<double>(service) *
+                               static_cast<double>(sc.topo.num_nodes()),
+                        4096);
+  Cycles horizon = 0;
+  for (const Shard& sh : shards) horizon = std::max(horizon, sh.last_t);
+  Cycles next_sample = (telem != nullptr && telem->sample_every > 0)
+                           ? telem->sample_every
+                           : kNever;
+  std::int64_t in_flight = 0;
+  std::vector<std::size_t> head(static_cast<std::size_t>(S), 0);
+  std::size_t ii = 0;
+  const Cycles window_close = cfg.warmup + cfg.duration;
+  while (true) {
+    int best = -1;
+    Cycles bt = kNever;
+    std::int32_t binj = 0;
+    for (int s = 0; s < S; ++s) {
+      const std::vector<Delivery>& dv =
+          shards[static_cast<std::size_t>(s)].deliveries;
+      const std::size_t h = head[static_cast<std::size_t>(s)];
+      if (h >= dv.size()) continue;
+      const Delivery& d = dv[h];
+      if (best < 0 || d.t < bt || (d.t == bt && d.inj < binj)) {
+        best = s;
+        bt = d.t;
+        binj = d.inj;
+      }
+    }
+    // A delivered packet always has a smaller injection id than the next
+    // undispatched injection, so deliveries win timestamp ties — the same
+    // tie-break the serial merge makes.
+    const bool take_inj =
+        ii < sc.dispatchable &&
+        (best < 0 || sc.injections[ii].born < bt);
+    if (!take_inj && best < 0) break;
+    const Cycles t = take_inj ? sc.injections[ii].born : bt;
+    while (next_sample <= t) {
+      telem->in_flight.emplace_back(next_sample, in_flight);
+      next_sample += telem->sample_every;
+    }
+    if (take_inj) {
+      result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
+      ++ii;
+    } else {
+      if (bt >= cfg.warmup && bt < window_close) ++result.delivered;
+      const Cycles born = sc.injections[static_cast<std::size_t>(binj)].born;
+      if (born >= cfg.warmup) {
+        const auto lat = static_cast<double>(bt - born);
+        result.latency.add(lat);
+        histo.add(lat);
+      }
+      --in_flight;
+      ++head[static_cast<std::size_t>(best)];
+    }
+  }
+  if (telem) {
+    // Tail samples up to the horizon carry the final level, matching the
+    // serial loop's emission on its last processed event.
+    while (next_sample <= horizon) {
+      telem->in_flight.emplace_back(next_sample, in_flight);
+      next_sample += telem->sample_every;
+    }
+    telem->horizon = horizon;
+    // Each link is owned by exactly one shard, so the merged per-link row
+    // is a straight copy from its owner — integer accumulators, identical
+    // event subsequence, identical values at any thread count.
+    std::vector<obs::LinkTelemetry> merged(sc.links.count());
+    for (std::size_t id = 0; id < sc.links.count(); ++id)
+      merged[id] = shards[static_cast<std::size_t>(
+                              owner[id])].link_acc[id];
+    fill_link_telemetry(telem, sc.links, merged);
+  }
+
+  // The serial store creates a slot exactly when the freelist is empty,
+  // i.e. when in_flight == slots, so slots ever created == peak in-flight
+  // (pinned by tests/test_packet_sim.cpp). Report the same quantity.
+  result.pool_slots = result.peak_in_flight;
+  result.p95_latency = histo.quantile(0.95);
+  result.throughput = static_cast<double>(result.delivered) /
+                      static_cast<double>(cfg.duration) /
+                      static_cast<double>(P);
+}
+
+}  // namespace
+
+const char* traffic_pattern_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform: return "uniform";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitReverse: return "bit-reverse";
+    case TrafficPattern::kNeighbor: return "neighbor";
+    case TrafficPattern::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+std::vector<std::int32_t> assign_link_shards(std::size_t num_links,
+                                             int shards) {
+  LOGP_CHECK(shards >= 1);
+  std::vector<std::int32_t> owner(num_links);
+  for (std::size_t id = 0; id < num_links; ++id)
+    owner[id] =
+        static_cast<std::int32_t>(id % static_cast<std::size_t>(shards));
+  return owner;
+}
+
+PacketSimResult run_packet_sim(const Topology& topo,
+                               const PacketSimConfig& cfg) {
+  LOGP_CHECK(cfg.injection_rate > 0.0 && cfg.injection_rate <= 1.0);
+  const int P = topo.num_endpoints();
+  LOGP_CHECK(P >= 2);
+  util::Xoshiro256StarStar rng(cfg.seed);
+
+  PacketSimResult result;
+  result.offered_load = cfg.injection_rate;
+  const Cycles service = lookahead(cfg);
+
+  // Pre-generate all injections (open-loop source). The RNG call sequence
+  // does not depend on sim_threads, so the workload is fixed before either
+  // engine runs.
+  std::vector<Injection> injections;
+  const Cycles inject_end = cfg.warmup + cfg.duration;
+  const double expected = static_cast<double>(P) *
+                          static_cast<double>(inject_end) *
+                          cfg.injection_rate;
+  injections.reserve(static_cast<std::size_t>(expected + 64.0) +
+                     4 * static_cast<std::size_t>(std::sqrt(expected)));
+  for (int e = 0; e < P; ++e) {
+    Cycles t = rng.geometric(cfg.injection_rate);
+    while (t < inject_end) {
+      const int dst = pick_destination(cfg, e, P, rng);
+      injections.push_back({t, e, dst});
+      ++result.injected;
+      t += rng.geometric(cfg.injection_rate);
+    }
+  }
+  // (born, src) is a canonical order — streams are generated per endpoint
+  // in src order, each strictly increasing in time, so a timestamp tie can
+  // only involve distinct sources. The sorted index becomes the packet's
+  // injection id, the tie-break key of every event queue.
+  std::sort(injections.begin(), injections.end(),
+            [](const Injection& a, const Injection& b) {
+              if (a.born != b.born) return a.born < b.born;
+              return a.src < b.src;
+            });
+
+  // Pre-resolve every route in injection order: dense link ids get the same
+  // first-touch order at any thread count, and neither engine hashes or
+  // allocates route storage once the event loops start.
+  LinkTable links;
+  RouteCache routes(topo, links);
+  std::vector<const std::int32_t*> route(injections.size());
+  std::vector<std::int32_t> hops(injections.size());
+  for (std::size_t i = 0; i < injections.size(); ++i)
+    routes.get(injections[i].src, injections[i].dst, route[i], hops[i]);
+
+  // Injections past the drain limit are never dispatched by either engine
+  // (the array is born-sorted, so they form a suffix).
+  std::size_t dispatchable = injections.size();
+  while (dispatchable > 0 &&
+         injections[dispatchable - 1].born > cfg.drain_limit)
+    --dispatchable;
+
+  const std::size_t reserve =
+      cfg.reserve_packets > 0
+          ? static_cast<std::size_t>(cfg.reserve_packets)
+          : static_cast<std::size_t>(P) * static_cast<std::size_t>(service);
+
+  const SimContext sc{topo,  cfg,  links,        injections, route,
+                      hops,  dispatchable, service,    reserve};
+
+  int threads = cfg.sim_threads;
+  if (threads <= 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  const int num_shards =
+      std::min<int>(threads, static_cast<int>(links.count()));
+  if (num_shards <= 1)
+    run_serial(sc, result);
+  else
+    run_windowed(sc, threads, num_shards, result);
   return result;
 }
 

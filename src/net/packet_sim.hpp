@@ -47,6 +47,20 @@ struct PacketSimConfig {
   Cycles duration = 20000;     ///< measured injection window
   Cycles drain_limit = 400000; ///< give up draining after this absolute time
   std::uint64_t seed = 0x9a7e;
+  /// Intra-run engine threads (0 = one per hardware thread). 1 runs the
+  /// serial reference engine; >=2 runs the conservative bounded-lag
+  /// parallel engine (links sharded across workers, lock-step windows of
+  /// width `lookahead(cfg)`). Results are byte-identical at every value —
+  /// the canonical (time, injection-id) event order fixes the trajectory,
+  /// and per-packet statistics are reduced in that order regardless of
+  /// which worker produced them (pinned by tests/test_packet_sim.cpp).
+  int sim_threads = 1;
+  /// Packet-slot / event-heap capacity to pre-reserve; 0 = auto:
+  /// num_endpoints x (hop_delay + phits) — the network analogue of LogP's
+  /// per-endpoint ceil(L/g) capacity bound, so the first simulation window
+  /// never regrows a hot-path buffer mid-event. Saturated runs may exceed
+  /// any static bound and are allowed to regrow.
+  std::int64_t reserve_packets = 0;
   /// Optional telemetry sink (see obs/net_telemetry.hpp): per-link
   /// utilization / queue waits plus a sampled in-flight series. Attaching a
   /// sink is purely observational — RNG draws, event order and every
@@ -71,6 +85,25 @@ struct PacketSimResult {
 
 PacketSimResult run_packet_sim(const Topology& topo,
                                const PacketSimConfig& cfg);
+
+/// Conservative lookahead of the parallel engine: every cross-shard
+/// interaction is carried by a packet hop of at least `hop_delay + phits`
+/// cycles, so an event processed at time t can only influence times
+/// >= t + lookahead — shards advancing in lock-step windows of this width
+/// never violate causality (derivation in DESIGN.md: this is the per-hop
+/// share of LogP's L, the same bounded-synchronization structure BSP-style
+/// supersteps exploit).
+inline Cycles lookahead(const PacketSimConfig& cfg) {
+  return cfg.hop_delay + static_cast<Cycles>(cfg.phits);
+}
+
+/// Link -> shard ownership map of the parallel engine: round-robin over the
+/// dense link ids (first-touch order clusters ids spatially, so round-robin
+/// spreads a mesh's hot center links across shards). Every link is owned by
+/// exactly one shard — only the owner ever touches its channel state.
+/// Exposed for tests/test_packet_sim.cpp.
+std::vector<std::int32_t> assign_link_shards(std::size_t num_links,
+                                             int shards);
 
 /// Unloaded end-to-end time for one packet over `hops` hops.
 inline double unloaded_packet_time(const PacketSimConfig& cfg, double hops) {

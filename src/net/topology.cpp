@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logp::net {
 
@@ -239,16 +240,23 @@ int Topology::route_length(int src, int dst) const {
   return static_cast<int>(route(src, dst).size()) - 1;
 }
 
-double Topology::average_distance() const {
+double Topology::average_distance(int threads) const {
   const int P = num_endpoints();
+  // One integer subtotal per source endpoint: int64 summation is exact and
+  // commutative, so fanning the route walks out cannot perturb the mean.
+  std::vector<std::int64_t> totals(static_cast<std::size_t>(P), 0);
+  util::ThreadPool::shared().for_index(
+      static_cast<std::size_t>(P), threads, [&](std::size_t s) {
+        const int src = static_cast<int>(s);
+        std::int64_t t = 0;
+        for (int d = 0; d < P; ++d)
+          if (d != src) t += route_length(src, d);
+        totals[s] = t;
+      });
   std::int64_t total = 0;
-  std::int64_t pairs = 0;
-  for (int s = 0; s < P; ++s)
-    for (int d = 0; d < P; ++d) {
-      if (s == d) continue;
-      total += route_length(s, d);
-      ++pairs;
-    }
+  for (const std::int64_t t : totals) total += t;
+  const auto pairs =
+      static_cast<std::int64_t>(P) * (static_cast<std::int64_t>(P) - 1);
   return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
 }
 

@@ -40,7 +40,10 @@ class Topology {
   /// Links traversed between endpoints.
   int route_length(int src, int dst) const;
   /// Mean route length over all ordered pairs of distinct endpoints.
-  double average_distance() const;
+  /// `threads` > 1 fans the O(P^2) route walk over the shared ThreadPool by
+  /// source endpoint; per-source subtotals are integers, so the result is
+  /// identical at any thread count.
+  double average_distance(int threads = 1) const;
 };
 
 /// P a power of two. Routing: e-cube (fix lowest differing bit first).

@@ -4,9 +4,10 @@
 // halves the tree height of a binary heap, so sift-down touches fewer cache
 // lines per pop, and the hole-based sift routines move elements once instead
 // of swapping. Ordering is exactly the comparator's strict weak order; the
-// engines key events by (time, sequence) with a strictly increasing sequence
-// number, which makes equal-timestamp ordering stable FIFO — traces and
-// capacity-stall accounting are bit-for-bit identical to the old queue.
+// machine engine keys events by (time, sequence) with a strictly increasing
+// sequence number, which makes equal-timestamp ordering stable FIFO, and the
+// packet simulator by its canonical (time, injection id) — both make traces
+// and stall accounting bit-for-bit reproducible on any heap layout.
 #pragma once
 
 #include <cstddef>

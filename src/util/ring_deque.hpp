@@ -51,6 +51,18 @@ class RingDeque {
     while (size_ > 0) pop_front();
   }
 
+  /// Grows the ring to hold at least n elements (next power of two), so a
+  /// caller that knows its high-water mark up front never regrows mid-loop.
+  void reserve(std::size_t n) {
+    if (n <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? 8 : buf_.size();
+    while (cap < n) cap *= 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move((*this)[i]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
  private:
   std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exp/sweep.hpp"
@@ -170,6 +172,61 @@ TEST(Sweep, ThreadsFromArgs) {
 
 TEST(Sweep, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_GE(SweepRunner({0}).threads(), 1);
+}
+
+TEST(Sweep, RepeatedInvocationsBitForBit) {
+  // The runner dispatches onto the resident shared ThreadPool instead of
+  // spawning threads per run(); repeated run() calls on one runner — and
+  // fresh runners at other thread counts — must keep producing
+  // byte-identical tables. Worker reuse must not leak state between
+  // invocations.
+  const auto specs = grid();
+  SweepRunner runner({4});
+  const std::string first = render(runner.run(specs));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(render(runner.run(specs)), first);
+  EXPECT_EQ(render(SweepRunner({2}).run(specs)), first);
+}
+
+TEST(Sweep, NestingPolicyDividesOuterBudget) {
+  const int hw = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Declared intra-job parallelism shrinks the outer worker budget so
+  // outer x inner never oversubscribes the machine (but never below one).
+  SweepRunner nested({0, 2});
+  EXPECT_EQ(nested.inner_threads(), 2);
+  EXPECT_GE(nested.threads(), 1);
+  EXPECT_LE(nested.threads() * 2, std::max(hw, 2));
+  // inner_threads = 1 (the default) leaves an explicit outer budget alone.
+  EXPECT_EQ(SweepRunner({3, 1}).threads(), 3);
+  EXPECT_EQ(SweepRunner({3}).inner_threads(), 1);
+}
+
+TEST(Sweep, SimThreadsFromArgs) {
+  {
+    // Both flags in one argv: each parser consumes only its own.
+    const char* raw[] = {"prog", "--sim-threads", "4", "--threads", "2"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1]),
+                    const_cast<char*>(raw[2]), const_cast<char*>(raw[3]),
+                    const_cast<char*>(raw[4])};
+    int argc = 5;
+    EXPECT_EQ(sim_threads_from_args(argc, argv), 4);
+    EXPECT_EQ(argc, 3);
+    EXPECT_EQ(threads_from_args(argc, argv), 2);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    const char* raw[] = {"prog", "--sim-threads=8"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1])};
+    int argc = 2;
+    EXPECT_EQ(sim_threads_from_args(argc, argv), 8);
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    const char* raw[] = {"prog"};
+    char* argv[] = {const_cast<char*>(raw[0])};
+    int argc = 1;
+    EXPECT_EQ(sim_threads_from_args(argc, argv, 3), 3);
+  }
 }
 
 }  // namespace

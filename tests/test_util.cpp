@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <new>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/arena.hpp"
@@ -15,6 +18,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 // Counting allocator guard: global operator new is replaced with a counting
 // shim so tests can assert that a scope performed zero heap allocations —
@@ -339,6 +343,69 @@ TEST(Pool, SteadyStateChurnDoesNotAllocate) {
   }
   EXPECT_EQ(pool.capacity(), warm);
   EXPECT_EQ(guard.count(), 0u);
+}
+
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  pool.for_index(500, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BackToBackDispatchesReuseResidentWorkers) {
+  // The windowed packet simulator issues thousands of small dispatches in a
+  // row; every one must complete fully before for_index returns.
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 500; ++round)
+    pool.for_index(16, 3, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  EXPECT_EQ(sum.load(), 500l * (15 * 16 / 2));
+}
+
+TEST(ThreadPool, LowestIndexExceptionRethrown) {
+  ThreadPool pool(3);
+  try {
+    pool.for_index(64, 4, [&](std::size_t i) {
+      if (i == 5 || i == 40)
+        throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 5");  // spec order, not completion order
+  }
+}
+
+TEST(ThreadPool, NestedDispatchRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_task_context{false};
+  pool.for_index(8, 3, [&](std::size_t) {
+    if (ThreadPool::in_task()) saw_task_context = true;
+    // Reentrant dispatch: must degrade to inline serial execution instead
+    // of blocking on workers that may be stuck behind this very task.
+    pool.for_index(4, 3, [&](std::size_t j) {
+      inner_total.fetch_add(static_cast<int>(j) + 1,
+                            std::memory_order_relaxed);
+    });
+  });
+  EXPECT_TRUE(saw_task_context.load());
+  EXPECT_EQ(inner_total.load(), 8 * (1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPool, ZeroWorkersAndZeroIndicesDegradeGracefully) {
+  ThreadPool inline_only(0);
+  EXPECT_EQ(inline_only.workers(), 0);
+  int ran = 0;
+  inline_only.for_index(5, 8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 5);
+  inline_only.for_index(0, 8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 5);
+  EXPECT_GE(ThreadPool::shared().workers(), 0);
 }
 
 TEST(Check, ThrowsWithMessage) {

@@ -13,6 +13,13 @@ Output format (documented in README.md):
       "date": "YYYY-MM-DD",
       "runs": 10,
       "benchmark_args": ["--benchmark_min_time=0.2"],
+      "environment": {                 // provenance: two snapshots are only
+        "git_sha": "...",              // comparable when these match
+        "compiler": "/usr/bin/c++",
+        "build_type": "Release",
+        "cxx_flags": "...",
+        "num_cpus": 8
+      },
       "benchmarks": {
         "BM_PacketSim/200": {
           "real_time_ns": 12862784.0,   // median across runs
@@ -34,7 +41,12 @@ snapshots (baseline first) and exits nonzero when any benchmark regresses
 by more than --tolerance (default 3%, the bound in ISSUE/DESIGN):
 
     tools/bench_record.py --compare BASELINE.json CANDIDATE.json
-        [--tolerance 0.03]
+        [--tolerance 0.03] [--tolerances 'BM_PacketSimPar=-0.5,...']
+
+--tolerances overrides the bound per benchmark (exact-name match). A
+negative value demands an IMPROVEMENT: -0.5 means the candidate must beat
+the baseline by at least 50% (the 1.5x gate CI applies to the parallel
+packet engine against its serial baseline).
 """
 
 import argparse
@@ -47,8 +59,58 @@ import sys
 import tempfile
 
 
+def collect_environment(binary, context):
+    """Provenance block for the snapshot: git SHA, compiler, flags, CPUs.
+
+    Compiler identity and flags come from the CMakeCache.txt of the build
+    tree containing the binary; the git SHA from `git rev-parse`. All
+    best-effort — a missing cache or git tree just omits the key, it never
+    fails the recording run.
+    """
+    env = {}
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(binary).resolve().parent,
+            capture_output=True, text=True, check=True).stdout.strip()
+        if sha:
+            env["git_sha"] = sha
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=pathlib.Path(binary).resolve().parent,
+            capture_output=True, text=True, check=True).stdout.strip()
+        env["git_dirty"] = bool(dirty)
+    except (OSError, subprocess.CalledProcessError):
+        pass
+
+    # Walk up from the binary to the build tree root (bench/ -> build/).
+    cache_keys = {
+        "CMAKE_CXX_COMPILER:FILEPATH": "compiler",
+        "CMAKE_CXX_COMPILER:STRING": "compiler",
+        "CMAKE_BUILD_TYPE:STRING": "build_type",
+        "CMAKE_CXX_FLAGS:STRING": "cxx_flags",
+        "LOGP_SANITIZE:STRING": "sanitize",
+        "LOGP_OBS:BOOL": "obs",
+    }
+    for parent in pathlib.Path(binary).resolve().parents:
+        cache = parent / "CMakeCache.txt"
+        if not cache.is_file():
+            continue
+        for line in cache.read_text().splitlines():
+            key, sep, value = line.partition("=")
+            if sep and key in cache_keys and value:
+                env[cache_keys[key]] = value
+        break
+
+    if context:  # google-benchmark's own context block from the first run
+        for key in ("num_cpus", "mhz_per_cpu", "library_version"):
+            if key in context:
+                env[key] = context[key]
+    return env
+
+
 def run_once(binary, bench_filter, min_time, index):
-    """One full suite run; returns {name: {metric: value}}."""
+    """One full suite run; returns ({name: {metric: value}}, context)."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = tmp.name
     cmd = [
@@ -77,21 +139,40 @@ def run_once(binary, bench_filter, min_time, index):
         if "items_per_second" in bench:
             entry["items_per_second"] = float(bench["items_per_second"])
         results[name] = entry
-    return results
+    return results, report.get("context", {})
 
 
-def compare(baseline_path, candidate_path, tolerance):
+def parse_tolerances(spec):
+    """'NAME=0.05,NAME2=-0.5' -> {name: float}. Negative = must improve."""
+    table = {}
+    if not spec:
+        return table
+    for item in spec.split(","):
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ValueError(f"bad --tolerances entry: {item!r}")
+        table[name.strip()] = float(value)
+    return table
+
+
+def compare(baseline_path, candidate_path, tolerance, tolerances=None):
     """Prints per-benchmark deltas; returns the number of regressions."""
     with open(baseline_path) as f:
         base = json.load(f)["benchmarks"]
     with open(candidate_path) as f:
         cand = json.load(f)["benchmarks"]
+    tolerances = tolerances or {}
 
     regressions = 0
     names = sorted(set(base) & set(cand))
     if not names:
         print("[bench_record] no common benchmarks to compare",
               file=sys.stderr)
+        return 1
+    unmatched = sorted(set(tolerances) - set(names))
+    if unmatched:
+        print(f"[bench_record] --tolerances names not in both snapshots: "
+              f"{', '.join(unmatched)}", file=sys.stderr)
         return 1
     width = max(len(n) for n in names)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'candidate':>14}"
@@ -102,9 +183,12 @@ def compare(baseline_path, candidate_path, tolerance):
         if not b or not c:
             continue
         delta = (c - b) / b
+        bound = tolerances.get(name, tolerance)
         flag = ""
-        if delta < -tolerance:
-            flag = "  REGRESSION"
+        if delta < -bound:
+            # bound < 0 means the candidate had to *improve* by |bound|.
+            flag = ("  BELOW REQUIRED SPEEDUP" if bound < 0
+                    else "  REGRESSION")
             regressions += 1
         print(f"{name.ljust(width)}  {b:14.0f}  {c:14.0f}  {delta:+7.1%}"
               f"{flag}")
@@ -134,11 +218,19 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.03,
                         help="max allowed items/s regression in --compare "
                              "mode (fraction, default 0.03)")
+    parser.add_argument("--tolerances", default="",
+                        help="per-benchmark overrides for --compare, e.g. "
+                             "'BM_PacketSimPar=-0.5,BM_PingPong/1000=0.05'; "
+                             "negative values require that much improvement")
     args = parser.parse_args()
 
     if args.compare:
+        try:
+            per_bench = parse_tolerances(args.tolerances)
+        except ValueError as err:
+            parser.error(str(err))
         sys.exit(1 if compare(args.compare[0], args.compare[1],
-                              args.tolerance) else 0)
+                              args.tolerance, per_bench) else 0)
 
     if args.runs < 1:
         parser.error("--runs must be >= 1")
@@ -146,8 +238,10 @@ def main():
     if not binary.exists():
         parser.error(f"benchmark binary not found: {binary} (build it first)")
 
-    samples = [run_once(str(binary), args.filter, args.min_time, i + 1)
-               for i in range(args.runs)]
+    outcomes = [run_once(str(binary), args.filter, args.min_time, i + 1)
+                for i in range(args.runs)]
+    samples = [results for results, _ in outcomes]
+    environment = collect_environment(str(binary), outcomes[0][1])
 
     names = sorted({name for run in samples for name in run})
     benchmarks = {}
@@ -168,6 +262,7 @@ def main():
         "benchmark_args": [f"--benchmark_min_time={args.min_time}"] +
                           ([f"--benchmark_filter={args.filter}"]
                            if args.filter else []),
+        "environment": environment,
         "benchmarks": benchmarks,
     }
     if args.label:
