@@ -48,6 +48,11 @@ int main(int argc, char** argv) {
   // --trace / --profile / --trace-json FILE / --metrics-csv FILE apply to
   // the worked example below; all default off, keeping stdout byte-stable.
   const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(
+          argc, argv,
+          "[--threads N] [--trace] [--profile] [--trace-json FILE] "
+          "[--metrics-csv FILE]"))
+    return rc;
   std::cout << "== Figure 3: optimal broadcast tree ==\n\n";
 
   const Params fig3{6, 2, 4, 8};

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/summation.hpp"
+#include "exp/sweep.hpp"
 #include "obs/cli.hpp"
 #include "runtime/collectives.hpp"
 #include "util/table.hpp"
@@ -37,6 +38,10 @@ Cycles simulate(const Params& prm, const SumSchedule& sched_def,
 int main(int argc, char** argv) {
   // --trace / --profile / --trace-json FILE apply to the worked example.
   const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(
+          argc, argv,
+          "[--trace] [--profile] [--trace-json FILE] [--metrics-csv FILE]"))
+    return rc;
   std::cout << "== Figure 4: optimal summation ==\n\n";
 
   const Params fig4{5, 2, 4, 8};

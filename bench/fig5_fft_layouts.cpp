@@ -18,6 +18,8 @@
 int main(int argc, char** argv) {
   using namespace logp;
   const int threads = exp::threads_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(argc, argv, "[--threads N]"))
+    return rc;
   std::cout << "== Figure 5 / Section 4.1.1: FFT data layouts ==\n"
                "(CM-5 parameters; per-processor remote references and LogP\n"
                " communication time; compute is layout-independent)\n\n";

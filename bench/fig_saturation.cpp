@@ -10,6 +10,7 @@
 // through the sweep harness (`--threads N`); every simulation owns its RNG
 // and is seeded by configuration, so output is byte-identical for any
 // thread count.
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -71,6 +72,11 @@ int main(int argc, char** argv) {
   // telemetry; --trace-json FILE writes their in-flight occupancy as Chrome
   // trace counter tracks. Defaults off: the summary tables stay byte-stable.
   const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(
+          argc, argv,
+          "[--threads N] [--sim-threads N] [--trace] [--profile] "
+          "[--trace-json FILE] [--metrics-csv FILE]"))
+    return rc;
   std::cout << "== Section 5.3: latency vs offered load (packet-level) ==\n\n";
 
   std::vector<std::unique_ptr<net::Topology>> topos;
@@ -111,6 +117,13 @@ int main(int argc, char** argv) {
                            "p95 latency", "throughput", "state"});
     for (const double load : loads) {
       const auto& r = results[job++];
+      if (r.truncated)
+        std::fprintf(stderr,
+                     "warning: %s @ load %g gave up draining with %lld "
+                     "packets still in flight; latency/throughput understate "
+                     "congestion\n",
+                     topo->name().c_str(), load,
+                     static_cast<long long>(r.undrained));
       tp.add_row({util::fmt(load, 4), util::fmt(r.latency.mean(), 0),
                   util::fmt(r.p95_latency, 0), util::fmt(r.throughput, 4),
                   r.saturated ? "SATURATED"

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   // per-source subtotals are integers, so the table is byte-identical for
   // any --sim-threads value.
   const int sim_threads = exp::sim_threads_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(argc, argv, "[--sim-threads N]"))
+    return rc;
   std::cout << "== Section 5.1: average distance between nodes ==\n\n";
 
   struct Row {

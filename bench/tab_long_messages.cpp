@@ -5,6 +5,7 @@
 // CPU cost but none of the wire time.
 #include <iostream>
 
+#include "exp/sweep.hpp"
 #include "obs/cli.hpp"
 #include "runtime/bulk.hpp"
 #include "runtime/scheduler.hpp"
@@ -81,6 +82,10 @@ int main(int argc, char** argv) {
   // --trace / --profile apply to one exemplar train + DMA pair (words=300,
   // full overlap), re-run after the table.
   const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(
+          argc, argv,
+          "[--trace] [--profile] [--trace-json FILE] [--metrics-csv FILE]"))
+    return rc;
   const Params prm{20, 4, 8, 2};
   const Cycles G = 3;  // DMA streams one word per 3 cycles (= g per message
                        // of 3 words — same wire bandwidth as the train)

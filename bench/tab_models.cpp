@@ -9,6 +9,7 @@
 #include "core/broadcast_tree.hpp"
 #include "core/fft_cost.hpp"
 #include "core/summation.hpp"
+#include "exp/sweep.hpp"
 #include "models/bsp.hpp"
 #include "models/pram.hpp"
 #include "obs/cli.hpp"
@@ -59,6 +60,10 @@ int main(int argc, char** argv) {
   // --trace / --profile re-run the optimal-broadcast row's simulation with
   // recording on after the tables; defaults leave output untouched.
   const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(
+          argc, argv,
+          "[--trace] [--profile] [--trace-json FILE] [--metrics-csv FILE]"))
+    return rc;
   const Params prm{20, 4, 8, 64};
   const std::int64_t n = 1 << 16;
   models::PramModel pram{prm.P};

@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
   // previous verdict), so intra-simulation threads are the only parallelism
   // here; output is byte-identical for any --sim-threads value.
   const int sim_threads = exp::sim_threads_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(argc, argv, "[--sim-threads N]"))
+    return rc;
   std::cout << "== Section 5.6: one network, many effective g's ==\n"
                "(saturation throughput per traffic pattern; effective gap\n"
                " g_pat = 1/throughput, in cycles per packet per node)\n\n";

@@ -17,6 +17,8 @@
 int main(int argc, char** argv) {
   using namespace logp;
   const int threads = exp::threads_from_args(argc, argv);
+  if (const int rc = exp::reject_unknown_flags(argc, argv, "[--threads N]"))
+    return rc;
   const Params prm{20, 4, 8, 16};
   std::cout << "== Section 4.2.2: distributed sorting, " << prm.to_string()
             << " ==\n\n";

@@ -7,10 +7,12 @@
 namespace logp {
 
 void Params::validate() const {
-  LOGP_CHECK_MSG(L >= 0, "latency L must be non-negative");
-  LOGP_CHECK_MSG(o >= 0, "overhead o must be non-negative");
-  LOGP_CHECK_MSG(g >= 1, "gap g must be at least one cycle");
-  LOGP_CHECK_MSG(P >= 1, "processor count P must be positive");
+  LOGP_CHECK_MSG(L >= 0, "latency L must be non-negative, got L=" << L);
+  LOGP_CHECK_MSG(o >= 0, "overhead o must be non-negative, got o=" << o);
+  LOGP_CHECK_MSG(g >= 1,
+                 "gap g must be at least one cycle, got g="
+                     << g << (g == 0 ? " (g=0 would divide by zero in capacity())" : ""));
+  LOGP_CHECK_MSG(P >= 1, "processor count P must be positive, got P=" << P);
 }
 
 std::string Params::to_string() const {

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/check.hpp"
+
 namespace logp {
 
 /// Simulated time, in processor cycles (the model's unit of local work).
@@ -33,6 +35,10 @@ struct Params {
 
   /// Network capacity per endpoint: ceil(L/g), at least 1.
   Cycles capacity() const {
+    // Guard the division directly: capacity() is called from code that may
+    // never have run validate() on a hand-built Params, and g == 0 would be
+    // undefined behaviour rather than a clean failure.
+    LOGP_CHECK_MSG(g >= 1, "capacity() requires gap g >= 1, got g=" << g);
     const Cycles c = (L + g - 1) / g;
     return c < 1 ? 1 : c;
   }

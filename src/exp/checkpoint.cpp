@@ -1,0 +1,176 @@
+#include "exp/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace logp::exp {
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        LOGP_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                       "unescapable control character in manifest field");
+        *out += c;
+    }
+  }
+}
+
+/// Parses one quoted string starting at text[*pos] == '"'; advances *pos
+/// past the closing quote.
+std::string parse_string(const std::string& text, std::size_t* pos) {
+  LOGP_CHECK_MSG(*pos < text.size() && text[*pos] == '"',
+                 "manifest: expected '\"' at offset " << *pos);
+  ++*pos;
+  std::string out;
+  while (*pos < text.size() && text[*pos] != '"') {
+    char c = text[*pos];
+    if (c == '\\') {
+      ++*pos;
+      LOGP_CHECK_MSG(*pos < text.size(), "manifest: dangling escape");
+      c = text[*pos];
+      if (c == 'n') c = '\n';
+    }
+    out += c;
+    ++*pos;
+  }
+  LOGP_CHECK_MSG(*pos < text.size(), "manifest: unterminated string");
+  ++*pos;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::string kv_encode(const KvFields& fields) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(&out, k);
+    out += "\":\"";
+    append_escaped(&out, v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+KvFields kv_decode(const std::string& text) {
+  KvFields fields;
+  std::size_t pos = 0;
+  LOGP_CHECK_MSG(!text.empty() && text[pos] == '{', "manifest: expected '{'");
+  ++pos;
+  if (pos < text.size() && text[pos] == '}') return fields;
+  for (;;) {
+    std::string key = parse_string(text, &pos);
+    LOGP_CHECK_MSG(pos < text.size() && text[pos] == ':',
+                   "manifest: expected ':' after key '" << key << "'");
+    ++pos;
+    std::string value = parse_string(text, &pos);
+    fields.emplace_back(std::move(key), std::move(value));
+    LOGP_CHECK_MSG(pos < text.size(), "manifest: truncated object");
+    if (text[pos] == '}') break;
+    LOGP_CHECK_MSG(text[pos] == ',', "manifest: expected ',' or '}'");
+    ++pos;
+  }
+  return fields;
+}
+
+const std::string& kv_get(const KvFields& fields, const std::string& key) {
+  for (const auto& [k, v] : fields)
+    if (k == key) return v;
+  LOGP_CHECK_MSG(false, "manifest: missing field '" << key << "'");
+  static const std::string empty;
+  return empty;  // unreachable
+}
+
+std::string kv_int(std::int64_t v) { return std::to_string(v); }
+
+std::int64_t kv_parse_int(const std::string& s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  LOGP_CHECK_MSG(end != nullptr && *end == '\0' && !s.empty(),
+                 "manifest: bad integer '" << s << "'");
+  return static_cast<std::int64_t>(v);
+}
+
+std::string kv_double(double v) {
+  // Hex float: every bit of the mantissa is spelled out, so decode(encode(x))
+  // == x exactly — a resumed sweep must reproduce cached points to the bit.
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double kv_parse_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  LOGP_CHECK_MSG(end != nullptr && *end == '\0' && !s.empty(),
+                 "manifest: bad double '" << s << "'");
+  return v;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::string run_key)
+    : dir_(std::move(dir)), run_key_(std::move(run_key)) {
+  LOGP_CHECK_MSG(!dir_.empty(), "checkpoint directory must be non-empty");
+  LOGP_CHECK_MSG(!run_key_.empty(), "checkpoint run key must be non-empty");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string CheckpointStore::path(std::size_t index) const {
+  return dir_ + "/" + run_key_ + "." + std::to_string(index) + ".json";
+}
+
+bool CheckpointStore::load(std::size_t index, std::string* payload) const {
+  std::ifstream in(path(index), std::ios::binary);
+  if (!in) return false;
+  payload->assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  LOGP_CHECK_MSG(in.good() || in.eof(),
+                 "failed reading checkpoint " << path(index));
+  return true;
+}
+
+void CheckpointStore::store(std::size_t index, const std::string& payload) const {
+  const std::string final_path = path(index);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    LOGP_CHECK_MSG(static_cast<bool>(out),
+                   "cannot open checkpoint tmp " << tmp_path);
+    out << payload;
+    out.flush();
+    LOGP_CHECK_MSG(out.good(), "failed writing checkpoint " << tmp_path);
+  }
+  // Atomic publish: a crash before this line leaves only the tmp file,
+  // which a resumed run ignores (and overwrites).
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+void CheckpointStore::clear() const {
+  namespace fs = std::filesystem;
+  const std::string prefix = run_key_ + ".";
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) fs::remove(entry.path());
+  }
+}
+
+}  // namespace logp::exp

@@ -1,0 +1,108 @@
+// Checkpoint/resume for experiment sweeps.
+//
+// A long sweep can be killed at any moment (preempted CI job, ^C, OOM). The
+// grid points are independent and deterministic, so nothing forces a rerun
+// from scratch: each completed point is persisted as its own small manifest
+// and a resumed run recomputes only the missing ones. Because every point
+// is a pure function of its spec, the merged output is byte-identical to an
+// uninterrupted run — CI pins this by killing a sweep mid-flight and
+// diffing the resumed output against a clean one.
+//
+// Publication is the classic atomic-rename idiom: the payload is written to
+// `<final>.tmp` and then std::filesystem::rename'd into place. Renames
+// within a filesystem are atomic, so a reader (including a resumed run)
+// sees either no manifest or a complete one, never a torn write.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace logp::exp {
+
+/// Ordered key -> value fields of one manifest. Values are strings; numeric
+/// exactness is the encoder's job (kv_double uses %a hex floats so doubles
+/// round-trip bit-exactly, which byte-identical resume output requires).
+using KvFields = std::vector<std::pair<std::string, std::string>>;
+
+/// One-line JSON object, e.g. {"delivered":"123","p95":"0x1.8p+6"}.
+std::string kv_encode(const KvFields& fields);
+/// Inverse of kv_encode; throws util::check_error on malformed input.
+KvFields kv_decode(const std::string& text);
+
+/// Field value for `key`; throws util::check_error when absent.
+const std::string& kv_get(const KvFields& fields, const std::string& key);
+
+std::string kv_int(std::int64_t v);
+std::int64_t kv_parse_int(const std::string& s);
+std::string kv_double(double v);  ///< %a hex float: exact round-trip
+double kv_parse_double(const std::string& s);
+
+/// Directory of per-point manifests for one named sweep run.
+class CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) when missing. `run_key` namespaces this
+  /// sweep's manifests so several sweeps can share a directory.
+  CheckpointStore(std::string dir, std::string run_key);
+
+  /// True (and fills *payload) when point `index` has a manifest.
+  bool load(std::size_t index, std::string* payload) const;
+  /// Atomically publishes point `index`: tmp write, then rename.
+  void store(std::size_t index, const std::string& payload) const;
+
+  /// Removes every manifest of this run key (a fresh, non-resumed run must
+  /// not pick up a previous invocation's points).
+  void clear() const;
+
+  std::string path(std::size_t index) const;
+
+ private:
+  std::string dir_;
+  std::string run_key_;
+};
+
+/// SweepRunner::map with checkpointing: cached points are decoded from the
+/// store, only missing ones run (and are published the moment they finish).
+/// A null store degrades to a plain map. `on_fresh`, when set, is called
+/// with the running count of freshly computed points right after each one
+/// is published — the hook benches use to implement a deterministic
+/// `--crash-after N` for the CI resume smoke test (exact with --threads 1).
+template <typename T>
+std::vector<T> map_checkpointed(
+    const SweepRunner& runner, const std::vector<std::function<T()>>& jobs,
+    CheckpointStore* store, const std::function<std::string(const T&)>& encode,
+    const std::function<T(const std::string&)>& decode,
+    const std::function<void(int)>& on_fresh = nullptr) {
+  if (store == nullptr) return runner.map(jobs);
+  std::vector<T> results(jobs.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::string payload;
+    if (store->load(i, &payload))
+      results[i] = decode(payload);
+    else
+      missing.push_back(i);
+  }
+  std::atomic<int> fresh{0};
+  std::vector<std::function<T()>> todo;
+  todo.reserve(missing.size());
+  for (const std::size_t i : missing) {
+    todo.push_back([&, i]() -> T {
+      T r = jobs[i]();
+      store->store(i, encode(r));
+      if (on_fresh) on_fresh(fresh.fetch_add(1) + 1);
+      return r;
+    });
+  }
+  std::vector<T> ran = runner.map(todo);
+  for (std::size_t k = 0; k < missing.size(); ++k)
+    results[missing[k]] = std::move(ran[k]);
+  return results;
+}
+
+}  // namespace logp::exp

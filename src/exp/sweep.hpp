@@ -54,6 +54,10 @@ struct ExperimentResult {
   /// Recorded activity intervals when spec.config.record_trace was set
   /// (empty otherwise). Deterministic: identical across --threads values.
   std::vector<trace::Interval> trace;
+  /// True when fault-aware code (resilient collectives) had to route around
+  /// a failed processor during this run — the result is valid but was
+  /// produced by a degraded configuration.
+  bool degraded = false;
 };
 
 struct SweepOptions {
@@ -114,5 +118,23 @@ int threads_from_args(int& argc, char** argv, int def = 1);
 /// parallel engines. Output must be byte-identical for any value (CI diffs
 /// it); only wall-clock time may change.
 int sim_threads_from_args(int& argc, char** argv, int def = 1);
+
+/// Consumes an arbitrary `--name N` / `--name=N` integer flag.
+int int_from_args(int& argc, char** argv, const char* flag, int def = 0);
+
+/// Consumes `--name VALUE` / `--name=VALUE` like the int helpers above, but
+/// keeps the value verbatim (paths, labels).
+std::string string_from_args(int& argc, char** argv, const char* flag,
+                             const char* def = "");
+
+/// Consumes a valueless `--name` switch, returning whether it was present.
+bool bool_from_args(int& argc, char** argv, const char* flag);
+
+/// Call after all known flags were consumed. If anything besides argv[0]
+/// remains, prints "unknown argument '...'" plus a one-line usage to stderr
+/// and returns 2 (conventional CLI-misuse exit code); returns 0 on a clean
+/// argv. Experiment binaries exit with the code when nonzero, so a typo
+/// like `--sim-thread` can never silently run the default configuration.
+int reject_unknown_flags(int argc, char** argv, const char* usage);
 
 }  // namespace logp::exp

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the packet simulator and the LogP
+// machine.
+//
+// A FaultPlan is a *pure function* from identity to misfortune: every
+// decision (drop this packet attempt? is this link dead at cycle t?) is a
+// hash of the plan's seed and the canonical identity of the thing being
+// decided — a packet's injection id and attempt number, a message's
+// injection sequence number, a link's endpoints. No RNG stream is consumed
+// and no wall-clock or scheduling order is observed, so any thread of
+// either engine can evaluate a decision locally and all of them agree.
+// That is the property that keeps faulted runs byte-identical at every
+// sim_threads value (see DESIGN.md "Fault model").
+//
+// Faults are keyed on injection id rather than processing order because the
+// parallel packet engine does not *have* a global processing order — shards
+// interleave arbitrarily inside a window. The injection id is the packet's
+// index in the (born, src)-sorted injection array, a total order both
+// engines share by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace logp::fault {
+
+/// A directed link (u -> v) that misbehaves during [from, to).
+/// degrade == 0 kills the link: packets attempting the traversal are
+/// dropped (and retried, if the plan retransmits). degrade > 1 multiplies
+/// the link's service time — a slow link never violates the parallel
+/// engine's lookahead, because service only grows.
+struct LinkFault {
+  int u = 0;
+  int v = 0;
+  Cycles from = 0;
+  Cycles to = 0;
+  int degrade = 0;
+};
+
+/// A processor that fails at fail_at: the machine drops every message
+/// destined to it from that cycle on, and resilient collectives route
+/// around it (conservatively, from the start of the run — trees are built
+/// before anyone knows when the failure lands).
+struct ProcFault {
+  ProcId proc = -1;
+  Cycles fail_at = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0xfa0172;
+
+  // ---- packet-level faults (net::run_packet_sim) ----
+  /// Per-attempt probability that a packet attempt is dropped mid-route.
+  double drop_rate = 0.0;
+  /// Probability that a fully-delivered attempt arrives corrupted and is
+  /// discarded at the destination (after consuming every link it crossed).
+  double corrupt_rate = 0.0;
+  /// Explicit injection ids whose first attempt is dropped (see header
+  /// comment for what an injection id is). Order is irrelevant.
+  std::vector<std::int64_t> drop_packets;
+  /// Link kill / degrade intervals.
+  std::vector<LinkFault> link_faults;
+  /// Retransmission: a dropped or corrupted attempt is re-dispatched from
+  /// hop 0 this many cycles after the loss, up to max_retries times.
+  /// 0 disables retransmission (losses are final). When nonzero it must be
+  /// >= net::lookahead(cfg): the retry is a self-interaction of the packet,
+  /// and the bounded-lag engine only guarantees causality one lookahead out.
+  Cycles retry_timeout = 0;
+  int max_retries = 0;
+  /// Per-packet injection delay, uniform-by-hash in [0, max_injection_delay]
+  /// cycles (per-endpoint injection order is preserved).
+  Cycles max_injection_delay = 0;
+
+  // ---- message-level faults (sim::Machine) ----
+  /// Probability that an injected machine message vanishes in flight: it
+  /// holds network capacity for its latency, then is discarded at the
+  /// destination without notifying anyone (the reliable-delivery layer's
+  /// reason to exist).
+  double msg_drop_rate = 0.0;
+  std::vector<ProcFault> proc_faults;
+
+  /// True when the plan injects no faults at all (engines take their
+  /// unmodified fast paths; results are byte-identical to faults == null).
+  bool empty() const;
+  /// True when any packet-level knob is active.
+  bool has_packet_faults() const;
+  /// Range-checks every knob; throws util::check_error with the offending
+  /// value on violation.
+  void validate() const;
+
+  // ---- deterministic decisions (pure; any thread may evaluate) ----
+  bool drop_attempt(std::int64_t inj, int attempt) const;
+  /// Hop index in [0, hops) at which a dropped attempt vanishes.
+  int drop_hop(std::int64_t inj, int attempt, int hops) const;
+  bool corrupt_attempt(std::int64_t inj, int attempt) const;
+  /// Extra cycles added to the packet born at `born` from endpoint `src`.
+  Cycles injection_delay(int src, Cycles born) const;
+  /// 1 = healthy, 0 = dead, > 1 = service-time multiplier at cycle t.
+  int link_degrade(int u, int v, Cycles t) const;
+  /// Decision for the `msg_id`-th message injected by a Machine.
+  bool message_dropped(std::uint64_t msg_id) const;
+  /// True when p appears in proc_faults (used to build resilient trees).
+  bool proc_fails(ProcId p) const;
+  /// True when p has failed by cycle t (messages to it are dropped).
+  bool proc_failed(ProcId p, Cycles t) const;
+};
+
+}  // namespace logp::fault

@@ -64,12 +64,14 @@ struct EventBefore {
 };
 
 /// Parallel-engine event; doubles as the cross-shard handoff record. The
-/// packet's mutable state is just (inj, hop): born/route/hops live in the
-/// pre-resolved per-injection arrays, so no packet store is needed.
+/// packet's mutable state is just (inj, hop, attempt): born/route/hops live
+/// in the pre-resolved per-injection arrays, so no packet store is needed.
+/// `attempt` counts fault-plan retransmissions (always 0 without faults).
 struct PEvent {
   Cycles t;
   std::int32_t inj;
   std::int32_t hop;
+  std::int32_t attempt;
 };
 
 struct PEventBefore {
@@ -79,13 +81,20 @@ struct PEventBefore {
   }
 };
 
-/// A completed packet, recorded by the shard that owned its last link.
-/// Per-shard delivery lists are (t, inj)-sorted by construction — windows
-/// advance monotonically and each window processes in (t, inj) order — so
-/// the reduction pass merges them without sorting.
+/// What happened to a packet at a recorded instant. Fault-free runs only
+/// ever record kDelivered; an active FaultPlan adds terminal losses and
+/// retransmission marks, which the canonical replay needs to reproduce the
+/// serial engine's in-flight walk and cumulative retransmit series.
+enum class DKind : std::uint8_t { kDelivered, kLost, kRetry };
+
+/// A packet outcome record, written by the shard that processed the event.
+/// Per-shard lists are (t, inj)-sorted by construction — windows advance
+/// monotonically and each window processes in (t, inj) order — so the
+/// reduction pass merges them without sorting.
 struct Delivery {
   Cycles t;
   std::int32_t inj;
+  DKind kind;
 };
 
 std::uint64_t mix64(std::uint64_t z) {
@@ -244,6 +253,7 @@ struct PacketStore {
   std::vector<std::int32_t> hop;
   std::vector<const std::int32_t*> route;  ///< link ids, arena spans
   std::vector<std::int32_t> hops;
+  std::vector<std::int32_t> attempt;  ///< fault-plan retransmission count
   std::vector<std::uint8_t> measured;
   util::RingDeque<std::uint32_t> freelist;
 
@@ -252,6 +262,7 @@ struct PacketStore {
     hop.reserve(n);
     route.reserve(n);
     hops.reserve(n);
+    attempt.reserve(n);
     measured.reserve(n);
     freelist.reserve(n);
   }
@@ -267,6 +278,7 @@ struct PacketStore {
     hop.push_back(0);
     route.push_back(nullptr);
     hops.push_back(0);
+    attempt.push_back(0);
     measured.push_back(0);
     return slot;
   }
@@ -328,6 +340,9 @@ struct SimContext {
   std::size_t dispatchable;  ///< injections with born <= drain_limit
   Cycles service;
   std::size_t reserve;
+  /// Non-null only when the config carries a plan with active packet-level
+  /// faults — so a null pointer IS the fault-free fast path.
+  const fault::FaultPlan* faults;
 };
 
 void accumulate_link(obs::LinkTelemetry& lt, Cycles service, Cycles wait) {
@@ -358,6 +373,7 @@ void fill_link_telemetry(obs::NetTelemetry* telem, const LinkTable& links,
 /// Reference engine: one thread, one heap, canonical (t, inj) order.
 void run_serial(const SimContext& sc, PacketSimResult& result) {
   const PacketSimConfig& cfg = sc.cfg;
+  const fault::FaultPlan* const fp = sc.faults;
   const Cycles service = sc.service;
   const int P = sc.topo.num_endpoints();
 
@@ -367,6 +383,7 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
   events.reserve(sc.reserve);
   std::size_t next_inject = 0;
   std::int64_t in_flight = 0;
+  std::int64_t completed = 0;  ///< deliveries at any time (vs in-window)
   util::Histogram histo(0, 64.0 * static_cast<double>(service) *
                                static_cast<double>(sc.topo.num_nodes()),
                         4096);
@@ -392,6 +409,24 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
                            : kNever;
   Cycles horizon_acc = 0;
 
+  // A dropped or corrupted attempt either re-dispatches from hop 0 after
+  // retry_timeout (keeping its slot — the packet is still "in flight" from
+  // the network's point of view) or, with retries exhausted or disabled, is
+  // abandoned and frees its slot like a delivery.
+  auto retry_or_lose = [&](Cycles t, std::int32_t inj, std::int32_t slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    if (fp->retry_timeout > 0 && store.attempt[s] < fp->max_retries) {
+      ++store.attempt[s];
+      store.hop[s] = 0;
+      ++result.retransmitted;
+      events.push({t + fp->retry_timeout, inj, slot});
+    } else {
+      ++result.lost;
+      --in_flight;
+      store.release(slot);
+    }
+  };
+
   Event ev;
   while (true) {
     // Next event in canonical (t, injection-id) order. Every in-flight
@@ -411,12 +446,15 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
       ev.inj = static_cast<std::int32_t>(next_inject);
       while (next_sample <= ev.t) {
         telem->in_flight.emplace_back(next_sample, in_flight);
+        if (fp)
+          telem->retransmits.emplace_back(next_sample, result.retransmitted);
         next_sample += telem->sample_every;
       }
       slot = store.acquire();
       const auto s = static_cast<std::size_t>(slot);
       store.born[s] = inj.born;
       store.hop[s] = 0;
+      store.attempt[s] = 0;
       store.measured[s] = inj.born >= cfg.warmup;
       store.route[s] = sc.route[next_inject];
       store.hops[s] = sc.hops[next_inject];
@@ -430,6 +468,8 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
       }
       while (next_sample <= ev.t) {
         telem->in_flight.emplace_back(next_sample, in_flight);
+        if (fp)
+          telem->retransmits.emplace_back(next_sample, result.retransmitted);
         next_sample += telem->sample_every;
       }
       slot = ev.slot;
@@ -440,6 +480,13 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
 
     const auto s = static_cast<std::size_t>(slot);
     if (store.hop[s] == store.hops[s]) {
+      // A corrupted attempt consumed every link it crossed but delivers
+      // nothing — the receiver discards it and the plan decides its fate.
+      if (fp && fp->corrupt_attempt(ev.inj, store.attempt[s])) {
+        ++result.corrupted;
+        retry_or_lose(ev.t, ev.inj, slot);
+        continue;
+      }
       // Throughput counts only deliveries inside the measurement window so
       // the post-injection drain cannot inflate it.
       if (ev.t >= cfg.warmup && ev.t < cfg.warmup + cfg.duration)
@@ -449,18 +496,35 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
         result.latency.add(lat);
         histo.add(lat);
       }
+      ++completed;
       --in_flight;
       store.release(slot);
       continue;
     }
     const std::int32_t link_id = store.route[s][store.hop[s]];
+    Cycles svc = service;
+    if (fp) {
+      const auto [lu, lv] = sc.links.endpoints(link_id);
+      const int deg = fp->link_degrade(lu, lv, ev.t);
+      if (deg == 0 || (fp->drop_attempt(ev.inj, store.attempt[s]) &&
+                       store.hop[s] == fp->drop_hop(ev.inj, store.attempt[s],
+                                                    store.hops[s]))) {
+        ++result.dropped;
+        if (telem) ++link_acc[static_cast<std::size_t>(link_id)].drops;
+        retry_or_lose(ev.t, ev.inj, slot);
+        continue;
+      }
+      // A degraded (but live) link serves slower; service only ever grows,
+      // so the parallel engine's lookahead bound is untouched.
+      svc *= deg;
+    }
     Cycles& free_at = sc.links.earliest(link_id);
     const Cycles start = std::max(ev.t, free_at);
-    free_at = start + service;
+    free_at = start + svc;
     ++store.hop[s];
-    events.push({start + service, ev.inj, slot});
+    events.push({start + svc, ev.inj, slot});
     if (telem)
-      accumulate_link(link_acc[static_cast<std::size_t>(link_id)], service,
+      accumulate_link(link_acc[static_cast<std::size_t>(link_id)], svc,
                       start - ev.t);
   }
 
@@ -470,6 +534,8 @@ void run_serial(const SimContext& sc, PacketSimResult& result) {
   }
 
   result.pool_slots = static_cast<std::int64_t>(store.slots());
+  result.undrained = result.injected - completed - result.lost;
+  result.truncated = result.saturated;
   result.p95_latency = histo.quantile(0.95);
   result.throughput = static_cast<double>(result.delivered) /
                       static_cast<double>(cfg.duration) /
@@ -493,6 +559,10 @@ struct Shard {
   std::vector<std::vector<PEvent>> outbox[2];
   Cycles last_t = 0;   ///< latest event processed (horizon contribution)
   Cycles next_t = kNever;  ///< earliest pending work after the window
+  // Fault counters: plain event counts, so summing per-shard integers is
+  // order-free and thread-count invariant.
+  std::int64_t dropped = 0;
+  std::int64_t corrupted = 0;
 };
 
 /// Conservative bounded-lag parallel engine. Correctness argument:
@@ -520,6 +590,7 @@ struct Shard {
 void run_windowed(const SimContext& sc, int threads, int num_shards,
                   PacketSimResult& result) {
   const PacketSimConfig& cfg = sc.cfg;
+  const fault::FaultPlan* const fp = sc.faults;
   const Cycles service = sc.service;
   const Cycles drain = cfg.drain_limit;
   const int P = sc.topo.num_endpoints();
@@ -566,6 +637,32 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
       in.clear();
     }
     Cycles staged_min = kNever;
+    // Retry-or-lose, parallel flavor. The retry re-enters at hop 0, which
+    // may belong to another shard — but retry_timeout >= lookahead (checked
+    // at entry), so the retry lands at or beyond the window end and the
+    // ordinary outbox handoff is causally safe. A loss is a record the
+    // canonical replay turns into the serial engine's -1 in-flight step;
+    // a retry is a record only so the replay can rebuild the cumulative
+    // retransmit counter (and its telemetry series) in canonical order.
+    auto retry_or_lose = [&](const PEvent& ev) {
+      if (fp->retry_timeout > 0 && ev.attempt < fp->max_retries) {
+        sh.deliveries.push_back({ev.t, ev.inj, DKind::kRetry});
+        const auto inj = static_cast<std::size_t>(ev.inj);
+        const PEvent r{ev.t + fp->retry_timeout, ev.inj, 0, ev.attempt + 1};
+        const int rdst =
+            sc.hops[inj] > 0
+                ? owner[static_cast<std::size_t>(sc.route[inj][0])]
+                : static_cast<int>(si);
+        if (rdst == static_cast<int>(si)) {
+          sh.heap.push(r);
+        } else {
+          sh.outbox[parity][static_cast<std::size_t>(rdst)].push_back(r);
+          staged_min = std::min(staged_min, r.t);
+        }
+      } else {
+        sh.deliveries.push_back({ev.t, ev.inj, DKind::kLost});
+      }
+    };
     for (;;) {
       // Merge the shard's injection stream against its heap in (t, inj)
       // order, without consuming past the window end or the drain limit.
@@ -586,7 +683,7 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
       if (t >= wend || t > drain) break;
       PEvent ev;
       if (from_inj) {
-        ev = {t, sh.inj_ids[sh.next_inj], 0};
+        ev = {t, sh.inj_ids[sh.next_inj], 0, 0};
         ++sh.next_inj;
       } else {
         sh.heap.pop_into(ev);
@@ -596,17 +693,35 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
       const auto inj = static_cast<std::size_t>(ev.inj);
       const std::int32_t hops = sc.hops[inj];
       if (ev.hop == hops) {
-        sh.deliveries.push_back({ev.t, ev.inj});
+        if (fp && fp->corrupt_attempt(ev.inj, ev.attempt)) {
+          ++sh.corrupted;
+          retry_or_lose(ev);
+          continue;
+        }
+        sh.deliveries.push_back({ev.t, ev.inj, DKind::kDelivered});
         continue;
       }
       const std::int32_t link_id = sc.route[inj][ev.hop];
+      Cycles svc = service;
+      if (fp) {
+        const auto [lu, lv] = sc.links.endpoints(link_id);
+        const int deg = fp->link_degrade(lu, lv, ev.t);
+        if (deg == 0 || (fp->drop_attempt(ev.inj, ev.attempt) &&
+                         ev.hop == fp->drop_hop(ev.inj, ev.attempt, hops))) {
+          ++sh.dropped;
+          if (telem) ++sh.link_acc[static_cast<std::size_t>(link_id)].drops;
+          retry_or_lose(ev);
+          continue;
+        }
+        svc *= deg;
+      }
       Cycles& free_at = sc.links.earliest(link_id);
       const Cycles start = std::max(ev.t, free_at);
-      free_at = start + service;
+      free_at = start + svc;
       if (telem)
         accumulate_link(sh.link_acc[static_cast<std::size_t>(link_id)],
-                        service, start - ev.t);
-      const PEvent nxt{start + service, ev.inj, ev.hop + 1};
+                        svc, start - ev.t);
+      const PEvent nxt{start + svc, ev.inj, ev.hop + 1, ev.attempt};
       const int dst = nxt.hop == hops
                           ? static_cast<int>(si)  // delivery: last link's owner
                           : owner[static_cast<std::size_t>(
@@ -656,6 +771,7 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
                            ? telem->sample_every
                            : kNever;
   std::int64_t in_flight = 0;
+  std::int64_t completed = 0;
   std::vector<std::size_t> head(static_cast<std::size_t>(S), 0);
   std::size_t ii = 0;
   const Cycles window_close = cfg.warmup + cfg.duration;
@@ -675,9 +791,9 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
         binj = d.inj;
       }
     }
-    // A delivered packet always has a smaller injection id than the next
-    // undispatched injection, so deliveries win timestamp ties — the same
-    // tie-break the serial merge makes.
+    // An in-flight packet always has a smaller injection id than the next
+    // undispatched injection, so outcome records win timestamp ties — the
+    // same tie-break the serial merge makes.
     const bool take_inj =
         ii < sc.dispatchable &&
         (best < 0 || sc.injections[ii].born < bt);
@@ -685,20 +801,40 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
     const Cycles t = take_inj ? sc.injections[ii].born : bt;
     while (next_sample <= t) {
       telem->in_flight.emplace_back(next_sample, in_flight);
+      if (fp)
+        telem->retransmits.emplace_back(next_sample, result.retransmitted);
       next_sample += telem->sample_every;
     }
     if (take_inj) {
       result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
       ++ii;
     } else {
-      if (bt >= cfg.warmup && bt < window_close) ++result.delivered;
-      const Cycles born = sc.injections[static_cast<std::size_t>(binj)].born;
-      if (born >= cfg.warmup) {
-        const auto lat = static_cast<double>(bt - born);
-        result.latency.add(lat);
-        histo.add(lat);
+      const Shard& bsh = shards[static_cast<std::size_t>(best)];
+      switch (bsh.deliveries[head[static_cast<std::size_t>(best)]].kind) {
+        case DKind::kDelivered: {
+          if (bt >= cfg.warmup && bt < window_close) ++result.delivered;
+          const Cycles born =
+              sc.injections[static_cast<std::size_t>(binj)].born;
+          if (born >= cfg.warmup) {
+            const auto lat = static_cast<double>(bt - born);
+            result.latency.add(lat);
+            histo.add(lat);
+          }
+          ++completed;
+          --in_flight;
+          break;
+        }
+        case DKind::kLost:
+          ++result.lost;
+          --in_flight;
+          break;
+        case DKind::kRetry:
+          // The retry itself stays in flight; the record exists so the
+          // cumulative counter (and its sampled series) advances at the
+          // same canonical instant as in the serial engine.
+          ++result.retransmitted;
+          break;
       }
-      --in_flight;
       ++head[static_cast<std::size_t>(best)];
     }
   }
@@ -707,6 +843,8 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
     // serial loop's emission on its last processed event.
     while (next_sample <= horizon) {
       telem->in_flight.emplace_back(next_sample, in_flight);
+      if (fp)
+        telem->retransmits.emplace_back(next_sample, result.retransmitted);
       next_sample += telem->sample_every;
     }
     telem->horizon = horizon;
@@ -722,8 +860,16 @@ void run_windowed(const SimContext& sc, int threads, int num_shards,
 
   // The serial store creates a slot exactly when the freelist is empty,
   // i.e. when in_flight == slots, so slots ever created == peak in-flight
-  // (pinned by tests/test_packet_sim.cpp). Report the same quantity.
+  // (pinned by tests/test_packet_sim.cpp). Report the same quantity. This
+  // holds under faults too: a retrying packet keeps its slot, so slot
+  // lifetime still equals the in-flight span.
   result.pool_slots = result.peak_in_flight;
+  for (const Shard& sh : shards) {
+    result.dropped += sh.dropped;
+    result.corrupted += sh.corrupted;
+  }
+  result.undrained = result.injected - completed - result.lost;
+  result.truncated = result.saturated;
   result.p95_latency = histo.quantile(0.95);
   result.throughput = static_cast<double>(result.delivered) /
                       static_cast<double>(cfg.duration) /
@@ -760,6 +906,22 @@ PacketSimResult run_packet_sim(const Topology& topo,
   LOGP_CHECK(P >= 2);
   util::Xoshiro256StarStar rng(cfg.seed);
 
+  // A null plan and a plan with no packet-level faults are the same thing
+  // from here on: fp == nullptr selects the untouched fast path, so both
+  // produce output byte-identical to the pre-fault simulator.
+  const fault::FaultPlan* fp = nullptr;
+  if (cfg.faults != nullptr) {
+    cfg.faults->validate();
+    if (cfg.faults->has_packet_faults()) {
+      fp = cfg.faults;
+      LOGP_CHECK_MSG(
+          fp->retry_timeout == 0 || fp->retry_timeout >= lookahead(cfg),
+          "FaultPlan retry_timeout (" << fp->retry_timeout
+                                      << ") must be 0 or >= lookahead ("
+                                      << lookahead(cfg) << ")");
+    }
+  }
+
   PacketSimResult result;
   result.offered_load = cfg.injection_rate;
   const Cycles service = lookahead(cfg);
@@ -776,9 +938,19 @@ PacketSimResult run_packet_sim(const Topology& topo,
                      4 * static_cast<std::size_t>(std::sqrt(expected)));
   for (int e = 0; e < P; ++e) {
     Cycles t = rng.geometric(cfg.injection_rate);
+    Cycles last_born = -1;
     while (t < inject_end) {
       const int dst = pick_destination(cfg, e, P, rng);
-      injections.push_back({t, e, dst});
+      Cycles born = t;
+      // Fault-plan injection jitter is hashed, not drawn, so it neither
+      // consumes RNG state nor disturbs the fault-free sequence. The clamp
+      // keeps each endpoint's stream strictly increasing, preserving the
+      // canonical (born, src) order the engines key on.
+      if (fp != nullptr && fp->max_injection_delay > 0) {
+        born = std::max(t + fp->injection_delay(e, t), last_born + 1);
+        last_born = born;
+      }
+      injections.push_back({born, e, dst});
       ++result.injected;
       t += rng.geometric(cfg.injection_rate);
     }
@@ -816,7 +988,7 @@ PacketSimResult run_packet_sim(const Topology& topo,
           : static_cast<std::size_t>(P) * static_cast<std::size_t>(service);
 
   const SimContext sc{topo,  cfg,  links,        injections, route,
-                      hops,  dispatchable, service,    reserve};
+                      hops,  dispatchable, service,    reserve,    fp};
 
   int threads = cfg.sim_threads;
   if (threads <= 0)

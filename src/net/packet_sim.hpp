@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.hpp"
 #include "net/topology.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -66,6 +67,16 @@ struct PacketSimConfig {
   /// sink is purely observational — RNG draws, event order and every
   /// PacketSimResult field are unchanged (pinned by tests/test_obs.cpp).
   obs::NetTelemetry* telemetry = nullptr;
+  /// Optional deterministic fault plan (see fault/fault.hpp). Null — or a
+  /// plan with no packet-level faults — takes the unmodified fast path and
+  /// is byte-identical to the fault-free simulator. An active plan is
+  /// honored identically by the serial and parallel engines: every fault
+  /// decision is a pure hash of (plan seed, injection id, attempt), so
+  /// faulted results stay byte-identical at every sim_threads value. A plan
+  /// with retry_timeout != 0 must satisfy retry_timeout >= lookahead(cfg)
+  /// (a retry is a cross-shard self-interaction of the packet; the bounded-
+  /// lag engine only guarantees causality one lookahead out).
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct PacketSimResult {
@@ -76,6 +87,17 @@ struct PacketSimResult {
   double offered_load = 0;     ///< packets / endpoint / cycle
   double throughput = 0;       ///< delivered packets / endpoint / cycle
   bool saturated = false;      ///< drain did not finish within drain_limit
+  /// True when the simulator gave up with packets still undelivered —
+  /// either the event horizon crossed drain_limit mid-drain or injections
+  /// past drain_limit were never dispatched. Latency/throughput figures
+  /// from a truncated run understate congestion; experiment binaries warn.
+  bool truncated = false;
+  std::int64_t undrained = 0;  ///< packets neither delivered nor lost
+  // ---- fault accounting (all zero without an active FaultPlan) ----
+  std::int64_t dropped = 0;        ///< attempts dropped mid-route
+  std::int64_t corrupted = 0;      ///< attempts discarded at destination
+  std::int64_t retransmitted = 0;  ///< re-dispatches after a loss
+  std::int64_t lost = 0;           ///< packets abandoned (retries exhausted)
   /// Pool accounting (see DESIGN.md "Memory management"): the packet store
   /// recycles delivered slots, so slots created == peak concurrency, not
   /// packet count. Exposed so tests can pin the zero-growth invariant.

@@ -31,6 +31,7 @@ struct LinkTelemetry {
   Cycles queue_wait = 0;      ///< total cycles packets waited for a channel
   Cycles max_queue_wait = 0;  ///< worst single wait
   std::int64_t max_backlog = 0;  ///< high-water of queued service slots
+  std::int64_t drops = 0;     ///< packets lost on this link (fault plan)
 
   /// Fraction of channel capacity used over `horizon` cycles.
   double utilization(Cycles horizon) const {
@@ -50,11 +51,16 @@ struct NetTelemetry {
   std::vector<LinkTelemetry> links;
   /// Network-wide in-flight packet count sampled every sample_every cycles.
   std::vector<std::pair<Cycles, std::int64_t>> in_flight;
+  /// Cumulative retransmission count on the same sampling grid. Only
+  /// populated when the run carries an active fault plan — a fault-free run
+  /// leaves it empty so existing artifacts stay byte-identical.
+  std::vector<std::pair<Cycles, std::int64_t>> retransmits;
 
   void clear() {
     horizon = 0;
     links.clear();
     in_flight.clear();
+    retransmits.clear();
   }
 
   /// Links sorted by descending utilization; `top` rows (0 = all).

@@ -70,6 +70,90 @@ Task broadcast_linear(Ctx ctx, std::uint64_t* value, std::int32_t tag) {
   }
 }
 
+namespace {
+
+// Live processors under `plan`, in ascending id order, plus this
+// processor's rank within them (-1 when it failed). Every processor
+// computes the same list locally, so the tree shape is agreed without any
+// messages — exactly what a failure demands.
+struct LiveView {
+  std::vector<ProcId> live;
+  int rank = -1;
+};
+
+LiveView live_view(Ctx ctx, const fault::FaultPlan* plan) {
+  LiveView v;
+  const int P = ctx.nprocs();
+  v.live.reserve(static_cast<std::size_t>(P));
+  for (ProcId q = 0; q < P; ++q) {
+    if (plan != nullptr && plan->proc_fails(q)) continue;
+    if (q == ctx.proc()) v.rank = static_cast<int>(v.live.size());
+    v.live.push_back(q);
+  }
+  LOGP_CHECK_MSG(!v.live.empty(), "all processors failed");
+  return v;
+}
+
+void note_degraded(Ctx ctx, bool* degraded) {
+  if (degraded != nullptr) *degraded = true;
+  ctx.scheduler().mark_degraded();
+}
+
+}  // namespace
+
+Task broadcast_resilient(Ctx ctx, const fault::FaultPlan* plan,
+                         std::uint64_t* value, bool* degraded,
+                         std::int32_t tag) {
+  const LiveView v = live_view(ctx, plan);
+  const int n = static_cast<int>(v.live.size());
+  if (n < ctx.nprocs()) note_degraded(ctx, degraded);
+  if (v.rank < 0) co_return;  // failed processor: routed around
+  // broadcast_binomial with p -> rank and every endpoint mapped back
+  // through the live list.
+  int lg = 0;
+  while ((1 << lg) < n) ++lg;
+  bool holder = (v.rank == 0);
+  for (int r = 0; r < lg; ++r) {
+    const int d = 1 << r;
+    if (holder && v.rank + d < n) {
+      co_await ctx.send(v.live[static_cast<std::size_t>(v.rank + d)], tag,
+                        *value);
+    } else if (!holder && v.rank < 2 * d) {
+      const Message m =
+          co_await ctx.recv(tag, v.live[static_cast<std::size_t>(v.rank - d)]);
+      *value = m.word(0);
+      holder = true;
+    }
+  }
+}
+
+Task reduce_resilient(Ctx ctx, const fault::FaultPlan* plan,
+                      std::uint64_t value, std::uint64_t* result,
+                      bool* degraded, std::int32_t tag) {
+  const LiveView v = live_view(ctx, plan);
+  const int n = static_cast<int>(v.live.size());
+  if (n < ctx.nprocs()) note_degraded(ctx, degraded);
+  if (v.rank < 0) co_return;  // failed: its contribution is simply lost
+  int lg = 0;
+  while ((1 << lg) < n) ++lg;
+  std::uint64_t acc = value;
+  for (int r = 0; r < lg; ++r) {
+    const int d = 1 << r;
+    if ((v.rank & d) != 0) {
+      co_await ctx.send(v.live[static_cast<std::size_t>(v.rank - d)], tag,
+                        acc);
+      co_return;
+    }
+    if (v.rank + d < n) {
+      const Message m =
+          co_await ctx.recv(tag, v.live[static_cast<std::size_t>(v.rank + d)]);
+      acc += m.word(0);
+      co_await ctx.compute(1);
+    }
+  }
+  if (v.rank == 0) *result = acc;
+}
+
 Task reduce_optimal(Ctx ctx, const SumSchedule& sched,
                     std::function<std::uint64_t(ProcId, std::int64_t)> input,
                     std::uint64_t* result, std::int32_t tag) {

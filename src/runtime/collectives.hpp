@@ -14,6 +14,7 @@
 
 #include "core/broadcast_tree.hpp"
 #include "core/summation.hpp"
+#include "fault/fault.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace logp::runtime::coll {
@@ -54,6 +55,31 @@ Task broadcast_binomial(Ctx ctx, std::uint64_t* value,
 /// Baseline: processor 0 sends to everyone itself.
 Task broadcast_linear(Ctx ctx, std::uint64_t* value,
                       std::int32_t tag = kBcastTag);
+
+// ---- graceful degradation (fault/fault.hpp) -------------------------------
+//
+// The resilient collectives build their trees over the *live* processors —
+// those not named in plan->proc_faults — so a failure never leaves a healthy
+// subtree waiting on a dead parent. Failed processors return immediately
+// without sending or receiving. Exclusion is conservative: a processor
+// listed with any fail_at is routed around for the whole run (the tree is
+// committed before anyone can know when the failure lands). When anyone was
+// routed around, every live participant sets *degraded and marks the
+// scheduler (surfaced as ExperimentResult::degraded); *degraded is never
+// cleared, so callers can accumulate across collectives. A null plan makes
+// both identical to their binomial counterparts.
+
+/// Binomial broadcast over the live set, rooted at the lowest live
+/// processor. On return every live processor's *value holds the root's.
+Task broadcast_resilient(Ctx ctx, const fault::FaultPlan* plan,
+                         std::uint64_t* value, bool* degraded,
+                         std::int32_t tag = kBcastTag);
+
+/// Binomial sum over the live set; the result (which necessarily omits
+/// failed processors' contributions) lands on the lowest live processor.
+Task reduce_resilient(Ctx ctx, const fault::FaultPlan* plan,
+                      std::uint64_t value, std::uint64_t* result,
+                      bool* degraded, std::int32_t tag = kReduceTag);
 
 /// Summation along the optimal schedule of Figure 4. Processor p executes
 /// schedule node p (processors >= sched.procs_used() idle). `input`

@@ -1,0 +1,181 @@
+#include "runtime/reliable.hpp"
+
+#include "util/check.hpp"
+
+namespace logp::runtime {
+
+namespace {
+
+std::uint64_t dedup_key(ProcId src, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         (seq & 0xffffffffULL);
+}
+
+}  // namespace
+
+ReliableLayer::ReliableLayer(Scheduler& sched, Options opts)
+    : sched_(&sched), opts_(opts) {
+  const Params& p = sched.machine().params();
+  if (opts_.base_timeout <= 0)
+    opts_.base_timeout = 2 * p.L + 6 * p.o + 4 * p.g;
+  LOGP_CHECK(opts_.max_retries >= 0);
+  LOGP_CHECK(opts_.backoff_factor >= 1);
+  next_seq_.assign(static_cast<std::size_t>(p.P), 0);
+  seen_.resize(static_cast<std::size_t>(p.P));
+  sched.set_handler(kRelDataTag,
+                    [this](Ctx ctx, const Message& m) { on_data(ctx, m); });
+  sched.set_handler(kRelAckTag,
+                    [this](Ctx ctx, const Message& m) { on_ack(ctx, m); });
+}
+
+std::size_t ReliableLayer::acquire_slot(ProcId owner, ProcId peer,
+                                        std::uint64_t seq) {
+  std::size_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = slots_.size();
+    slots_.emplace_back();
+  }
+  Pending& pd = slots_[idx];
+  pd.owner = owner;
+  pd.peer = peer;
+  pd.seq = seq;
+  pd.acked = false;
+  pd.in_use = true;
+  pd.waiter = nullptr;
+  // gen deliberately NOT reset: it outlives reuse so stale timers from a
+  // previous occupant can never match.
+  return idx;
+}
+
+void ReliableLayer::release_slot(std::size_t idx) {
+  Pending& pd = slots_[idx];
+  pd.in_use = false;
+  pd.waiter = nullptr;
+  ++pd.gen;
+  free_slots_.push_back(idx);
+}
+
+void ReliableLayer::AckAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Pending& pd = rl->slots_[slot];
+  pd.waiter = h;
+  // Each wait gets its own generation; the matching timer fires exactly
+  // once and only for this wait.
+  const std::uint64_t gen = ++pd.gen;
+  ReliableLayer* layer = rl;
+  const std::size_t idx = slot;
+  rl->sched_->machine().schedule_call(deadline, [layer, idx, gen] {
+    layer->on_timer(idx, gen);
+  });
+}
+
+void ReliableLayer::on_timer(std::size_t idx, std::uint64_t gen) {
+  Pending& pd = slots_[idx];
+  // An ack got there first (waiter cleared), or the slot moved on to a
+  // later wait or another message (gen mismatch) — then this timer is
+  // stale and must do nothing.
+  if (!pd.in_use || pd.gen != gen || pd.waiter == nullptr) return;
+  const std::coroutine_handle<> h = pd.waiter;
+  pd.waiter = nullptr;
+  sched_->push_ready(pd.owner, h);
+}
+
+void ReliableLayer::on_ack(Ctx ctx, const Message& m) {
+  const ProcId p = ctx.proc();
+  const std::uint64_t seq = m.word(0);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Pending& pd = slots_[i];
+    if (!pd.in_use || pd.owner != p || pd.peer != m.src || pd.seq != seq)
+      continue;
+    ++stats_.acks_received;
+    if (pd.acked) return;  // duplicate ack
+    pd.acked = true;
+    if (pd.waiter != nullptr) {
+      const std::coroutine_handle<> h = pd.waiter;
+      pd.waiter = nullptr;
+      sched_->push_ready(p, h);
+    }
+    return;
+  }
+  // Ack for a send that already gave up (or a duplicate's second ack) —
+  // nothing waits for it anymore.
+}
+
+void ReliableLayer::on_data(Ctx ctx, const Message& m) {
+  const ProcId p = ctx.proc();
+  const std::uint64_t seq = m.word(0);
+  const auto user_tag =
+      static_cast<std::int32_t>(static_cast<std::uint32_t>(m.word(1)));
+  // Always ack — even a duplicate means our previous ack was lost (or is
+  // still in flight), and the sender keeps retransmitting until one lands.
+  ctx.spawn(send_ack(ctx, m.src, seq));
+  if (seen_[static_cast<std::size_t>(p)]
+          .insert(dedup_key(m.src, seq))
+          .second) {
+    ++stats_.delivered;
+    Message um;
+    um.src = m.src;
+    um.dst = p;
+    um.tag = user_tag;
+    um.push_word(m.word(2));
+    // Receive overhead for the wire message was already paid; hand the
+    // payload to the user's recv/handler/mailbox in zero time.
+    sched_->inject_local(p, um);
+  } else {
+    ++stats_.duplicates;
+  }
+}
+
+Task ReliableLayer::send_ack(Ctx ctx, ProcId dst, std::uint64_t seq) {
+  ++stats_.acks_sent;
+  Message a;
+  a.dst = dst;
+  a.tag = kRelAckTag;
+  a.push_word(seq);
+  co_await ctx.send(a);
+}
+
+Task ReliableLayer::send(Ctx ctx, ProcId dst, std::int32_t user_tag,
+                         std::uint64_t w0, SendOutcome* out) {
+  const ProcId p = ctx.proc();
+  LOGP_CHECK(out != nullptr);
+  *out = SendOutcome{};
+  const std::uint64_t seq = next_seq_[static_cast<std::size_t>(p)]++;
+  const std::size_t slot = acquire_slot(p, dst, seq);
+
+  Message m;
+  m.dst = dst;
+  m.tag = kRelDataTag;
+  m.push_word(seq);
+  m.push_word(static_cast<std::uint32_t>(user_tag));
+  m.push_word(w0);
+
+  Cycles timeout = opts_.base_timeout;
+  int attempt = 0;
+  for (;;) {
+    if (attempt == 0)
+      ++stats_.data_sends;
+    else
+      ++stats_.retransmits;
+    co_await ctx.send(m);  // full machine costs: gap wait, o, stall, L
+    if (!slots_[slot].acked)
+      co_await AckAwaiter{this, slot, ctx.now() + timeout};
+    if (slots_[slot].acked) {
+      out->delivered = true;
+      break;
+    }
+    if (attempt >= opts_.max_retries) {
+      out->dead_peer = true;
+      ++stats_.dead_peers;
+      break;
+    }
+    ++attempt;
+    timeout *= opts_.backoff_factor;
+  }
+  out->retransmits = attempt;
+  release_slot(slot);
+}
+
+}  // namespace logp::runtime

@@ -1,0 +1,128 @@
+// Reliable-delivery protocol layer over the (lossy) LogP machine.
+//
+// The LogP model itself assumes a reliable network; a FaultPlan with
+// msg_drop_rate or proc_faults breaks that assumption, and this layer
+// restores it the way real Active Message layers do: positive
+// acknowledgement, timeout, retransmission with exponential backoff, and a
+// dead-peer verdict after a capped number of retries.
+//
+// Every protocol action pays honest LogP costs. A data transmission (and
+// every retransmission) is an ordinary machine send: it engages the sender
+// for o, occupies a g slot on the send port, counts against the capacity
+// bound and rides L. An ack is an ordinary send from the receiver. Only the
+// final hand-off of an already-delivered payload to the user's recv() is
+// free (Scheduler::inject_local) — the receive overhead for the wire
+// message was paid when it was accepted off the network, and charging it
+// again would double-count o. Because the machine accounts every cycle, the
+// profiler's six-bucket invariant keeps balancing no matter how many
+// retransmissions a run suffers (pinned by tests/test_reliable.cpp).
+//
+// Duplicates are expected (a late ack crossing a retransmission) and are
+// suppressed by a per-receiver (src, seq) seen-set; the duplicate still
+// pays network + receive costs, it just isn't delivered twice.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace logp::runtime {
+
+/// Protocol tags (reserved block, far from the collective tags).
+inline constexpr std::int32_t kRelDataTag = kReservedTagBase + 900000;
+inline constexpr std::int32_t kRelAckTag = kReservedTagBase + 900001;
+
+class ReliableLayer {
+ public:
+  struct Options {
+    /// First-attempt ack timeout; 0 derives 2L + 6o + 4g from the machine
+    /// params (a round trip with queueing slack — tight enough to recover
+    /// promptly, loose enough that a healthy round trip rarely trips it).
+    Cycles base_timeout = 0;
+    /// Retransmissions before declaring the peer dead.
+    int max_retries = 6;
+    /// Timeout multiplier per retry (1 = constant timeout).
+    int backoff_factor = 2;
+  };
+
+  struct SendOutcome {
+    bool delivered = false;
+    bool dead_peer = false;
+    int retransmits = 0;
+  };
+
+  /// Aggregate protocol counters (across all processors).
+  struct Stats {
+    std::int64_t data_sends = 0;      ///< first transmissions
+    std::int64_t retransmits = 0;
+    std::int64_t acks_sent = 0;
+    std::int64_t acks_received = 0;
+    std::int64_t duplicates = 0;      ///< suppressed re-deliveries
+    std::int64_t delivered = 0;       ///< unique payloads handed to users
+    std::int64_t dead_peers = 0;      ///< sends that gave up
+  };
+
+  /// Installs the protocol handlers on `sched`. The layer must outlive the
+  /// scheduler's run; one layer per scheduler.
+  ReliableLayer(Scheduler& sched, Options opts);
+  explicit ReliableLayer(Scheduler& sched) : ReliableLayer(sched, Options{}) {}
+
+  ReliableLayer(const ReliableLayer&) = delete;
+  ReliableLayer& operator=(const ReliableLayer&) = delete;
+
+  /// Reliably sends one payload word to `dst`; the receiver sees it as an
+  /// ordinary message with tag `user_tag` (recv/handler/mailbox as usual).
+  /// Resumes once the payload is acknowledged or the peer is declared dead;
+  /// *out reports which, plus the retransmissions spent.
+  Task send(Ctx ctx, ProcId dst, std::int32_t user_tag, std::uint64_t w0,
+            SendOutcome* out);
+
+  const Stats& stats() const { return stats_; }
+  Cycles base_timeout() const { return opts_.base_timeout; }
+
+ private:
+  /// One un-acked outgoing message. Slots live in a deque (stable
+  /// addresses) and recycle through a free list; `gen` guards against
+  /// stale timers — every new ack-wait bumps it, so a timer resumes its
+  /// waiter only if no ack (and no slot reuse) got there first.
+  struct Pending {
+    ProcId owner = -1;  ///< sending processor
+    ProcId peer = -1;
+    std::uint64_t seq = 0;
+    std::uint64_t gen = 0;
+    bool acked = false;
+    bool in_use = false;
+    std::coroutine_handle<> waiter = nullptr;
+  };
+
+  struct AckAwaiter {
+    ReliableLayer* rl;
+    std::size_t slot;
+    Cycles deadline;
+    bool await_ready() const { return rl->slots_[slot].acked; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  std::size_t acquire_slot(ProcId owner, ProcId peer, std::uint64_t seq);
+  void release_slot(std::size_t idx);
+  void on_timer(std::size_t idx, std::uint64_t gen);
+  void on_data(Ctx ctx, const Message& m);
+  void on_ack(Ctx ctx, const Message& m);
+  Task send_ack(Ctx ctx, ProcId dst, std::uint64_t seq);
+
+  Scheduler* sched_;
+  Options opts_;
+  Stats stats_;
+  std::deque<Pending> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<std::uint64_t> next_seq_;  ///< per sending processor
+  /// Per-receiver dedup keys: (src << 32) | seq.
+  std::vector<std::unordered_set<std::uint64_t>> seen_;
+};
+
+}  // namespace logp::runtime

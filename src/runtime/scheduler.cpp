@@ -141,7 +141,7 @@ void Scheduler::on_compute_done(ProcId p) {
 
 void Scheduler::on_send_done(ProcId p) { on_compute_done(p); }
 
-void Scheduler::on_accept_done(ProcId p, const Message& m) {
+void Scheduler::deliver(ProcId p, const Message& m) {
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   bool handled = false;
   for (auto& [tag, fn] : handlers_) {
@@ -169,6 +169,16 @@ void Scheduler::on_accept_done(ProcId p, const Message& m) {
                          static_cast<std::int64_t>(ps.mailbox.size()));
     }
   }
+  pump(p);
+}
+
+void Scheduler::on_accept_done(ProcId p, const Message& m) { deliver(p, m); }
+
+void Scheduler::inject_local(ProcId p, const Message& m) { deliver(p, m); }
+
+void Scheduler::push_ready(ProcId p, std::coroutine_handle<> h) {
+  LOGP_CHECK(h);
+  pstates_[static_cast<std::size_t>(p)].ready.push_back(h);
   pump(p);
 }
 

@@ -117,6 +117,24 @@ class Scheduler final : public sim::Host {
   sim::Machine& machine() { return machine_; }
   const sim::Machine& machine() const { return machine_; }
 
+  /// Sticky fault marker: resilient collectives (and any other fault-aware
+  /// code) call this when they had to route around a failure, and the sweep
+  /// harness surfaces it as ExperimentResult::degraded. Never reset.
+  void mark_degraded() { degraded_ = true; }
+  bool degraded() const { return degraded_; }
+
+  /// Re-delivers `m` to p's runtime layer in zero simulated time: the usual
+  /// handler -> recv-waiter -> mailbox cascade runs as if the message had
+  /// just been accepted, but no machine costs are paid. This is how the
+  /// reliable-delivery layer (runtime/reliable.hpp) hands a payload it
+  /// already paid full LogP costs for — under its protocol tag — back to
+  /// the user under the user's tag, without double-charging o.
+  void inject_local(ProcId p, const Message& m);
+  /// Queue a bare continuation on p's ready queue and pump. Used by code
+  /// that resumes coroutines from machine timer callbacks (e.g. the
+  /// reliable layer's retransmit timers).
+  void push_ready(ProcId p, std::coroutine_handle<> h);
+
   // ---- used by awaitables / Ctx (not user-facing) ----
   void spawn_on(ProcId p, Task t);
   void op_compute(ProcId p, Cycles dur, std::coroutine_handle<> h);
@@ -154,6 +172,7 @@ class Scheduler final : public sim::Host {
   void on_message_arrived(ProcId p) override;
 
   void pump(ProcId p);
+  void deliver(ProcId p, const Message& m);
   void resume(ProcId p, std::coroutine_handle<> h);
   void sweep_finished(PState& ps);
   static bool matches(const RecvWaiter& w, const Message& m) {
@@ -181,6 +200,7 @@ class Scheduler final : public sim::Host {
   bool accept_priority_ = true;
   std::exception_ptr first_error_;
   bool ran_ = false;
+  bool degraded_ = false;
   Instruments obs_;
 };
 

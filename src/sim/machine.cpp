@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 
@@ -13,6 +14,7 @@ Machine::Machine(MachineConfig config, Host& host)
       rng_(cfg_.seed),
       recorder_(cfg_.record_trace) {
   cfg_.params.validate();
+  if (cfg_.faults != nullptr) cfg_.faults->validate();
   LOGP_CHECK(cfg_.latency_min <= cfg_.params.L);
   LOGP_CHECK(cfg_.compute_jitter >= 0.0 && cfg_.compute_jitter < 1.0);
   procs_.resize(static_cast<std::size_t>(cfg_.params.P));
@@ -70,6 +72,10 @@ void Machine::flush_metrics() {
   for (const auto& proc : procs_)
     backlog = std::max(backlog, proc.stats.max_arrival_backlog);
   cfg_.metrics->gauge("sim.arrival_backlog.max")->set(backlog);
+  // Registered only when a plan is attached, so fault-free metric dumps
+  // keep their exact historical shape.
+  if (cfg_.faults != nullptr)
+    cfg_.metrics->gauge("sim.msgs.dropped")->set(msgs_dropped_);
 #endif
 }
 
@@ -230,7 +236,17 @@ void Machine::inject(ProcId p, Cycles t) {
           : 0;
   proc.dma_words = 0;
   proc.dma_gap = 0;
-  push_event(t + stream + sample_latency(), EvKind::kDeliver, m.dst, idx);
+  // Fault plan: a doomed message is injected normally — the latency draw
+  // happens either way (the RNG sequence must not depend on the plan) and
+  // capacity slots stay held until the arrival instant — but it vanishes on
+  // arrival instead of entering the destination's queue.
+  const Cycles arrive = t + stream + sample_latency();
+  const std::uint64_t msg_id = msg_seq_++;
+  const bool doomed =
+      cfg_.faults != nullptr && (cfg_.faults->message_dropped(msg_id) ||
+                                 cfg_.faults->proc_failed(m.dst, t));
+  push_event(arrive, doomed ? EvKind::kDropArrive : EvKind::kDeliver, m.dst,
+             idx);
   proc.state = CpuState::kIdle;
   host_.on_send_done(p);
 }
@@ -356,6 +372,23 @@ void Machine::dispatch(const Event& ev) {
                    static_cast<std::int64_t>(proc.arrivals.size()));
       host_.on_message_arrived(ev.proc);
       maybe_accept_while_stalled(ev.proc);
+      break;
+    }
+    case EvKind::kDropArrive: {
+      // The message leaves the network at its arrival instant, exactly when
+      // a healthy delivery would have been queued — so senders throttled by
+      // the capacity bound observe the same slot-release timing whether the
+      // message survives or not. Nobody is notified; detecting the loss is
+      // the reliable-delivery layer's job (runtime/reliable.hpp).
+      auto& proc = procs_[static_cast<std::size_t>(ev.proc)];
+      const Message& m = msgs_[ev.payload];
+      --procs_[static_cast<std::size_t>(m.src)].out_inflight;
+      --proc.in_inflight;
+      LOGP_CHECK(procs_[static_cast<std::size_t>(m.src)].out_inflight >= 0);
+      LOGP_CHECK(proc.in_inflight >= 0);
+      ++msgs_dropped_;
+      msgs_.release(ev.payload);
+      wake_blocked_senders();
       break;
     }
     case EvKind::kAcceptStart: {

@@ -34,6 +34,10 @@
 #include "util/ring_deque.hpp"
 #include "util/rng.hpp"
 
+namespace logp::fault {
+struct FaultPlan;
+}  // namespace logp::fault
+
 namespace logp::obs {
 class Counter;
 class FixedHistogram;
@@ -102,6 +106,15 @@ struct MachineConfig {
   /// must outlive the machine and must not be shared with a machine running
   /// on another thread (one registry per experiment, like the RNG).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional deterministic fault plan (see fault/fault.hpp). The machine
+  /// honors msg_drop_rate and proc_faults: a doomed message pays its full
+  /// network cost (it is injected normally and counts against both capacity
+  /// bounds until its arrival instant) but is then discarded without
+  /// notifying anyone — no Host callback fires. Decisions are hashed from
+  /// the message's injection sequence number, so they are independent of
+  /// host scheduling. Null disables all of it at the cost of one branch per
+  /// injection. The plan must outlive the machine.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 class Machine {
@@ -172,6 +185,8 @@ class Machine {
   ProcStats total_stats() const;
 
   std::int64_t total_messages() const { return total_messages_; }
+  /// Messages discarded in flight by the fault plan (0 without one).
+  std::int64_t messages_dropped() const { return msgs_dropped_; }
   std::uint64_t events_processed() const { return events_processed_; }
 
   trace::Recorder& recorder() { return recorder_; }
@@ -194,6 +209,7 @@ class Machine {
     kSendEngage,
     kSendOverheadDone,
     kDeliver,
+    kDropArrive,  ///< fault plan: message vanishes at its arrival instant
     kAcceptStart,
     kAcceptDone,
     kCall,
@@ -273,6 +289,8 @@ class Machine {
   std::vector<ProcId> blocked_senders_;
 
   std::int64_t total_messages_ = 0;
+  std::uint64_t msg_seq_ = 0;      ///< injection sequence, fault-plan key
+  std::int64_t msgs_dropped_ = 0;
   util::Xoshiro256StarStar rng_;
   trace::Recorder recorder_;
   Instruments obs_;

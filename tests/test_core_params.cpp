@@ -27,8 +27,46 @@ TEST(Params, ValidateRejectsBadValues) {
   EXPECT_THROW((Params{-1, 0, 1, 1}).validate(), util::check_error);
   EXPECT_THROW((Params{1, -1, 1, 1}).validate(), util::check_error);
   EXPECT_THROW((Params{1, 0, 0, 1}).validate(), util::check_error);
+  EXPECT_THROW((Params{1, 0, -3, 1}).validate(), util::check_error);
   EXPECT_THROW((Params{1, 0, 1, 0}).validate(), util::check_error);
+  EXPECT_THROW((Params{1, 0, 1, -4}).validate(), util::check_error);
   EXPECT_NO_THROW((Params{0, 0, 1, 1}).validate());
+}
+
+TEST(Params, ValidateMessagesNameTheOffendingValue) {
+  const auto message_of = [](const Params& p) -> std::string {
+    try {
+      p.validate();
+    } catch (const util::check_error& e) {
+      return e.what();
+    }
+    return {};
+  };
+  EXPECT_NE(message_of(Params{-7, 0, 1, 1}).find("got L=-7"),
+            std::string::npos);
+  EXPECT_NE(message_of(Params{1, -2, 1, 1}).find("got o=-2"),
+            std::string::npos);
+  EXPECT_NE(message_of(Params{1, 0, 1, -4}).find("got P=-4"),
+            std::string::npos);
+  // The g=0 message spells out the consequence the guard prevents.
+  const std::string g0 = message_of(Params{1, 0, 0, 1});
+  EXPECT_NE(g0.find("got g=0"), std::string::npos);
+  EXPECT_NE(g0.find("divide by zero"), std::string::npos);
+}
+
+TEST(Params, CapacityGuardsAgainstZeroGap) {
+  // capacity() may be called on a hand-built Params that never saw
+  // validate(); g == 0 must fail cleanly instead of dividing by zero.
+  Params p{8, 2, 0, 4};
+  EXPECT_THROW(p.capacity(), util::check_error);
+  p.g = -1;
+  EXPECT_THROW(p.capacity(), util::check_error);
+  try {
+    p.capacity();
+    FAIL() << "should have thrown";
+  } catch (const util::check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("got g=-1"), std::string::npos);
+  }
 }
 
 TEST(Params, ToStringMentionsAllFour) {

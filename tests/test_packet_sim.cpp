@@ -148,6 +148,14 @@ TEST(PacketSim, ByteIdenticalToGoldenRunPerPattern) {
       EXPECT_EQ(r.injected, g.injected);
       EXPECT_EQ(r.delivered, g.delivered);
       EXPECT_EQ(r.saturated, g.saturated);
+      // None of these golden runs hits the drain limit, and no fault plan is
+      // attached: the truncation/fault surface must stay all-zero.
+      EXPECT_FALSE(r.truncated);
+      EXPECT_EQ(r.undrained, 0);
+      EXPECT_EQ(r.dropped, 0);
+      EXPECT_EQ(r.corrupted, 0);
+      EXPECT_EQ(r.retransmitted, 0);
+      EXPECT_EQ(r.lost, 0);
       EXPECT_EQ(r.latency.mean(), g.mean);
       EXPECT_EQ(r.latency.variance(), g.variance);
       EXPECT_EQ(r.latency.min(), g.min);
@@ -164,6 +172,12 @@ void expect_identical(const PacketSimResult& a, const obs::NetTelemetry& ta,
   EXPECT_EQ(a.injected, b.injected);
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.undrained, b.undrained);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.retransmitted, b.retransmitted);
+  EXPECT_EQ(a.lost, b.lost);
   EXPECT_EQ(a.peak_in_flight, b.peak_in_flight);
   EXPECT_EQ(a.pool_slots, b.pool_slots);
   EXPECT_EQ(a.latency.count(), b.latency.count());
@@ -186,6 +200,14 @@ void expect_identical(const PacketSimResult& a, const obs::NetTelemetry& ta,
     EXPECT_EQ(la.queue_wait, lb.queue_wait) << "link " << i;
     EXPECT_EQ(la.max_queue_wait, lb.max_queue_wait) << "link " << i;
     EXPECT_EQ(la.max_backlog, lb.max_backlog) << "link " << i;
+    EXPECT_EQ(la.drops, lb.drops) << "link " << i;
+  }
+  ASSERT_EQ(ta.retransmits.size(), tb.retransmits.size());
+  for (std::size_t i = 0; i < ta.retransmits.size(); ++i) {
+    EXPECT_EQ(ta.retransmits[i].first, tb.retransmits[i].first)
+        << "retx sample " << i;
+    EXPECT_EQ(ta.retransmits[i].second, tb.retransmits[i].second)
+        << "retx sample " << i;
   }
   ASSERT_EQ(ta.in_flight.size(), tb.in_flight.size());
   for (std::size_t i = 0; i < ta.in_flight.size(); ++i) {
@@ -244,6 +266,14 @@ TEST(PacketSim, ThreadCountInvariantWhenSaturated) {
   base.sim_threads = 1;
   const auto ref = run_packet_sim(*topo, base);
   EXPECT_TRUE(ref.saturated);
+  // Giving up the drain is exactly what `truncated` reports, and the packets
+  // still parked past the limit are the undrained count. `delivered` only
+  // counts in-window deliveries while undrained complements deliveries at
+  // *any* time, so injected - delivered (which also includes drain-phase
+  // deliveries) bounds it from above.
+  EXPECT_TRUE(ref.truncated);
+  EXPECT_GT(ref.undrained, 0);
+  EXPECT_LE(ref.undrained, ref.injected - ref.delivered);
   for (const int threads : {2, 4, 8}) {
     SCOPED_TRACE("sim_threads=" + std::to_string(threads));
     PacketSimConfig cfg = base;

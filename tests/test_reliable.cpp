@@ -1,0 +1,260 @@
+// Reliable-delivery layer + resilient collectives under a lossy machine.
+//
+// Contracts pinned here:
+//  * Over a network that drops messages (FaultPlan::msg_drop_rate), the
+//    ack/timeout/retransmit protocol delivers every payload exactly once —
+//    duplicates from ack/retransmit races are suppressed, not re-delivered.
+//  * Every retransmission pays honest LogP costs, so the profiler's
+//    six-bucket invariant still balances after hundreds of retries.
+//  * A send to a failed processor ends in a dead-peer verdict after the
+//    configured number of retries, never a hang.
+//  * Resilient collectives route around failed processors, produce correct
+//    values on the survivors, and raise the degraded flag — which the sweep
+//    harness surfaces as ExperimentResult::degraded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "fault/fault.hpp"
+#include "obs/profiler.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/reliable.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace logp {
+namespace {
+
+constexpr std::int32_t kUserTag = 7;
+
+sim::MachineConfig machine_config(int P) {
+  sim::MachineConfig cfg;
+  cfg.params = Params{20, 4, 8, P};
+  return cfg;
+}
+
+TEST(ReliableLayer, DeliversExactlyOnceOverLossyNetwork) {
+  constexpr int P = 8;
+  constexpr int K = 30;  // messages per processor
+  fault::FaultPlan plan;
+  plan.msg_drop_rate = 0.25;
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer::Options opts;
+  opts.max_retries = 12;  // drive the loss to (practically) zero
+  runtime::ReliableLayer rl(sched, opts);
+
+  // Per-receiver histogram of payloads handed to recv(); exactly-once means
+  // every expected payload appears with count one.
+  std::vector<std::map<std::uint64_t, int>> got(P);
+  std::vector<runtime::ReliableLayer::SendOutcome> outcomes(P * K);
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    const ProcId p = ctx.proc();
+    const ProcId dst = (p + 1) % P;
+    for (int i = 0; i < K; ++i)
+      co_await rl.send(ctx, dst, kUserTag,
+                       (static_cast<std::uint64_t>(p) << 16) | unsigned(i),
+                       &outcomes[static_cast<std::size_t>(p) * K + i]);
+    for (int i = 0; i < K; ++i) {
+      const sim::Message m = co_await ctx.recv(kUserTag);
+      ++got[static_cast<std::size_t>(p)][m.word(0)];
+    }
+  });
+  sched.run();
+
+  const auto& st = rl.stats();
+  EXPECT_EQ(st.data_sends, P * K);
+  EXPECT_EQ(st.delivered, P * K);
+  EXPECT_EQ(st.dead_peers, 0);
+  // The acceptance bar: the run must actually exercise the retry machinery.
+  EXPECT_GE(st.retransmits, 100);
+  // Dropped acks force retransmits of already-delivered payloads; the
+  // duplicates are suppressed, so every payload still arrives exactly once.
+  EXPECT_GT(st.duplicates, 0);
+  for (int p = 0; p < P; ++p) {
+    const ProcId src = (p + P - 1) % P;
+    ASSERT_EQ(got[static_cast<std::size_t>(p)].size(),
+              static_cast<std::size_t>(K))
+        << "proc " << p;
+    for (int i = 0; i < K; ++i) {
+      const std::uint64_t payload =
+          (static_cast<std::uint64_t>(src) << 16) | unsigned(i);
+      EXPECT_EQ(got[static_cast<std::size_t>(p)][payload], 1)
+          << "proc " << p << " payload " << i;
+    }
+  }
+  for (const auto& out : outcomes) {
+    EXPECT_TRUE(out.delivered);
+    EXPECT_FALSE(out.dead_peer);
+  }
+  // Retransmissions paid real o/g/L, so the cycle accounting still closes.
+  const obs::LogPProfile prof = obs::profile_machine(sched.machine());
+  EXPECT_NO_THROW(prof.check_invariant());
+  EXPECT_GT(sched.machine().messages_dropped(), 0);
+}
+
+TEST(ReliableLayer, LossFreeRunNeverRetransmits) {
+  constexpr int P = 4;
+  sim::MachineConfig cfg = machine_config(P);
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  // base_timeout = 0 derives a round-trip bound 2L + 6o + 4g at install.
+  EXPECT_EQ(rl.base_timeout(), 2 * 20 + 6 * 4 + 4 * 8);
+
+  runtime::ReliableLayer::SendOutcome out;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    if (ctx.proc() == 0) co_await rl.send(ctx, 1, kUserTag, 99, &out);
+    if (ctx.proc() == 1) {
+      const sim::Message m = co_await ctx.recv(kUserTag);
+      EXPECT_EQ(m.word(0), 99u);
+      EXPECT_EQ(m.src, 0);
+    }
+  });
+  sched.run();
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.retransmits, 0);
+  EXPECT_EQ(rl.stats().retransmits, 0);
+  EXPECT_EQ(rl.stats().duplicates, 0);
+  EXPECT_EQ(rl.stats().delivered, 1);
+  EXPECT_EQ(rl.stats().acks_sent, 1);
+}
+
+TEST(ReliableLayer, DeadPeerVerdictAfterCappedRetries) {
+  constexpr int P = 4;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{1, 0});
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer::Options opts;
+  opts.max_retries = 3;
+  runtime::ReliableLayer rl(sched, opts);
+
+  runtime::ReliableLayer::SendOutcome out;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    if (ctx.proc() == 0) co_await rl.send(ctx, 1, kUserTag, 5, &out);
+    co_return;
+  });
+  const Cycles end = sched.run();  // must quiesce, not hang or deadlock
+  EXPECT_GT(end, 0);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_TRUE(out.dead_peer);
+  EXPECT_EQ(out.retransmits, 3);
+  EXPECT_EQ(rl.stats().dead_peers, 1);
+  EXPECT_EQ(rl.stats().retransmits, 3);
+  EXPECT_EQ(rl.stats().delivered, 0);
+  EXPECT_NO_THROW(obs::profile_machine(sched.machine()).check_invariant());
+}
+
+// ---- resilient collectives ------------------------------------------------
+
+TEST(ResilientCollectives, BroadcastRoutesAroundFailedProcs) {
+  constexpr int P = 8;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0});
+  plan.proc_faults.push_back(fault::ProcFault{5, 0});
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  std::vector<std::uint64_t> value(P, 0);
+  value[0] = 42;  // root is the lowest live processor
+  std::vector<char> degraded(P, 0);
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    bool flag = false;
+    co_await runtime::coll::broadcast_resilient(
+        ctx, &plan, &value[static_cast<std::size_t>(ctx.proc())], &flag);
+    degraded[static_cast<std::size_t>(ctx.proc())] = flag ? 1 : 0;
+  });
+  sched.run();
+
+  for (int p = 0; p < P; ++p) {
+    if (p == 2 || p == 5)
+      EXPECT_EQ(value[static_cast<std::size_t>(p)], 0u) << "failed proc " << p;
+    else
+      EXPECT_EQ(value[static_cast<std::size_t>(p)], 42u) << "proc " << p;
+    EXPECT_TRUE(degraded[static_cast<std::size_t>(p)]) << "proc " << p;
+  }
+  EXPECT_TRUE(sched.degraded());
+}
+
+TEST(ResilientCollectives, ReduceSkipsFailedContributions) {
+  constexpr int P = 8;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0});
+  plan.proc_faults.push_back(fault::ProcFault{5, 0});
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  std::uint64_t result = 0;
+  bool root_degraded = false;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    return runtime::coll::reduce_resilient(
+        ctx, &plan, static_cast<std::uint64_t>(ctx.proc()) + 1, &result,
+        ctx.proc() == 0 ? &root_degraded : nullptr);
+  });
+  sched.run();
+
+  // sum(1..8) minus the failed contributions 3 and 6.
+  EXPECT_EQ(result, 36u - 3u - 6u);
+  EXPECT_TRUE(root_degraded);
+  EXPECT_TRUE(sched.degraded());
+}
+
+TEST(ResilientCollectives, HealthyPlanIsNotDegraded) {
+  constexpr int P = 8;
+  fault::FaultPlan plan;  // no proc faults
+  sim::MachineConfig cfg = machine_config(P);
+  runtime::Scheduler sched(cfg);
+  std::vector<std::uint64_t> value(P, 0);
+  value[0] = 7;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    return runtime::coll::broadcast_resilient(
+        ctx, &plan, &value[static_cast<std::size_t>(ctx.proc())], nullptr);
+  });
+  sched.run();
+  for (int p = 0; p < P; ++p)
+    EXPECT_EQ(value[static_cast<std::size_t>(p)], 7u) << "proc " << p;
+  EXPECT_FALSE(sched.degraded());
+}
+
+constexpr int kSweepP = 8;
+
+TEST(ResilientCollectives, SweepSurfacesDegradedFlag) {
+  static fault::FaultPlan plan;  // outlives the worker-thread machines
+  plan.proc_faults = {fault::ProcFault{3, 0}};
+
+  auto make_spec = [](const char* label, bool faulty) {
+    exp::ExperimentSpec spec;
+    spec.label = label;
+    spec.config = machine_config(kSweepP);
+    if (faulty) spec.config.faults = &plan;
+    spec.make_program = [faulty] {
+      auto value = std::make_shared<std::vector<std::uint64_t>>(
+          static_cast<std::size_t>(kSweepP), 1);
+      return [value, faulty](runtime::Ctx ctx) -> runtime::Task {
+        return runtime::coll::broadcast_resilient(
+            ctx, faulty ? &plan : nullptr,
+            &(*value)[static_cast<std::size_t>(ctx.proc())], nullptr);
+      };
+    };
+    return spec;
+  };
+  const std::vector<exp::ExperimentSpec> specs = {
+      make_spec("faulty", true), make_spec("healthy", false)};
+  const exp::SweepRunner runner({2, 1});
+  const auto results = runner.run(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].degraded);
+  EXPECT_FALSE(results[1].degraded);
+}
+
+}  // namespace
+}  // namespace logp

@@ -229,5 +229,57 @@ TEST(Sweep, SimThreadsFromArgs) {
   }
 }
 
+TEST(Sweep, RunnerStaysUsableAfterFailure) {
+  // A failing sweep rethrows its (lowest-index) exception exactly once; the
+  // runner and its resident worker pool are untouched, so the next run()
+  // produces the usual byte-identical results.
+  auto bad = grid();
+  bad[0].make_program = []() -> runtime::Program {
+    throw std::runtime_error("boom");
+  };
+  const auto good = grid();
+  SweepRunner runner({4});
+  const std::string expected = render(SweepRunner({1}).run(good));
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_THROW(runner.run(bad), std::runtime_error);
+    EXPECT_EQ(render(runner.run(good)), expected);
+  }
+}
+
+TEST(Sweep, IntStringBoolFromArgs) {
+  const char* raw[] = {"prog",      "--crash-after", "7",       "--resume",
+                       "--checkpoint-dir", "/tmp/x", "--other"};
+  char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1]),
+                  const_cast<char*>(raw[2]), const_cast<char*>(raw[3]),
+                  const_cast<char*>(raw[4]), const_cast<char*>(raw[5]),
+                  const_cast<char*>(raw[6])};
+  int argc = 7;
+  EXPECT_EQ(int_from_args(argc, argv, "--crash-after"), 7);
+  EXPECT_EQ(argc, 5);
+  EXPECT_TRUE(bool_from_args(argc, argv, "--resume"));
+  EXPECT_EQ(argc, 4);
+  EXPECT_FALSE(bool_from_args(argc, argv, "--resume"));  // already consumed
+  EXPECT_EQ(string_from_args(argc, argv, "--checkpoint-dir"), "/tmp/x");
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--other");
+  // Defaults when the flag is absent.
+  EXPECT_EQ(int_from_args(argc, argv, "--missing", 9), 9);
+  EXPECT_EQ(string_from_args(argc, argv, "--missing", "d"), "d");
+}
+
+TEST(Sweep, RejectUnknownFlagsExitsWithUsage) {
+  {
+    const char* raw[] = {"prog"};
+    char* argv[] = {const_cast<char*>(raw[0])};
+    EXPECT_EQ(reject_unknown_flags(1, argv, "[--threads N]"), 0);
+  }
+  {
+    // A leftover argument is CLI misuse: exit code 2, by convention.
+    const char* raw[] = {"prog", "--sim-thread"};
+    char* argv[] = {const_cast<char*>(raw[0]), const_cast<char*>(raw[1])};
+    EXPECT_EQ(reject_unknown_flags(2, argv, "[--threads N]"), 2);
+  }
+}
+
 }  // namespace
 }  // namespace logp::exp

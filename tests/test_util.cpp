@@ -380,6 +380,41 @@ TEST(ThreadPool, LowestIndexExceptionRethrown) {
   }
 }
 
+TEST(ThreadPool, PoolStaysUsableAfterWorkerThrow) {
+  // A throwing task must not wedge the pool: the dispatch that threw still
+  // joins every participant, and the next dispatch runs normally on the
+  // same resident workers.
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.for_index(32, 4,
+                                [&](std::size_t i) {
+                                  if (i == 7) throw std::runtime_error("bad");
+                                }),
+                 std::runtime_error);
+    std::atomic<int> ran{0};
+    pool.for_index(32, 4, [&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
+TEST(ThreadPool, EveryIndexRunsEvenWhenOneThrows) {
+  // The failing index aborts nothing but itself: all other indices still
+  // execute exactly once before the exception is rethrown to the caller.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.for_index(64, 4,
+                              [&](std::size_t i) {
+                                hits[i].fetch_add(1,
+                                                  std::memory_order_relaxed);
+                                if (i == 11) throw std::logic_error("11");
+                              }),
+               std::logic_error);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
 TEST(ThreadPool, NestedDispatchRunsInlineWithoutDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> inner_total{0};
