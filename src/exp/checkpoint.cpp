@@ -164,6 +164,13 @@ void CheckpointStore::store(std::size_t index, const std::string& payload) const
   std::filesystem::rename(tmp_path, final_path);
 }
 
+void CheckpointStore::note_corrupt(std::size_t index, const char* what) const {
+  corrupt_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "checkpoint: corrupt manifest %s (%s); recomputing point\n",
+               path(index).c_str(), what);
+}
+
 void CheckpointStore::clear() const {
   namespace fs = std::filesystem;
   const std::string prefix = run_key_ + ".";

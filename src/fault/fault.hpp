@@ -100,6 +100,11 @@ struct FaultPlan {
   int link_degrade(int u, int v, Cycles t) const;
   /// Decision for the `msg_id`-th message injected by a Machine.
   bool message_dropped(std::uint64_t msg_id) const;
+  /// True when machine messages are subject to in-flight loss at all
+  /// (msg_drop_rate > 0). The model checker uses this to decide where a
+  /// drop/keep choice point exists; the hash verdict above stays the
+  /// default branch, so checking and plain simulation see the same plan.
+  bool message_droppable() const { return msg_drop_rate > 0.0; }
   /// True when p appears in proc_faults (used to build resilient trees).
   bool proc_fails(ProcId p) const;
   /// True when p has failed by cycle t (messages to it are dropped).

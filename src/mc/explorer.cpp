@@ -1,0 +1,166 @@
+#include "mc/explorer.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "mc/invariants.hpp"
+#include "mc/oracle.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace logp::mc {
+
+namespace {
+
+/// Cross-shard state: counters, the branch cap, and the violation sink.
+struct Shared {
+  const ScenarioConfig& cfg;
+  const ExplorerOptions& opts;
+  std::atomic<std::int64_t> runs{0};
+  std::atomic<std::int64_t> choice_points{0};
+  std::atomic<std::int64_t> pruned{0};
+  std::atomic<std::int64_t> max_depth{0};
+  std::atomic<bool> capped{false};
+  std::atomic<int> violation_count{0};
+  std::mutex mu;
+  std::vector<Violation> violations;
+
+  bool stop() const {
+    return violation_count.load(std::memory_order_relaxed) >=
+           opts.max_violations;
+  }
+
+  /// Claims one run against the cap; false = cap hit, don't run.
+  bool claim_run() {
+    const std::int64_t r = runs.fetch_add(1, std::memory_order_relaxed);
+    if (opts.max_branches > 0 && r >= opts.max_branches) {
+      runs.fetch_sub(1, std::memory_order_relaxed);
+      capped.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void note(const RecordingOracle& oracle) {
+    choice_points.fetch_add(
+        static_cast<std::int64_t>(oracle.record().size()),
+        std::memory_order_relaxed);
+    pruned.fetch_add(oracle.pruned(), std::memory_order_relaxed);
+    const auto depth = static_cast<std::int64_t>(oracle.record().size());
+    std::int64_t cur = max_depth.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !max_depth.compare_exchange_weak(cur, depth,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  void check(const RecordingOracle& oracle, const RunOutcome& out) {
+    std::vector<std::string> bad = check_invariants(cfg, out);
+    if (bad.empty()) return;
+    violation_count.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    violations.push_back(Violation{oracle.taken(), std::move(bad)});
+  }
+};
+
+/// Runs one interleaving and pushes the children of every choice point at
+/// depth >= `expand_from` onto `sink` via `emit`.
+template <typename Emit>
+void run_and_expand(Shared& sh, const std::vector<int>& prefix,
+                    std::size_t expand_from, bool count, const Emit& emit) {
+  if (count && !sh.claim_run()) return;
+  RecordingOracle oracle(prefix, sh.cfg.drop_budget);
+  const RunOutcome out = run_scenario(sh.cfg, &oracle);
+  if (count) {
+    sh.note(oracle);
+    sh.check(oracle, out);
+  }
+  const std::vector<int> taken = oracle.taken();
+  const auto& rec = oracle.record();
+  for (std::size_t j = expand_from; j < rec.size(); ++j)
+    for (const int alt : rec[j].alts) {
+      std::vector<int> child(taken.begin(),
+                             taken.begin() + static_cast<std::ptrdiff_t>(j));
+      child.push_back(alt);
+      emit(std::move(child));
+    }
+}
+
+void explore_shard(Shared& sh, int shard_idx) {
+  std::vector<std::vector<int>> stack;
+
+  // Every shard replays the root run to derive the frontier, but only
+  // shard 0 counts and checks it; the root's children are dealt
+  // round-robin so the subtrees partition exactly.
+  std::int64_t child = 0;
+  run_and_expand(sh, sh.opts.seed_prefix, sh.opts.seed_prefix.size(),
+                 shard_idx == 0, [&](std::vector<int>&& c) {
+                   if (child++ % sh.opts.shards == shard_idx)
+                     stack.push_back(std::move(c));
+                 });
+
+  while (!stack.empty() && !sh.stop()) {
+    const std::vector<int> prefix = std::move(stack.back());
+    stack.pop_back();
+    run_and_expand(sh, prefix, prefix.size(), true,
+                   [&](std::vector<int>&& c) { stack.push_back(std::move(c)); });
+    if (sh.capped.load(std::memory_order_relaxed)) break;
+  }
+}
+
+}  // namespace
+
+ExplorerResult explore(const ScenarioConfig& cfg, const ExplorerOptions& opts) {
+  cfg.validate();
+  LOGP_CHECK(opts.shards >= 1);
+  LOGP_CHECK(opts.shard >= -1 && opts.shard < opts.shards);
+  LOGP_CHECK(opts.threads >= 1);
+  LOGP_CHECK(opts.max_violations >= 1);
+
+  Shared sh{cfg, opts};
+  if (opts.shard >= 0) {
+    explore_shard(sh, opts.shard);
+  } else if (opts.shards == 1) {
+    explore_shard(sh, 0);
+  } else {
+    util::ThreadPool::shared().for_index(
+        static_cast<std::size_t>(opts.shards), opts.threads,
+        [&sh](std::size_t i) { explore_shard(sh, static_cast<int>(i)); });
+  }
+
+  ExplorerResult res;
+  res.runs = sh.runs.load();
+  res.choice_points = sh.choice_points.load();
+  res.pruned = sh.pruned.load();
+  res.max_depth = sh.max_depth.load();
+  res.capped = sh.capped.load();
+  res.violations = std::move(sh.violations);
+  return res;
+}
+
+std::vector<int> parse_choices(const std::string& csv) {
+  std::vector<int> out;
+  if (csv.empty()) return out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    LOGP_CHECK_MSG(!tok.empty() &&
+                       tok.find_first_not_of("0123456789") == std::string::npos,
+                   "bad choice token '" << tok << "' in '" << csv << "'");
+    out.push_back(std::stoi(tok));
+  }
+  return out;
+}
+
+std::string format_choices(const std::vector<int>& choices) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i) os << ',';
+    os << choices[i];
+  }
+  return os.str();
+}
+
+}  // namespace logp::mc

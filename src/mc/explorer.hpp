@@ -1,0 +1,66 @@
+// Stateless DFS exploration of a scenario's interleaving tree.
+//
+// Each node of the tree is a choice string (a prefix of forced
+// alternatives); running it through RecordingOracle yields the choice
+// points of that interleaving, and every still-unexplored alternative at
+// depth >= the prefix length spawns a child node `taken[0..j) + [alt]`.
+// Alternative 0 everywhere is the machine default, so the tree's leftmost
+// path is the ordinary simulation and everything else is a perturbation of
+// it. Invariants (invariants.hpp) are checked on every run; a violation's
+// full choice string is its replay handle.
+//
+// Sharding: the children of the root run are dealt round-robin across
+// `shards` and each shard explores its subtrees independently (shard 0 also
+// owns the root run itself) — disjoint subtrees, no communication, so
+// shards parallelize on util::ThreadPool or across CI matrix entries
+// (tools/mc_check --shards/--shard). Exhaustive totals are independent of
+// shard count and thread schedule; only a --max-branches cap can make the
+// per-shard split timing-dependent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/scenarios.hpp"
+
+namespace logp::mc {
+
+struct ExplorerOptions {
+  /// Stop after this many runs (0 = unbounded: exhaust the tree).
+  std::int64_t max_branches = 0;
+  /// Partition count for the root's subtrees, and which one to explore
+  /// (shard -1 = all of them, in this process).
+  int shards = 1;
+  int shard = -1;
+  /// Parallelism across shards (only meaningful with shard == -1).
+  int threads = 1;
+  /// Explore only the subtree under this forced choice prefix.
+  std::vector<int> seed_prefix;
+  /// Stop exploring after this many violating interleavings.
+  int max_violations = 1;
+};
+
+struct Violation {
+  /// Full choice string of the violating run; replaying it (as a prefix)
+  /// reproduces the run bit-for-bit.
+  std::vector<int> choices;
+  std::vector<std::string> failures;
+};
+
+struct ExplorerResult {
+  std::int64_t runs = 0;           ///< interleavings executed
+  std::int64_t choice_points = 0;  ///< total choice points across runs
+  std::int64_t pruned = 0;         ///< alternatives pruned (dedup + budget)
+  std::int64_t max_depth = 0;      ///< deepest choice string seen
+  bool capped = false;             ///< true when max_branches cut it short
+  std::vector<Violation> violations;
+};
+
+ExplorerResult explore(const ScenarioConfig& cfg, const ExplorerOptions& opts);
+
+/// "0,2,1" -> {0,2,1}; "" -> {}. Throws util::check_error on junk.
+std::vector<int> parse_choices(const std::string& csv);
+std::string format_choices(const std::vector<int>& choices);
+
+}  // namespace logp::mc

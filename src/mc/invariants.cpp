@@ -1,0 +1,141 @@
+#include "mc/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace logp::mc {
+
+namespace {
+
+std::int64_t count_of(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::count(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+std::vector<std::string> check_invariants(const ScenarioConfig& cfg,
+                                          const RunOutcome& out) {
+  std::vector<std::string> bad;
+  auto fail = [&bad](const std::ostringstream& os) { bad.push_back(os.str()); };
+
+  if (!out.ok) {
+    std::ostringstream os;
+    os << "run failed: " << out.error;
+    fail(os);
+    return bad;  // nothing below is meaningful on a dead run
+  }
+
+  const int P = cfg.P();
+
+  // 1. Exactly-once.
+  for (ProcId p = 0; p < P; ++p) {
+    const auto& got = out.deliveries[static_cast<std::size_t>(p)];
+    std::unordered_map<std::uint64_t, int> seen;
+    for (const std::uint64_t w : got)
+      if (++seen[w] == 2) {
+        std::ostringstream os;
+        os << "duplicate delivery: payload 0x" << std::hex << w << std::dec
+           << " handed to proc " << p << " more than once";
+        fail(os);
+      }
+  }
+
+  // 2 + 3. Delivery and dead-peer verdicts per reliable send.
+  for (const SendRecord& s : out.sends) {
+    const bool dead = cfg.proc_dead(s.dst);
+    const auto& got = out.deliveries[static_cast<std::size_t>(s.dst)];
+    if (dead) {
+      if (!s.outcome.dead_peer || s.outcome.delivered) {
+        std::ostringstream os;
+        os << "send " << s.src << "->" << s.dst
+           << " to a dead peer ended delivered=" << s.outcome.delivered
+           << " dead_peer=" << s.outcome.dead_peer
+           << " (expected a dead-peer verdict)";
+        fail(os);
+      }
+    } else {
+      if (!s.outcome.delivered || s.outcome.dead_peer) {
+        std::ostringstream os;
+        os << "lost payload: send " << s.src << "->" << s.dst << " (payload 0x"
+           << std::hex << s.payload << std::dec
+           << ") ended delivered=" << s.outcome.delivered
+           << " dead_peer=" << s.outcome.dead_peer << " after "
+           << s.outcome.retransmits << " retransmits with drop budget "
+           << cfg.drop_budget << " <= max_retries " << cfg.max_retries;
+        fail(os);
+      }
+      if (count_of(got, s.payload) != 1) {
+        std::ostringstream os;
+        os << "payload 0x" << std::hex << s.payload << std::dec << " from "
+           << s.src << " reached proc " << s.dst << " "
+           << count_of(got, s.payload) << " times (expected exactly 1)";
+        fail(os);
+      }
+    }
+  }
+  for (const ProcId d : cfg.dead_procs)
+    if (!out.deliveries[static_cast<std::size_t>(d)].empty()) {
+      std::ostringstream os;
+      os << "dead proc " << d << " received "
+         << out.deliveries[static_cast<std::size_t>(d)].size() << " payloads";
+      fail(os);
+    }
+
+  // 4. Degraded soundness + collective correctness.
+  if (cfg.is_resilient()) {
+    const bool anyone_dead = !cfg.dead_procs.empty();
+    if (out.degraded != anyone_dead) {
+      std::ostringstream os;
+      os << "scheduler degraded flag is " << out.degraded << " with "
+         << cfg.dead_procs.size() << " dead procs";
+      fail(os);
+    }
+    ProcId root = 0;
+    while (cfg.proc_dead(root)) ++root;
+    std::uint64_t live_sum = 0;
+    for (ProcId p = 0; p < P; ++p)
+      if (!cfg.proc_dead(p)) live_sum += static_cast<std::uint64_t>(p) + 1;
+    for (ProcId p = 0; p < P; ++p) {
+      if (cfg.proc_dead(p)) continue;
+      const auto idx = static_cast<std::size_t>(p);
+      if ((out.proc_degraded[idx] != 0) != anyone_dead) {
+        std::ostringstream os;
+        os << "proc " << p << " degraded flag is "
+           << int(out.proc_degraded[idx]) << " with " << cfg.dead_procs.size()
+           << " dead procs";
+        fail(os);
+      }
+      if (cfg.scenario == "resilient_broadcast" &&
+          out.values[idx] != kBcastValue) {
+        std::ostringstream os;
+        os << "broadcast value on live proc " << p << " is 0x" << std::hex
+           << out.values[idx] << std::dec << ", expected 0x" << std::hex
+           << kBcastValue << std::dec;
+        fail(os);
+      }
+      if (cfg.scenario == "resilient_reduce" && p == root &&
+          out.values[idx] != live_sum) {
+        std::ostringstream os;
+        os << "reduce result on root " << root << " is " << out.values[idx]
+           << ", expected " << live_sum << " (sum over live procs)";
+        fail(os);
+      }
+    }
+  }
+
+  // 5. Six-bucket cycle accounting.
+  try {
+    out.profile.check_invariant();
+  } catch (const std::exception& e) {
+    std::ostringstream os;
+    os << "profiler invariant: " << e.what();
+    fail(os);
+  }
+
+  return bad;
+}
+
+}  // namespace logp::mc

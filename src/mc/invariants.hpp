@@ -1,0 +1,36 @@
+// The five protocol invariants asserted on every terminal state the
+// explorer reaches (ISSUE 6 / ROADMAP item 4):
+//
+//  1. Exactly-once: no payload is handed to a receiver's user tag twice.
+//  2. No lost payload: every reliable send to a live destination is
+//     delivered and acknowledged. Sound because ScenarioConfig bounds the
+//     adversary's losses at drop_budget <= max_retries: each loss kills at
+//     most one of the max_retries+1 attempt/ack pairs, so at least one
+//     attempt must round-trip.
+//  3. Dead-peer soundness: a dead-peer verdict fires iff the destination is
+//     genuinely dead (in ScenarioConfig::dead_procs), and a dead processor
+//     never receives a payload.
+//  4. Degraded soundness: the resilient collectives raise the degraded
+//     flag on every live processor exactly when someone was routed around,
+//     and still compute the correct value over the live set (root's datum
+//     everywhere for broadcast; sum of live contributions for reduce).
+//  5. Cycle accounting: the six-bucket LogP profiler invariant balances —
+//     every processor's compute/send-o/recv-o/g-wait/stall/idle buckets sum
+//     to the finish time exactly, on every interleaving, not just the
+//     default one.
+//
+// A run that dies with an exception (DeadlockError included) violates by
+// definition. Returns human-readable findings; empty = all invariants hold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/scenarios.hpp"
+
+namespace logp::mc {
+
+std::vector<std::string> check_invariants(const ScenarioConfig& cfg,
+                                          const RunOutcome& out);
+
+}  // namespace logp::mc

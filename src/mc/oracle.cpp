@@ -1,0 +1,65 @@
+#include "mc/oracle.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace logp::mc {
+
+RecordingOracle::RecordingOracle(std::vector<int> prefix, int drop_budget)
+    : prefix_(std::move(prefix)), drop_budget_(drop_budget) {
+  LOGP_CHECK(drop_budget_ >= 0);
+}
+
+int RecordingOracle::choose(ChoiceKind kind, int n,
+                            const std::uint64_t* labels) {
+  LOGP_CHECK(n >= 2);
+  const std::size_t depth = record_.size();
+  int chosen = 0;
+  if (depth < prefix_.size()) {
+    chosen = prefix_[depth];
+    // A prefix produced by expanding an earlier run of the same scenario
+    // replays deterministically; an out-of-range alternative means the
+    // caller replayed a choice string against a different scenario/config.
+    LOGP_CHECK_MSG(chosen >= 0 && chosen < n,
+                   "replay divergence at choice point "
+                       << depth << ": forced alternative " << chosen
+                       << " but only " << n << " offered");
+  }
+
+  ChoicePoint cp;
+  cp.kind = kind;
+  cp.chosen = chosen;
+  cp.n = n;
+  cp.dropped = kind == ChoiceKind::kDrop && labels[chosen] == 1;
+  if (cp.dropped) ++drops_chosen_;
+
+  // Collect the alternatives to explore later. The chosen alternative's
+  // label is treated as already covered, so an unchosen twin of the taken
+  // branch (same content hash / same verdict) is pruned rather than queued.
+  cp.alts.reserve(static_cast<std::size_t>(n) - 1);
+  for (int k = 0; k < n; ++k) {
+    if (k == chosen) continue;
+    bool redundant = labels[k] == labels[chosen];
+    for (std::size_t j = 0; !redundant && j < cp.alts.size(); ++j)
+      redundant = labels[k] == labels[cp.alts[j]];
+    if (!redundant && kind == ChoiceKind::kDrop && labels[k] == 1 &&
+        drops_chosen_ >= drop_budget_)
+      redundant = true;  // adversary out of losses: don't offer the drop
+    if (redundant)
+      ++pruned_;
+    else
+      cp.alts.push_back(k);
+  }
+  record_.push_back(std::move(cp));
+  return chosen;
+}
+
+std::vector<int> RecordingOracle::taken() const {
+  std::vector<int> t;
+  t.reserve(record_.size());
+  for (const ChoicePoint& cp : record_) t.push_back(cp.chosen);
+  return t;
+}
+
+}  // namespace logp::mc

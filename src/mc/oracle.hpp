@@ -1,0 +1,77 @@
+// Recording branch oracle: the replay mechanism of the model checker.
+//
+// Stateless exploration needs exactly one primitive: run the deterministic
+// scheduler+machine stack from time zero while *forcing* a chosen prefix of
+// nondeterministic decisions and recording every choice point encountered.
+// RecordingOracle is that primitive. Attached via MachineConfig::oracle, it
+// answers the machine's ChoiceOracle::choose() calls from a fixed prefix of
+// alternatives (replaying a previously explored branch) and with the
+// machine's default (alternative 0) past the prefix — so an empty prefix
+// reproduces the oracle-free run bit-for-bit (tests/test_mc.cpp pins this).
+//
+// While answering it records, per choice point, which alternatives are worth
+// exploring later. This is where the sleep-set–style pruning lives:
+//
+//  * kAcceptOrder alternatives carry a content hash of the candidate
+//    message. Two pending arrivals with equal hashes are interchangeable —
+//    accepting either first commutes into the same state — so only the
+//    first of each distinct label is kept (classic DPOR persistent-set
+//    reduction specialised to identical-content deliveries, e.g. the
+//    retransmission of a payload racing with the original).
+//  * kDrop alternatives carry drop=1/keep=0. The dropping alternative is
+//    explorable only while the path's drop count is below the configured
+//    budget — the adversary gets at most `drop_budget` losses, which keeps
+//    the tree finite and (for budget <= max_retries) makes the reliable
+//    layer's delivery guarantee a checkable invariant rather than a
+//    probabilistic one.
+//  * kLatency alternatives are already distinct candidate latencies
+//    (the machine dedups them); all are explorable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace logp::mc {
+
+using sim::ChoiceKind;
+
+/// One recorded choice point of a finished run.
+struct ChoicePoint {
+  ChoiceKind kind{};
+  int chosen = 0;      ///< alternative actually taken on this run
+  int n = 0;           ///< alternatives the machine offered
+  bool dropped = false;  ///< kDrop point whose taken branch loses the message
+  /// Alternative indices still worth exploring from this point (never
+  /// contains `chosen`; label-deduplicated; drop-budget filtered).
+  std::vector<int> alts;
+};
+
+class RecordingOracle final : public sim::ChoiceOracle {
+ public:
+  /// `prefix[i]` forces the alternative at the i-th choice point; beyond the
+  /// prefix every choice is 0 (the machine default). `drop_budget` caps the
+  /// number of kDrop points allowed to take (or offer) the dropping branch.
+  RecordingOracle(std::vector<int> prefix, int drop_budget);
+
+  int choose(ChoiceKind kind, int n, const std::uint64_t* labels) override;
+
+  const std::vector<ChoicePoint>& record() const { return record_; }
+  /// The full choice string of the run (record()[i].chosen for all i) —
+  /// feeding it back as a prefix replays this exact run.
+  std::vector<int> taken() const;
+  /// kDrop points on this path whose taken branch dropped the message.
+  int drops_chosen() const { return drops_chosen_; }
+  /// Alternatives discarded by label dedup or drop-budget filtering.
+  std::int64_t pruned() const { return pruned_; }
+
+ private:
+  std::vector<int> prefix_;
+  int drop_budget_;
+  int drops_chosen_ = 0;
+  std::int64_t pruned_ = 0;
+  std::vector<ChoicePoint> record_;
+};
+
+}  // namespace logp::mc

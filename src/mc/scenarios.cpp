@@ -1,0 +1,208 @@
+#include "mc/scenarios.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "fault/fault.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace logp::mc {
+
+namespace {
+
+using runtime::Ctx;
+using runtime::ReliableLayer;
+using runtime::Scheduler;
+using runtime::Task;
+
+/// Unique per (src, dst, index): duplicate detection keys on the payload.
+std::uint64_t payload_word(ProcId src, ProcId dst, int i) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 12) |
+         static_cast<std::uint32_t>(i);
+}
+
+Task send_one(Ctx ctx, ReliableLayer& rl, SendRecord* rec) {
+  co_await rl.send(ctx, rec->dst, kUserTag, rec->payload, &rec->outcome);
+}
+
+/// The (src, dst) pairs a reliable scenario exercises.
+std::vector<std::pair<ProcId, ProcId>> reliable_pairs(
+    const ScenarioConfig& cfg) {
+  std::vector<std::pair<ProcId, ProcId>> pairs;
+  const ProcId last = static_cast<ProcId>(cfg.P() - 1);
+  if (cfg.scenario == "send_ack") {
+    pairs.emplace_back(0, last);
+  } else if (cfg.scenario == "retransmit_race") {
+    for (ProcId p = 0; p < last; ++p) pairs.emplace_back(p, last);
+  } else if (cfg.scenario == "reliable_broadcast") {
+    for (ProcId p = 1; p <= last; ++p) pairs.emplace_back(0, p);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "send_ack", "retransmit_race", "reliable_broadcast",
+      "resilient_broadcast", "resilient_reduce"};
+  return names;
+}
+
+ScenarioConfig scenario_defaults(const std::string& name, int P) {
+  ScenarioConfig cfg;
+  cfg.scenario = name;
+  cfg.params.P = P;
+  if (name == "retransmit_race") {
+    // First timeout below any possible ack round trip (>= 2L + 4o), so
+    // every transfer retransmits at least once and the ack/retransmit
+    // crossings are on every explored path, not just the dropped ones.
+    cfg.base_timeout = cfg.params.L + cfg.params.o;
+  }
+  if (cfg.is_resilient()) cfg.drop_budget = 0;
+  return cfg;
+}
+
+bool ScenarioConfig::is_resilient() const {
+  return scenario == "resilient_broadcast" || scenario == "resilient_reduce";
+}
+
+bool ScenarioConfig::proc_dead(ProcId p) const {
+  return std::find(dead_procs.begin(), dead_procs.end(), p) !=
+         dead_procs.end();
+}
+
+void ScenarioConfig::validate() const {
+  const auto& names = scenario_names();
+  LOGP_CHECK_MSG(
+      std::find(names.begin(), names.end(), scenario) != names.end(),
+      "unknown scenario '" << scenario << "'");
+  params.validate();
+  LOGP_CHECK_MSG(params.P >= 2, "scenarios need P >= 2, got " << params.P);
+  LOGP_CHECK(messages >= 1);
+  LOGP_CHECK(max_retries >= 0);
+  LOGP_CHECK(base_timeout >= 0);
+  LOGP_CHECK(drop_budget >= 0);
+  // The delivery invariant "no lost payload" is only a theorem when the
+  // adversary cannot kill every attempt of one transfer.
+  LOGP_CHECK_MSG(drop_budget <= max_retries,
+                 "drop_budget " << drop_budget << " must be <= max_retries "
+                                << max_retries);
+  LOGP_CHECK(latency_min < params.L);
+  for (const ProcId d : dead_procs)
+    LOGP_CHECK_MSG(d >= 0 && d < params.P, "dead proc " << d << " out of range");
+  if (is_resilient()) {
+    // Resilient collectives ride plain (unacknowledged) sends; a droppable
+    // plain message would deadlock the tree, and the whole point of the
+    // resilient scenarios is the routing-around logic, not loss recovery.
+    LOGP_CHECK_MSG(drop_budget == 0,
+                   "resilient scenarios require drop_budget 0");
+    LOGP_CHECK_MSG(!mutate_no_dedup,
+                   "mutate_no_dedup only applies to reliable scenarios");
+    // Someone must survive to run the collective.
+    LOGP_CHECK_MSG(static_cast<int>(dead_procs.size()) < params.P,
+                   "at least one processor must stay alive");
+  } else {
+    for (const auto& [src, dst] : reliable_pairs(*this))
+      LOGP_CHECK_MSG(!proc_dead(src),
+                     "scenario sender " << src << " cannot be dead");
+  }
+}
+
+RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
+                        bool want_trace) {
+  cfg.validate();
+  const int P = cfg.P();
+
+  RunOutcome out;
+  out.deliveries.resize(static_cast<std::size_t>(P));
+  out.values.assign(static_cast<std::size_t>(P), 0);
+  out.proc_degraded.assign(static_cast<std::size_t>(P), 0);
+
+  fault::FaultPlan plan;
+  bool use_plan = false;
+  if (!cfg.is_resilient() && cfg.drop_budget > 0) {
+    // Infinitesimal but nonzero: every message becomes droppable (opening a
+    // kDrop choice point) while the plan's hash verdict — the default
+    // branch — keeps it. See the header comment.
+    plan.msg_drop_rate = 1e-300;
+    use_plan = true;
+  }
+  for (const ProcId d : cfg.dead_procs) {
+    plan.proc_faults.push_back(fault::ProcFault{d, 0});
+    use_plan = true;
+  }
+
+  sim::MachineConfig mcfg;
+  mcfg.params = cfg.params;
+  mcfg.latency_min = cfg.latency_min;
+  mcfg.record_trace = want_trace;
+  mcfg.faults = use_plan ? &plan : nullptr;
+  mcfg.oracle = oracle;
+
+  Scheduler sched(mcfg);
+  sched.set_handler(kUserTag, [&out](Ctx ctx, const sim::Message& m) {
+    out.deliveries[static_cast<std::size_t>(ctx.proc())].push_back(m.word(0));
+  });
+
+  std::optional<ReliableLayer> rl;
+  if (!cfg.is_resilient()) {
+    ReliableLayer::Options opts;
+    opts.base_timeout = cfg.base_timeout;
+    opts.max_retries = cfg.max_retries;
+    opts.test_skip_dedup = cfg.mutate_no_dedup;
+    rl.emplace(sched, opts);
+
+    for (const auto& [src, dst] : reliable_pairs(cfg))
+      for (int i = 0; i < cfg.messages; ++i)
+        out.sends.push_back(
+            SendRecord{src, dst, payload_word(src, dst, i), {}});
+
+    sched.set_program([&](Ctx ctx) -> Task {
+      const ProcId p = ctx.proc();
+      for (SendRecord& rec : out.sends)
+        if (rec.src == p) ctx.spawn(send_one(ctx, *rl, &rec));
+      co_return;
+    });
+  } else {
+    const fault::FaultPlan* planp = use_plan ? &plan : nullptr;
+    ProcId root = 0;
+    while (cfg.proc_dead(root)) ++root;
+    const bool bcast = cfg.scenario == "resilient_broadcast";
+    sched.set_program([&, planp, root, bcast](Ctx ctx) -> Task {
+      const ProcId p = ctx.proc();
+      bool deg = false;
+      if (bcast) {
+        std::uint64_t v = (p == root) ? kBcastValue : 0;
+        co_await runtime::coll::broadcast_resilient(ctx, planp, &v, &deg);
+        out.values[static_cast<std::size_t>(p)] = v;
+      } else {
+        std::uint64_t r = 0;
+        co_await runtime::coll::reduce_resilient(
+            ctx, planp, static_cast<std::uint64_t>(p) + 1, &r, &deg);
+        out.values[static_cast<std::size_t>(p)] = r;
+      }
+      out.proc_degraded[static_cast<std::size_t>(p)] = deg ? 1 : 0;
+    });
+  }
+
+  try {
+    out.finish = sched.run();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  if (rl) out.rel = rl->stats();
+  out.degraded = sched.degraded();
+  if (out.ok) out.profile = obs::profile_machine(sched.machine());
+  if (want_trace)
+    out.trace_json = obs::chrome_trace_json(sched.machine().recorder(), P,
+                                            "mc:" + cfg.scenario);
+  return out;
+}
+
+}  // namespace logp::mc

@@ -1,0 +1,110 @@
+// Model-checking scenarios: small, fixed protocol workloads whose full
+// interleaving trees are explorable, each run entirely through the normal
+// production stack (Machine -> Scheduler -> ReliableLayer / resilient
+// collectives) with a ChoiceOracle attached.
+//
+// A scenario is a pure function of (ScenarioConfig, choice string): the
+// machine is deterministic, the fault plan is hash-pure, and the oracle's
+// choices are the only remaining axis — so every RunOutcome is replayable
+// from its choice string alone, which is what makes a counterexample a
+// one-line reproduction (tools/mc_check --replay).
+//
+// Scenario catalogue:
+//   send_ack            proc 0 reliably sends `messages` payloads to proc
+//                       P-1 (concurrent sends). The minimal ack-path soak.
+//   retransmit_race     every proc except P-1 reliably sends to proc P-1
+//                       with a deliberately sub-RTT first timeout, so every
+//                       transfer retransmits and duplicate suppression,
+//                       ack/retransmit crossings and receiver contention
+//                       are all on the explored path.
+//   reliable_broadcast  proc 0 reliably fans one payload out to every
+//                       other proc.
+//   resilient_broadcast coll::broadcast_resilient over the live set.
+//   resilient_reduce    coll::reduce_resilient over the live set.
+//
+// The reliable scenarios make messages droppable by setting an
+// infinitesimal FaultPlan::msg_drop_rate: droppable-ness is what opens a
+// kDrop choice point per message, while the plan's own hash verdict (the
+// default branch) stays "keep" — losses happen exactly where the explorer
+// forces them, bounded by ScenarioConfig::drop_budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "obs/profiler.hpp"
+#include "runtime/reliable.hpp"
+#include "sim/machine.hpp"
+
+namespace logp::mc {
+
+/// The user-visible tag payloads are delivered under in every scenario.
+inline constexpr std::int32_t kUserTag = 42;
+/// The datum broadcast by the resilient/reliable broadcast scenarios.
+inline constexpr std::uint64_t kBcastValue = 0xC0FFEE;
+
+struct ScenarioConfig {
+  std::string scenario = "send_ack";
+  Params params{20, 4, 8, 3};  ///< P rides here
+  /// Payloads per (sender, destination) pair in the reliable scenarios.
+  int messages = 1;
+  int max_retries = 3;
+  /// First-attempt ack timeout; 0 = the layer's 2L+6o+4g default.
+  Cycles base_timeout = 0;
+  /// Adversarial message losses available per explored path. Must stay
+  /// <= max_retries so "no lost payload" is a theorem, not a hope.
+  int drop_budget = 1;
+  /// >= 0 opens kLatency choice points (uniform range [latency_min, L]).
+  Cycles latency_min = -1;
+  /// Processors failed from cycle 0 (FaultPlan::proc_faults).
+  std::vector<ProcId> dead_procs;
+  /// Seeded bug switch (ReliableLayer::Options::test_skip_dedup) for the
+  /// mutation test: the checker must catch the resulting double delivery.
+  bool mutate_no_dedup = false;
+
+  int P() const { return params.P; }
+  bool is_resilient() const;
+  bool proc_dead(ProcId p) const;
+  /// Throws util::check_error on unknown scenario / inconsistent knobs.
+  void validate() const;
+};
+
+/// One reliable send the scenario issued, with where it ended up.
+struct SendRecord {
+  ProcId src = 0;
+  ProcId dst = 0;
+  std::uint64_t payload = 0;
+  runtime::ReliableLayer::SendOutcome outcome;
+};
+
+struct RunOutcome {
+  bool ok = false;     ///< run completed (no exception / deadlock)
+  std::string error;   ///< exception text when !ok
+  Cycles finish = 0;
+  runtime::ReliableLayer::Stats rel;  ///< zero in resilient scenarios
+  bool degraded = false;              ///< scheduler's sticky flag
+  std::vector<SendRecord> sends;
+  /// deliveries[p] = payload words handed to p's user tag, in order.
+  std::vector<std::vector<std::uint64_t>> deliveries;
+  /// Per-proc collective result (broadcast value / reduce result).
+  std::vector<std::uint64_t> values;
+  /// Per-proc degraded out-flag from the resilient collectives.
+  std::vector<char> proc_degraded;
+  obs::LogPProfile profile;  ///< empty when !ok
+  std::string trace_json;    ///< Chrome trace, when requested
+};
+
+const std::vector<std::string>& scenario_names();
+
+/// A ready-to-run config for `name` at `P`: the catalogue's documented
+/// shape (retransmit_race gets its sub-RTT first timeout of L + o, the
+/// resilient scenarios get drop_budget 0). Callers tweak fields afterwards.
+ScenarioConfig scenario_defaults(const std::string& name, int P);
+
+/// Runs one interleaving of the scenario. `oracle` null = machine defaults.
+RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
+                        bool want_trace = false);
+
+}  // namespace logp::mc

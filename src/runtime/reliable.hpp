@@ -47,6 +47,13 @@ class ReliableLayer {
     int max_retries = 6;
     /// Timeout multiplier per retry (1 = constant timeout).
     int backoff_factor = 2;
+    /// TEST ONLY — seeded protocol bug for the model checker's mutation
+    /// test: skip the (src, seq) dedup on delivery, so a retransmission of
+    /// an already-delivered payload is handed to the user again. The
+    /// mc_check exactly-once invariant must catch this with a replayable
+    /// counterexample (tests/test_mc.cpp, CI model-check job). Never set
+    /// outside that test.
+    bool test_skip_dedup = false;
   };
 
   struct SendOutcome {

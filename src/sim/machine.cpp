@@ -8,6 +8,32 @@
 
 namespace logp::sim {
 
+#ifndef LOGP_MC_DISABLED
+namespace {
+
+/// Content hash of a message for the kAcceptOrder choice labels: two
+/// pending arrivals with equal labels are interchangeable, so the explorer
+/// only branches over distinct ones (sleep-set-style pruning of commuting
+/// deliveries — the common case being duplicate retransmissions).
+std::uint64_t arrival_label(const Message& m) {
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = mix((static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(m.src))
+                         << 32) ^
+                        static_cast<std::uint32_t>(m.tag));
+  h = mix(h ^ m.bulk_words) ^ m.nwords;
+  for (std::uint32_t i = 0; i < m.nwords; ++i) h = mix(h ^ m.word(i));
+  return h;
+}
+
+}  // namespace
+#endif
+
 Machine::Machine(MachineConfig config, Host& host)
     : cfg_(std::move(config)),
       host_(host),
@@ -240,11 +266,51 @@ void Machine::inject(ProcId p, Cycles t) {
   // happens either way (the RNG sequence must not depend on the plan) and
   // capacity slots stay held until the arrival instant — but it vanishes on
   // arrival instead of entering the destination's queue.
-  const Cycles arrive = t + stream + sample_latency();
+  Cycles latency = sample_latency();
   const std::uint64_t msg_id = msg_seq_++;
-  const bool doomed =
-      cfg_.faults != nullptr && (cfg_.faults->message_dropped(msg_id) ||
-                                 cfg_.faults->proc_failed(m.dst, t));
+  bool doomed = false;
+  if (cfg_.faults != nullptr) {
+    if (cfg_.faults->proc_failed(m.dst, t)) {
+      doomed = true;  // a dead destination is a fact, never a choice
+    } else {
+      doomed = cfg_.faults->message_dropped(msg_id);
+#ifndef LOGP_MC_DISABLED
+      if (cfg_.oracle != nullptr && cfg_.faults->message_droppable()) {
+        // Fault-verdict interception: the plan's hash verdict becomes
+        // alternative 0 and its negation alternative 1, labelled by whether
+        // the branch drops (the explorer budgets total drops on a path).
+        const std::uint64_t labels[2] = {doomed ? 1u : 0u, doomed ? 0u : 1u};
+        const int k = cfg_.oracle->choose(ChoiceKind::kDrop, 2, labels);
+        LOGP_CHECK(k == 0 || k == 1);
+        if (k == 1) doomed = !doomed;
+      }
+#endif
+    }
+  }
+#ifndef LOGP_MC_DISABLED
+  if (cfg_.oracle != nullptr && cfg_.latency_min >= 0 &&
+      cfg_.latency_min < cfg_.params.L) {
+    // The model only bounds latency by L; with a configured range the
+    // adversary may pick any admissible value. Offer the RNG sample (the
+    // default — drawn above either way, so the stream never shifts) plus
+    // the two extremes, deduplicated.
+    std::uint64_t cand[3];
+    int n = 0;
+    cand[n++] = static_cast<std::uint64_t>(latency);
+    for (const Cycles extreme : {cfg_.latency_min, cfg_.params.L}) {
+      const auto v = static_cast<std::uint64_t>(extreme);
+      bool dup = false;
+      for (int i = 0; i < n; ++i) dup |= cand[i] == v;
+      if (!dup) cand[n++] = v;
+    }
+    if (n > 1) {
+      const int k = cfg_.oracle->choose(ChoiceKind::kLatency, n, cand);
+      LOGP_CHECK(k >= 0 && k < n);
+      latency = static_cast<Cycles>(cand[k]);
+    }
+  }
+#endif
+  const Cycles arrive = t + stream + latency;
   push_event(arrive, doomed ? EvKind::kDropArrive : EvKind::kDeliver, m.dst,
              idx);
   proc.state = CpuState::kIdle;
@@ -271,8 +337,7 @@ void Machine::accept_begin(ProcId p, Cycles t) {
     proc.stats.gap_wait += waited;
     recorder_.record(p, proc.op_requested, t, trace::Activity::kGapWait);
   }
-  const std::uint32_t idx = proc.arrivals.front();
-  proc.arrivals.pop_front();
+  const std::uint32_t idx = take_arrival(p);
   const Message& m = msgs_[idx];
   // The message leaves the network the moment the processor engages with it.
   --procs_[static_cast<std::size_t>(m.src)].out_inflight;
@@ -289,6 +354,34 @@ void Machine::accept_begin(ProcId p, Cycles t) {
                    m.src);
   push_event(t + cfg_.params.o, EvKind::kAcceptDone, p, idx);
   wake_blocked_senders();
+}
+
+std::uint32_t Machine::take_arrival(ProcId p) {
+  auto& proc = procs_[static_cast<std::size_t>(p)];
+#ifndef LOGP_MC_DISABLED
+  const std::size_t n = proc.arrivals.size();
+  if (cfg_.oracle != nullptr && n > 1) {
+    // Which pending arrival the processor engages with is a genuine
+    // scheduling freedom of the model; expose it as a choice point.
+    // Alternative 0 is the FIFO front — the machine's own default.
+    std::vector<std::uint64_t> labels(n);
+    for (std::size_t i = 0; i < n; ++i)
+      labels[i] = arrival_label(msgs_[proc.arrivals[i]]);
+    const int k = cfg_.oracle->choose(ChoiceKind::kAcceptOrder,
+                                      static_cast<int>(n), labels.data());
+    LOGP_CHECK(k >= 0 && static_cast<std::size_t>(k) < n);
+    const std::uint32_t idx = proc.arrivals[static_cast<std::size_t>(k)];
+    // Remove slot k, preserving the relative order of the others: shift the
+    // prefix right by one and drop the duplicated front.
+    for (std::size_t i = static_cast<std::size_t>(k); i > 0; --i)
+      proc.arrivals[i] = proc.arrivals[i - 1];
+    proc.arrivals.pop_front();
+    return idx;
+  }
+#endif
+  const std::uint32_t idx = proc.arrivals.front();
+  proc.arrivals.pop_front();
+  return idx;
 }
 
 void Machine::wake_blocked_senders() {

@@ -62,6 +62,39 @@ struct ProcStats {
   }
 };
 
+/// Kinds of nondeterministic decisions the machine exposes to a model
+/// checker (src/mc). The LogP model admits *any* schedule consistent with
+/// its bounds; a concrete simulation picks one. These are the points where
+/// the pick is a modelling choice rather than a consequence of the
+/// parameters — the axes an adversarial scheduler may vary:
+///
+///   kAcceptOrder  which of several delivered-but-unreceived messages the
+///                 processor engages with next (the machine's default is
+///                 FIFO by arrival),
+///   kDrop         whether a droppable message (FaultPlan::msg_drop_rate)
+///                 vanishes in flight (the default is the plan's pure-hash
+///                 verdict),
+///   kLatency      the latency drawn for a message when the config allows a
+///                 range (latency_min in [0, L); the default is the RNG
+///                 sample — which is still drawn either way, so an oracle
+///                 never perturbs the RNG stream).
+enum class ChoiceKind : std::uint8_t { kAcceptOrder, kDrop, kLatency };
+
+/// Consulted at each choice point when attached via MachineConfig::oracle.
+/// `labels` carries one word of semantics per alternative (kAcceptOrder: a
+/// content hash of the candidate message, for pruning commuting deliveries;
+/// kDrop: 1 if that alternative drops; kLatency: the candidate latency).
+/// Alternative 0 is always the machine's default, so an oracle that returns
+/// 0 everywhere reproduces the oracle-free run exactly (pinned by
+/// tests/test_mc.cpp). Hook sites compile out under -DLOGP_MC=OFF; with the
+/// hooks compiled in, a null oracle costs one predicted branch per site.
+class ChoiceOracle {
+ public:
+  virtual ~ChoiceOracle() = default;
+  /// Returns the chosen alternative in [0, n); n >= 2.
+  virtual int choose(ChoiceKind kind, int n, const std::uint64_t* labels) = 0;
+};
+
 /// The Host is informed whenever a processor's CPU becomes free or a message
 /// shows up, and drives the processor by calling Machine::start_*.
 class Host {
@@ -115,6 +148,11 @@ struct MachineConfig {
   /// host scheduling. Null disables all of it at the cost of one branch per
   /// injection. The plan must outlive the machine.
   const fault::FaultPlan* faults = nullptr;
+  /// Optional model-checker branch oracle (see ChoiceOracle above and
+  /// src/mc). Null keeps every decision on its default; the -DLOGP_MC=OFF
+  /// build compiles the consultation sites out entirely. The oracle must
+  /// outlive the machine.
+  ChoiceOracle* oracle = nullptr;
 };
 
 class Machine {
@@ -263,6 +301,9 @@ class Machine {
   void flush_metrics();
 
   void engage_send(ProcId p, Cycles t);
+  /// Removes and returns the arrival-queue entry the processor engages with:
+  /// the front, unless a choice oracle picks another pending arrival.
+  std::uint32_t take_arrival(ProcId p);
   void try_inject(ProcId p, Cycles t);
   void inject(ProcId p, Cycles t);
   void accept_begin(ProcId p, Cycles t);

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -393,6 +394,62 @@ TEST(Checkpoint, MapCheckpointedResumesByteIdentically) {
                                                           enc, dec);
   EXPECT_EQ(computed, 0);
   EXPECT_EQ(cached, plain);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, CorruptManifestIsSkippedAndRecomputed) {
+  // A crash racing the tmp+rename publish (or plain disk rot) can leave a
+  // truncated or garbled manifest. --resume must recompute that point with
+  // a warning counter, not die on it.
+  const std::string dir = temp_dir("corrupt");
+  std::filesystem::remove_all(dir);
+  const exp::SweepRunner runner({1, 1});
+  std::vector<std::function<std::int64_t()>> jobs;
+  int computed = 0;
+  for (std::int64_t i = 0; i < 6; ++i)
+    jobs.push_back([i, &computed] {
+      ++computed;
+      return i * 10;
+    });
+  const std::function<std::string(const std::int64_t&)> enc =
+      [](const std::int64_t& v) {
+        return exp::kv_encode({{"v", exp::kv_int(v)}});
+      };
+  const std::function<std::int64_t(const std::string&)> dec =
+      [](const std::string& s) {
+        return exp::kv_parse_int(exp::kv_get(exp::kv_decode(s), "v"));
+      };
+
+  exp::CheckpointStore store(dir, "c");
+  const auto first = exp::map_checkpointed<std::int64_t>(runner, jobs, &store,
+                                                         enc, dec);
+  EXPECT_EQ(computed, 6);
+  EXPECT_EQ(store.corrupt_count(), 0);
+
+  // Truncate one manifest mid-line, garble another, empty a third.
+  {
+    std::ofstream f(store.path(1), std::ios::binary | std::ios::trunc);
+    f << "{\"v\":\"1";  // torn write: unterminated string
+  }
+  {
+    std::ofstream f(store.path(3), std::ios::binary | std::ios::trunc);
+    f << "{\"w\":\"30\"}";  // decodes but lacks the field: decode throws
+  }
+  {
+    std::ofstream f(store.path(4), std::ios::binary | std::ios::trunc);
+  }
+  computed = 0;
+  const auto resumed = exp::map_checkpointed<std::int64_t>(runner, jobs,
+                                                           &store, enc, dec);
+  EXPECT_EQ(resumed, first);
+  EXPECT_EQ(computed, 3);  // exactly the damaged points
+  EXPECT_EQ(store.corrupt_count(), 3);
+
+  // The recompute republished them: a further resume is fully cached.
+  computed = 0;
+  (void)exp::map_checkpointed<std::int64_t>(runner, jobs, &store, enc, dec);
+  EXPECT_EQ(computed, 0);
+  EXPECT_EQ(store.corrupt_count(), 3);
   std::filesystem::remove_all(dir);
 }
 

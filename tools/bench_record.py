@@ -47,6 +47,14 @@ by more than --tolerance (default 3%, the bound in ISSUE/DESIGN):
 negative value demands an IMPROVEMENT: -0.5 means the candidate must beat
 the baseline by at least 50% (the 1.5x gate CI applies to the parallel
 packet engine against its serial baseline).
+
+Snapshots may also carry a "model_check" section (written by
+tools/mc_check --summary-json): per scenario/P, the explored interleaving
+counts. --compare diffs those too and fails on any coverage drop, dropped
+scenario, new violation, or newly-capped config — exploration counts are
+deterministic, so a silent shrink means the checker stopped looking, not
+that the protocol got better. Files containing only a model_check section
+(no benchmarks) compare fine against each other.
 """
 
 import argparse
@@ -155,20 +163,71 @@ def parse_tolerances(spec):
     return table
 
 
+def compare_model_check(base_mc, cand_mc):
+    """Diffs mc_check coverage summaries; returns the number of regressions.
+
+    Exhaustive exploration counts are deterministic, so any drop in explored
+    interleavings (or choice points) for a scenario is lost coverage and
+    fails the gate exactly like a perf regression. A scenario disappearing
+    from the candidate, a violation, or a previously-exhaustive config
+    becoming capped all count too. Growth is fine (more coverage).
+    """
+    regressions = 0
+    keys = sorted(set(base_mc) | set(cand_mc))
+    width = max(len(k) for k in keys)
+    print(f"{'model-check'.ljust(width)}  {'base runs':>12}  "
+          f"{'cand runs':>12}  {'base cps':>12}  {'cand cps':>12}")
+    for key in keys:
+        b, c = base_mc.get(key), cand_mc.get(key)
+        if c is None:
+            print(f"{key.ljust(width)}  scenario DROPPED from candidate")
+            regressions += 1
+            continue
+        if b is None:
+            print(f"{key.ljust(width)}  {'new':>12}  {c['runs']:12d}"
+                  f"  {'new':>12}  {c['choice_points']:12d}")
+            continue
+        flags = []
+        if c["runs"] < b["runs"] or c["choice_points"] < b["choice_points"]:
+            flags.append("COVERAGE DROP")
+        if c.get("capped") and not b.get("capped"):
+            flags.append("NEWLY CAPPED")
+        if c.get("violations"):
+            flags.append(f"{c['violations']} VIOLATIONS")
+        regressions += bool(flags)
+        print(f"{key.ljust(width)}  {b['runs']:12d}  {c['runs']:12d}"
+              f"  {b['choice_points']:12d}  {c['choice_points']:12d}"
+              f"{'  ' + ', '.join(flags) if flags else ''}")
+    return regressions
+
+
 def compare(baseline_path, candidate_path, tolerance, tolerances=None):
     """Prints per-benchmark deltas; returns the number of regressions."""
     with open(baseline_path) as f:
-        base = json.load(f)["benchmarks"]
+        base_doc = json.load(f)
     with open(candidate_path) as f:
-        cand = json.load(f)["benchmarks"]
+        cand_doc = json.load(f)
+    base = base_doc.get("benchmarks", {})
+    cand = cand_doc.get("benchmarks", {})
     tolerances = tolerances or {}
 
     regressions = 0
+    if "model_check" in base_doc or "model_check" in cand_doc:
+        if "model_check" not in cand_doc:
+            print("[bench_record] model_check section DROPPED from candidate",
+                  file=sys.stderr)
+            regressions += 1
+        else:
+            regressions += compare_model_check(
+                base_doc.get("model_check", {}), cand_doc["model_check"])
+        if not base and not cand:
+            return regressions
+
     names = sorted(set(base) & set(cand))
     if not names:
         print("[bench_record] no common benchmarks to compare",
               file=sys.stderr)
-        return 1
+        return regressions + 1
     unmatched = sorted(set(tolerances) - set(names))
     if unmatched:
         print(f"[bench_record] --tolerances names not in both snapshots: "
@@ -215,6 +274,10 @@ def main():
                         help="free-form note stored in the snapshot")
     parser.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
                         help="compare two snapshots instead of recording")
+    parser.add_argument("--merge-mc", nargs="+", metavar="SUMMARY",
+                        help="merge the model_check sections of the given "
+                             "mc_check summaries into --out (CI runs several "
+                             "scenario/P batches, the gate compares one file)")
     parser.add_argument("--tolerance", type=float, default=0.03,
                         help="max allowed items/s regression in --compare "
                              "mode (fraction, default 0.03)")
@@ -231,6 +294,25 @@ def main():
             parser.error(str(err))
         sys.exit(1 if compare(args.compare[0], args.compare[1],
                               args.tolerance, per_bench) else 0)
+
+    if args.merge_mc:
+        if not args.out:
+            parser.error("--merge-mc requires --out")
+        merged = {}
+        for path in args.merge_mc:
+            with open(path) as f:
+                section = json.load(f).get("model_check", {})
+            dupes = set(section) & set(merged)
+            if dupes:
+                parser.error(f"duplicate model_check keys across summaries: "
+                             f"{', '.join(sorted(dupes))}")
+            merged.update(section)
+        pathlib.Path(args.out).write_text(
+            json.dumps({"model_check": merged}, indent=2, sort_keys=True)
+            + "\n")
+        print(f"[bench_record] wrote {args.out} ({len(merged)} model-check "
+              f"configs)", file=sys.stderr)
+        return
 
     if args.runs < 1:
         parser.error("--runs must be >= 1")

@@ -1,0 +1,239 @@
+// mc_check: the model-checking CLI and CI correctness gate.
+//
+// Exhaustively (or up to --max-branches) explores the interleaving tree of
+// one or more protocol scenarios at small P, asserting the five protocol
+// invariants (src/mc/invariants.hpp) on every terminal state. A violation
+// prints its choice string — `--replay <string>` reruns exactly that
+// interleaving through the normal scheduler path and, with --dump-dir,
+// writes its Chrome-trace JSON for chrome://tracing / Perfetto.
+//
+//   mc_check --scenario retransmit_race --p 3                 # exhaustive
+//   mc_check --scenario all --p 2,3 --summary-json mc.json    # CI gate
+//   mc_check --scenario send_ack --p 5 --max-branches 200000 \
+//            --shards 8 --threads 8                           # deep, capped
+//   mc_check --scenario send_ack --p 3 --replay 0,2,1 --dump-dir traces/
+//
+// Exit status: 0 all invariants hold, 1 violation found, 2 usage error.
+//
+// The --summary-json file ({"model_check": {"<scenario>/P=<n>": {...}}})
+// feeds tools/bench_record.py --compare, which fails the gate when explored
+// coverage silently drops between runs the same way it fails a perf
+// regression.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "mc/explorer.hpp"
+#include "mc/invariants.hpp"
+#include "mc/oracle.hpp"
+#include "mc/scenarios.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace logp;
+
+constexpr const char* kUsage =
+    "usage: mc_check [options]\n"
+    "  --scenario NAMES   comma list or 'all' (send_ack, retransmit_race,\n"
+    "                     reliable_broadcast, resilient_broadcast,\n"
+    "                     resilient_reduce)      [send_ack]\n"
+    "  --p LIST           comma list of processor counts       [3]\n"
+    "  --messages N       payloads per sender/destination pair [1]\n"
+    "  --retries N        reliable-layer max retries           [3]\n"
+    "  --timeout CYC      first ack timeout (0 = scenario default)\n"
+    "  --drop-budget N    adversarial losses per path (<= retries)\n"
+    "  --latency-min CYC  enable latency choice points in [CYC, L]\n"
+    "  --dead LIST        processors failed from cycle 0       []\n"
+    "  --max-branches N   cap explored interleavings (0 = exhaustive)\n"
+    "  --shards N / --shard I   partition the root subtrees (I=-1: all)\n"
+    "  --threads N        parallelism across shards            [1]\n"
+    "  --seed-prefix CSV  explore only under this choice prefix\n"
+    "  --max-violations N stop after N violations              [1]\n"
+    "  --replay CSV       run one interleaving, report, and exit\n"
+    "  --dump-dir DIR     write counterexample / replay traces here\n"
+    "  --summary-json F   write the model_check coverage summary\n"
+    "  --mutate-no-dedup  seed the dedup bug (mutation test; must fail)\n";
+
+std::vector<int> parse_int_list(const std::string& csv, const char* what) {
+  std::vector<int> vals = mc::parse_choices(csv);
+  LOGP_CHECK_MSG(!vals.empty(), "empty " << what << " list");
+  return vals;
+}
+
+std::string combo_key(const mc::ScenarioConfig& cfg) {
+  std::ostringstream os;
+  os << cfg.scenario << "/P=" << cfg.P();
+  return os.str();
+}
+
+void dump_trace(const std::string& dir, const std::string& name,
+                const std::string& json) {
+  const std::string path = dir + "/" + name;
+  std::ofstream f(path, std::ios::binary);
+  LOGP_CHECK_MSG(f.good(), "cannot write " << path);
+  f << json;
+  f.close();
+  std::printf("  trace written: %s\n", path.c_str());
+}
+
+struct ComboSummary {
+  std::string key;
+  mc::ExplorerResult result;
+};
+
+void write_summary(const std::string& path,
+                   const std::vector<ComboSummary>& combos) {
+  std::ofstream f(path, std::ios::binary);
+  LOGP_CHECK_MSG(f.good(), "cannot write " << path);
+  f << "{\n  \"model_check\": {\n";
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const auto& c = combos[i];
+    f << "    \"" << c.key << "\": {"
+      << "\"runs\": " << c.result.runs
+      << ", \"choice_points\": " << c.result.choice_points
+      << ", \"pruned\": " << c.result.pruned
+      << ", \"max_depth\": " << c.result.max_depth
+      << ", \"capped\": " << (c.result.capped ? "true" : "false")
+      << ", \"violations\": " << c.result.violations.size() << "}"
+      << (i + 1 < combos.size() ? "," : "") << "\n";
+  }
+  f << "  }\n}\n";
+}
+
+int run_replay(mc::ScenarioConfig cfg, const std::vector<int>& choices,
+               const std::string& dump_dir) {
+  mc::RecordingOracle oracle(choices, cfg.drop_budget);
+  const bool want_trace = !dump_dir.empty();
+  const mc::RunOutcome out = mc::run_scenario(cfg, &oracle, want_trace);
+  const std::vector<std::string> bad = mc::check_invariants(cfg, out);
+  std::printf("replay %s: %s, finish=%lld, choice points=%zu\n",
+              combo_key(cfg).c_str(), out.ok ? "completed" : "FAILED",
+              static_cast<long long>(out.finish), oracle.record().size());
+  if (!out.sends.empty())
+    std::printf(
+        "  reliable: sends=%lld retransmits=%lld duplicates=%lld "
+        "delivered=%lld dead_peers=%lld\n",
+        static_cast<long long>(out.rel.data_sends),
+        static_cast<long long>(out.rel.retransmits),
+        static_cast<long long>(out.rel.duplicates),
+        static_cast<long long>(out.rel.delivered),
+        static_cast<long long>(out.rel.dead_peers));
+  for (const std::string& b : bad)
+    std::printf("  VIOLATION: %s\n", b.c_str());
+  if (want_trace) {
+    std::ostringstream name;
+    name << "mc_" << cfg.scenario << "_p" << cfg.P() << "_replay.json";
+    dump_trace(dump_dir, name.str(), out.trace_json);
+  }
+  return bad.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using exp::bool_from_args;
+  using exp::int_from_args;
+  using exp::string_from_args;
+
+  const std::string scen_arg = string_from_args(argc, argv, "--scenario",
+                                                "send_ack");
+  const std::string p_arg = string_from_args(argc, argv, "--p", "3");
+  const int messages = int_from_args(argc, argv, "--messages", 1);
+  const int retries = int_from_args(argc, argv, "--retries", 3);
+  const int timeout = int_from_args(argc, argv, "--timeout", 0);
+  const int drop_budget = int_from_args(argc, argv, "--drop-budget", -1);
+  const int latency_min = int_from_args(argc, argv, "--latency-min", -1);
+  const std::string dead_arg = string_from_args(argc, argv, "--dead", "");
+  const int max_branches = int_from_args(argc, argv, "--max-branches", 0);
+  const int shards = int_from_args(argc, argv, "--shards", 1);
+  const int shard = int_from_args(argc, argv, "--shard", -1);
+  const int threads = int_from_args(argc, argv, "--threads", 1);
+  const std::string prefix_arg =
+      string_from_args(argc, argv, "--seed-prefix", "");
+  const int max_violations = int_from_args(argc, argv, "--max-violations", 1);
+  const std::string replay_arg = string_from_args(argc, argv, "--replay", "");
+  const bool do_replay = replay_arg != "";
+  const std::string dump_dir = string_from_args(argc, argv, "--dump-dir", "");
+  const std::string summary_path =
+      string_from_args(argc, argv, "--summary-json", "");
+  const bool mutate = bool_from_args(argc, argv, "--mutate-no-dedup");
+  if (const int rc = exp::reject_unknown_flags(argc, argv, kUsage)) return rc;
+
+  try {
+    std::vector<std::string> scenarios;
+    if (scen_arg == "all") {
+      scenarios = mc::scenario_names();
+    } else {
+      std::istringstream is(scen_arg);
+      std::string tok;
+      while (std::getline(is, tok, ',')) scenarios.push_back(tok);
+    }
+    const std::vector<int> ps = parse_int_list(p_arg, "--p");
+
+    std::vector<ComboSummary> combos;
+    bool any_violation = false;
+    for (const std::string& name : scenarios) {
+      for (const int P : ps) {
+        mc::ScenarioConfig cfg = mc::scenario_defaults(name, P);
+        cfg.messages = messages;
+        cfg.max_retries = retries;
+        if (timeout > 0) cfg.base_timeout = timeout;
+        if (drop_budget >= 0)
+          cfg.drop_budget = cfg.is_resilient() ? 0 : drop_budget;
+        cfg.latency_min = latency_min;
+        for (const int d : mc::parse_choices(dead_arg))
+          cfg.dead_procs.push_back(d);
+        cfg.mutate_no_dedup = mutate && !cfg.is_resilient();
+
+        if (do_replay)
+          return run_replay(cfg, mc::parse_choices(replay_arg), dump_dir);
+
+        mc::ExplorerOptions opts;
+        opts.max_branches = max_branches;
+        opts.shards = shards;
+        opts.shard = shard;
+        opts.threads = threads;
+        opts.seed_prefix = mc::parse_choices(prefix_arg);
+        opts.max_violations = max_violations;
+
+        const mc::ExplorerResult res = mc::explore(cfg, opts);
+        std::printf(
+            "%-28s runs=%lld choice_points=%lld pruned=%lld max_depth=%lld%s "
+            "violations=%zu\n",
+            combo_key(cfg).c_str(), static_cast<long long>(res.runs),
+            static_cast<long long>(res.choice_points),
+            static_cast<long long>(res.pruned),
+            static_cast<long long>(res.max_depth),
+            res.capped ? " (capped)" : "", res.violations.size());
+        for (const mc::Violation& v : res.violations) {
+          any_violation = true;
+          const std::string choices = mc::format_choices(v.choices);
+          std::printf("  VIOLATION at choices [%s]:\n", choices.c_str());
+          for (const std::string& b : v.failures)
+            std::printf("    %s\n", b.c_str());
+          std::printf(
+              "  replay: mc_check --scenario %s --p %d --replay %s\n",
+              cfg.scenario.c_str(), cfg.P(), choices.c_str());
+          if (!dump_dir.empty()) {
+            mc::RecordingOracle oracle(v.choices, cfg.drop_budget);
+            const mc::RunOutcome rerun = mc::run_scenario(cfg, &oracle, true);
+            std::ostringstream fname;
+            fname << "mc_" << cfg.scenario << "_p" << cfg.P()
+                  << "_violation.json";
+            dump_trace(dump_dir, fname.str(), rerun.trace_json);
+          }
+        }
+        combos.push_back(ComboSummary{combo_key(cfg), res});
+      }
+    }
+    if (!summary_path.empty()) write_summary(summary_path, combos);
+    return any_violation ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mc_check: %s\n%s", e.what(), kUsage);
+    return 2;
+  }
+}
