@@ -104,6 +104,26 @@ void BM_PacketSim(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSim)->Arg(200)->Arg(500);
 
+/// Production-scale grid: 64x64 torus (4096 endpoints, 16384 links) under
+/// uniform traffic in the stable regime. Pins the windowed engine's
+/// throughput where the per-window batches are wide enough for the SIMD
+/// classification and arbitration kernels to matter.
+void BM_PacketSimLargeP(benchmark::State& state) {
+  const auto topo = net::make_mesh2d(64, 64, true);
+  net::PacketSimConfig cfg;
+  cfg.injection_rate = 0.002;
+  cfg.warmup = 500;
+  cfg.duration = 4000;
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    const auto r = net::run_packet_sim(*topo, cfg);
+    delivered = r.delivered;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * delivered);
+}
+BENCHMARK(BM_PacketSimLargeP);
+
 /// Bounded-lag parallel packet simulator on a workload big enough to
 /// amortize window dispatch: 32x32 torus (1024 endpoints, 4096 links)
 /// in the stable regime. Thread count comes from LOGP_SIM_THREADS (default

@@ -10,33 +10,38 @@
 #include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/event_heap.hpp"
-#include "util/ring_deque.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace logp::net {
 
 namespace {
 
-// The hot-path stores below follow one rule: nothing is heap-allocated per
-// packet. Injections are flat 16-byte records consumed in sorted order; in-
-// network packets live in a struct-of-arrays pool whose delivered slots
-// recycle through a FIFO freelist; routes are resolved once per (src, dst)
-// pair into arena-backed link-id spans shared by every packet on that pair;
-// links live in an open-addressing table instead of a node-per-entry
-// unordered_map, and the hot loop never hashes at all — a packet's next
-// link is an array lookup. Capacities are pre-reserved from the config's
-// capacity bound, so after warmup the steady state performs zero
-// allocations (asserted by tests/test_packet_sim.cpp).
+// The engine below is a windowed batch design shared by the serial and the
+// bounded-lag parallel paths: time advances in aligned windows of width
+// `service` (= lookahead), every pending event of a window is gathered into
+// one dense buffer, sorted once by a packed (time, injection-id) key, and
+// processed in batch — same-link events are grouped so channel arbitration
+// amortizes its min-scan (SIMD first-minimum over the channel span), and
+// delivery classification runs over 64-event blocks via a SIMD sign-mask of
+// the link column. Nothing is heap-allocated per packet: windows live in a
+// 64-slot time wheel of reusable vectors (far-future events overflow into a
+// small spill heap), routes are arena-backed link-id spans shared by every
+// packet on a (src, dst) pair, and links live in an open-addressing table.
 //
 // Event order is canonical: every event is keyed (time, injection id),
 // where the injection id is the packet's index in the (born, src)-sorted
 // injection array. A packet has at most one pending event, so this is a
 // total order, and — unlike a global pop-sequence counter — it can be
-// evaluated by any thread without knowing the full dispatch history. That
-// property is what lets the bounded-lag parallel engine below reproduce the
-// serial trajectory bit-for-bit at every thread count.
+// evaluated by any thread without knowing the full dispatch history. The
+// per-window sort realizes exactly this order; per-link event subsequences
+// (the only place state is shared) are therefore identical however the
+// windows are partitioned across shards, which is what keeps serial,
+// parallel, SIMD-on and SIMD-off runs byte-identical (pinned goldens in
+// tests/test_packet_sim.cpp).
 
 constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+constexpr std::int64_t kNoWindow = std::numeric_limits<std::int64_t>::max();
 
 /// One pre-generated injection. Injections are sorted by (born, src) after
 /// generation — a canonical order, since endpoint streams are generated in
@@ -48,43 +53,37 @@ struct Injection {
   std::int32_t dst;
 };
 
-/// Serial-engine event: `inj` keys the canonical order, `slot` addresses the
-/// packet store.
-struct Event {
-  Cycles t;
-  std::int32_t inj;
-  std::int32_t slot;
+/// In-window event, 16 bytes. `key` packs ((t - window_base) << 32) | inj:
+/// sorting a window's buffer by this one u64 IS the canonical (t, inj)
+/// order (a packet has at most one pending event, so keys are unique).
+/// `link` is the pre-resolved next link id, or -1 when the packet is at its
+/// destination — the SIMD classification pass reads only this sign bit.
+struct WEvent {
+  std::uint64_t key;
+  std::int32_t link;
+  std::uint16_t hop;      ///< hop index of `link` within the route
+  std::uint16_t attempt;  ///< fault-plan retransmission count
 };
 
-struct EventBefore {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.t != b.t) return a.t < b.t;
-    return a.inj < b.inj;
-  }
-};
-
-/// Parallel-engine event; doubles as the cross-shard handoff record. The
-/// packet's mutable state is just (inj, hop, attempt): born/route/hops live
-/// in the pre-resolved per-injection arrays, so no packet store is needed.
-/// `attempt` counts fault-plan retransmissions (always 0 without faults).
+/// Out-of-window event: spill-heap entry and cross-shard handoff record.
 struct PEvent {
   Cycles t;
   std::int32_t inj;
-  std::int32_t hop;
-  std::int32_t attempt;
+  std::int32_t link;
+  std::uint16_t hop;
+  std::uint16_t attempt;
 };
 
-struct PEventBefore {
-  bool operator()(const PEvent& a, const PEvent& b) const {
-    if (a.t != b.t) return a.t < b.t;
-    return a.inj < b.inj;
-  }
+/// Spill entries are re-keyed and sorted when their window opens, so the
+/// heap only needs to order by time; ties drain in arbitrary order.
+struct SpillBefore {
+  bool operator()(const PEvent& a, const PEvent& b) const { return a.t < b.t; }
 };
 
 /// What happened to a packet at a recorded instant. Fault-free runs only
 /// ever record kDelivered; an active FaultPlan adds terminal losses and
 /// retransmission marks, which the canonical replay needs to reproduce the
-/// serial engine's in-flight walk and cumulative retransmit series.
+/// in-flight walk and cumulative retransmit series.
 enum class DKind : std::uint8_t { kDelivered, kLost, kRetry };
 
 /// A packet outcome record, written by the shard that processed the event.
@@ -154,7 +153,7 @@ class PairIndex {
 /// Directed links: dense per-link channel spans in one shared buffer,
 /// discovered when a route first touches them. channel[i] holds the cycle
 /// at which channel i frees. All links are resolved in the pre-pass, so the
-/// table is structurally immutable while the engines run — the parallel
+/// table is structurally immutable while the engine runs — the parallel
 /// engine's shards mutate only the channel cells of links they own.
 class LinkTable {
  public:
@@ -177,16 +176,22 @@ class LinkTable {
   int channels(std::int32_t id) const {
     return chan_cnt_[static_cast<std::size_t>(id)];
   }
+  std::int32_t channel_offset(std::int32_t id) const {
+    return chan_off_[static_cast<std::size_t>(id)];
+  }
+  Cycles* channel_data() { return channels_.data(); }
 
-  /// Earliest-free channel of a resolved link; first-minimum tie-break
-  /// matches the std::min_element the old implementation used.
+  /// Earliest-free channel of a resolved link. The first-minimum tie-break
+  /// (equal-cycle channels resolve to the lowest index, as std::min_element
+  /// would) is part of the pinned trajectory; the SIMD horizontal-min
+  /// reproduces it exactly (tests/test_simd.cpp).
   Cycles& earliest(std::int32_t id) {
-    const auto off = static_cast<std::size_t>(chan_off_[static_cast<std::size_t>(id)]);
-    const auto cnt = static_cast<std::size_t>(chan_cnt_[static_cast<std::size_t>(id)]);
-    std::size_t best = off;
-    for (std::size_t c = off + 1; c < off + cnt; ++c)
-      if (channels_[c] < channels_[best]) best = c;
-    return channels_[best];
+    const auto off =
+        static_cast<std::size_t>(chan_off_[static_cast<std::size_t>(id)]);
+    const auto cnt =
+        static_cast<std::size_t>(chan_cnt_[static_cast<std::size_t>(id)]);
+    Cycles* span = channels_.data() + off;
+    return span[cnt == 1 ? 0 : util::simd::first_min_index_i64(span, cnt)];
   }
 
  private:
@@ -244,50 +249,13 @@ class RouteCache {
   std::vector<std::int32_t> scratch_;
 };
 
-/// In-network packets, struct-of-arrays (serial engine only; the parallel
-/// engine keys everything by injection id). Slots are recycled FIFO through
-/// a RingDeque freelist when their packet is delivered, so the store's size
-/// is the peak in-flight count, not the injection count.
-struct PacketStore {
-  std::vector<Cycles> born;
-  std::vector<std::int32_t> hop;
-  std::vector<const std::int32_t*> route;  ///< link ids, arena spans
-  std::vector<std::int32_t> hops;
-  std::vector<std::int32_t> attempt;  ///< fault-plan retransmission count
-  std::vector<std::uint8_t> measured;
-  util::RingDeque<std::uint32_t> freelist;
-
-  void reserve(std::size_t n) {
-    born.reserve(n);
-    hop.reserve(n);
-    route.reserve(n);
-    hops.reserve(n);
-    attempt.reserve(n);
-    measured.reserve(n);
-    freelist.reserve(n);
-  }
-
-  std::int32_t acquire() {
-    if (!freelist.empty()) {
-      const std::uint32_t slot = freelist.front();
-      freelist.pop_front();
-      return static_cast<std::int32_t>(slot);
-    }
-    const auto slot = static_cast<std::int32_t>(born.size());
-    born.push_back(0);
-    hop.push_back(0);
-    route.push_back(nullptr);
-    hops.push_back(0);
-    attempt.push_back(0);
-    measured.push_back(0);
-    return slot;
-  }
-
-  void release(std::int32_t slot) {
-    freelist.push_back(static_cast<std::uint32_t>(slot));
-  }
-
-  std::size_t slots() const { return born.size(); }
+/// Per-injection route handle, one 16-byte load on the hot path: the link
+/// span, its length, and the pre-extracted first link (-1 when src == dst
+/// maps to a zero-hop route).
+struct RouteRef {
+  const std::int32_t* span;
+  std::int32_t hops;
+  std::int32_t first;
 };
 
 int pick_destination(const PacketSimConfig& cfg, int src, int P,
@@ -327,17 +295,16 @@ int pick_destination(const PacketSimConfig& cfg, int src, int P,
   return dst;
 }
 
-/// Everything both engines consume, produced once by the pre-pass: the
-/// sorted injection array with per-injection route spans, and the fully
+/// Everything the engine consumes, produced once by the pre-pass: the
+/// sorted injection array with per-injection route refs, and the fully
 /// resolved link table.
 struct SimContext {
   const Topology& topo;
   const PacketSimConfig& cfg;
   LinkTable& links;
   std::vector<Injection>& injections;
-  std::vector<const std::int32_t*>& route;  ///< per injection id
-  std::vector<std::int32_t>& hops;          ///< per injection id
-  std::size_t dispatchable;  ///< injections with born <= drain_limit
+  std::vector<RouteRef>& refs;  ///< per injection id
+  std::size_t dispatchable;     ///< injections with born <= drain_limit
   Cycles service;
   std::size_t reserve;
   /// Non-null only when the config carries a plan with active packet-level
@@ -350,8 +317,8 @@ void accumulate_link(obs::LinkTelemetry& lt, Cycles service, Cycles wait) {
   lt.busy += service;
   lt.queue_wait += wait;
   lt.max_queue_wait = std::max(lt.max_queue_wait, wait);
-  // No explicit queue structure exists (packets wait inside the event
-  // heap), so backlog is derived: a wait of k service times means k
+  // No explicit queue structure exists (packets wait inside the time
+  // wheel), so backlog is derived: a wait of k service times means k
   // packets were scheduled ahead on this link's channels.
   lt.max_backlog =
       std::max<std::int64_t>(lt.max_backlog, (wait + service - 1) / service);
@@ -360,8 +327,7 @@ void accumulate_link(obs::LinkTelemetry& lt, Cycles service, Cycles wait) {
 void fill_link_telemetry(obs::NetTelemetry* telem, const LinkTable& links,
                          const std::vector<obs::LinkTelemetry>& acc) {
   for (std::size_t id = 0; id < links.count(); ++id) {
-    obs::LinkTelemetry lt =
-        id < acc.size() ? acc[id] : obs::LinkTelemetry{};
+    obs::LinkTelemetry lt = id < acc.size() ? acc[id] : obs::LinkTelemetry{};
     const auto [u, v] = links.endpoints(static_cast<std::int32_t>(id));
     lt.u = u;
     lt.v = v;
@@ -370,183 +336,39 @@ void fill_link_telemetry(obs::NetTelemetry* telem, const LinkTable& links,
   }
 }
 
-/// Reference engine: one thread, one heap, canonical (t, inj) order.
-void run_serial(const SimContext& sc, PacketSimResult& result) {
-  const PacketSimConfig& cfg = sc.cfg;
-  const fault::FaultPlan* const fp = sc.faults;
-  const Cycles service = sc.service;
-  const int P = sc.topo.num_endpoints();
+/// Exact unsigned division by the (invariant) window width, avoiding a
+/// 64-bit idiv per event push: q = floor(n * ceil(2^64/d) / 2^64) is exact
+/// for every n < 2^32, and event times at or above 2^32 cycles take the
+/// cold real-division branch.
+struct WindowDiv {
+  std::uint64_t mul = 0;
+  Cycles d = 1;
 
-  PacketStore store;
-  store.reserve(sc.reserve);
-  util::FourAryHeap<Event, EventBefore> events;
-  events.reserve(sc.reserve);
-  std::size_t next_inject = 0;
-  std::int64_t in_flight = 0;
-  std::int64_t completed = 0;  ///< deliveries at any time (vs in-window)
-  util::Histogram histo(0, 64.0 * static_cast<double>(service) *
-                               static_cast<double>(sc.topo.num_nodes()),
-                        4096);
-
-  // Telemetry is a passive observer: per-link accumulators indexed by the
-  // dense link ids, plus an in-flight series sampled as event time advances.
-  // Everything below is behind `if (telem)` — a null sink costs one
-  // predictable branch per hop and changes nothing else.
-  obs::NetTelemetry* const telem = cfg.telemetry;
-  std::vector<obs::LinkTelemetry> link_acc;
-  if (telem) {
-    telem->clear();
-    link_acc.resize(sc.links.count());
+  void init(Cycles dd) {
+    d = dd;
+    mul = dd > 1 ? ~std::uint64_t{0} / static_cast<std::uint64_t>(dd) + 1 : 0;
   }
-  // With no sink (or sampling off) the sentinel keeps the in-loop sample
-  // check a single always-false compare. Each sample is taken before its
-  // event mutates in_flight, so it reports the level that held on
-  // [previous event, t). `horizon_acc` shadows the last processed event
-  // time in a register (event times are nondecreasing) and is published to
-  // the sink once, after the loop.
-  Cycles next_sample = (telem != nullptr && telem->sample_every > 0)
-                           ? telem->sample_every
-                           : kNever;
-  Cycles horizon_acc = 0;
-
-  // A dropped or corrupted attempt either re-dispatches from hop 0 after
-  // retry_timeout (keeping its slot — the packet is still "in flight" from
-  // the network's point of view) or, with retries exhausted or disabled, is
-  // abandoned and frees its slot like a delivery.
-  auto retry_or_lose = [&](Cycles t, std::int32_t inj, std::int32_t slot) {
-    const auto s = static_cast<std::size_t>(slot);
-    if (fp->retry_timeout > 0 && store.attempt[s] < fp->max_retries) {
-      ++store.attempt[s];
-      store.hop[s] = 0;
-      ++result.retransmitted;
-      events.push({t + fp->retry_timeout, inj, slot});
-    } else {
-      ++result.lost;
-      --in_flight;
-      store.release(slot);
-    }
-  };
-
-  Event ev;
-  while (true) {
-    // Next event in canonical (t, injection-id) order. Every in-flight
-    // event carries a smaller injection id than the next undispatched
-    // injection (its packet dispatched earlier), so the heap wins
-    // timestamp ties and the merge test reduces to a strict compare.
-    std::int32_t slot;
-    if (next_inject < sc.injections.size() &&
-        (events.empty() ||
-         sc.injections[next_inject].born < events.top().t)) {
-      const Injection& inj = sc.injections[next_inject];
-      if (inj.born > cfg.drain_limit) {
-        result.saturated = true;
-        break;
-      }
-      ev.t = inj.born;
-      ev.inj = static_cast<std::int32_t>(next_inject);
-      while (next_sample <= ev.t) {
-        telem->in_flight.emplace_back(next_sample, in_flight);
-        if (fp)
-          telem->retransmits.emplace_back(next_sample, result.retransmitted);
-        next_sample += telem->sample_every;
-      }
-      slot = store.acquire();
-      const auto s = static_cast<std::size_t>(slot);
-      store.born[s] = inj.born;
-      store.hop[s] = 0;
-      store.attempt[s] = 0;
-      store.measured[s] = inj.born >= cfg.warmup;
-      store.route[s] = sc.route[next_inject];
-      store.hops[s] = sc.hops[next_inject];
-      ++next_inject;
-      result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
-    } else if (!events.empty()) {
-      events.pop_into(ev);
-      if (ev.t > cfg.drain_limit) {
-        result.saturated = true;
-        break;
-      }
-      while (next_sample <= ev.t) {
-        telem->in_flight.emplace_back(next_sample, in_flight);
-        if (fp)
-          telem->retransmits.emplace_back(next_sample, result.retransmitted);
-        next_sample += telem->sample_every;
-      }
-      slot = ev.slot;
-    } else {
-      break;
-    }
-    horizon_acc = ev.t;
-
-    const auto s = static_cast<std::size_t>(slot);
-    if (store.hop[s] == store.hops[s]) {
-      // A corrupted attempt consumed every link it crossed but delivers
-      // nothing — the receiver discards it and the plan decides its fate.
-      if (fp && fp->corrupt_attempt(ev.inj, store.attempt[s])) {
-        ++result.corrupted;
-        retry_or_lose(ev.t, ev.inj, slot);
-        continue;
-      }
-      // Throughput counts only deliveries inside the measurement window so
-      // the post-injection drain cannot inflate it.
-      if (ev.t >= cfg.warmup && ev.t < cfg.warmup + cfg.duration)
-        ++result.delivered;
-      if (store.measured[s]) {
-        const auto lat = static_cast<double>(ev.t - store.born[s]);
-        result.latency.add(lat);
-        histo.add(lat);
-      }
-      ++completed;
-      --in_flight;
-      store.release(slot);
-      continue;
-    }
-    const std::int32_t link_id = store.route[s][store.hop[s]];
-    Cycles svc = service;
-    if (fp) {
-      const auto [lu, lv] = sc.links.endpoints(link_id);
-      const int deg = fp->link_degrade(lu, lv, ev.t);
-      if (deg == 0 || (fp->drop_attempt(ev.inj, store.attempt[s]) &&
-                       store.hop[s] == fp->drop_hop(ev.inj, store.attempt[s],
-                                                    store.hops[s]))) {
-        ++result.dropped;
-        if (telem) ++link_acc[static_cast<std::size_t>(link_id)].drops;
-        retry_or_lose(ev.t, ev.inj, slot);
-        continue;
-      }
-      // A degraded (but live) link serves slower; service only ever grows,
-      // so the parallel engine's lookahead bound is untouched.
-      svc *= deg;
-    }
-    Cycles& free_at = sc.links.earliest(link_id);
-    const Cycles start = std::max(ev.t, free_at);
-    free_at = start + svc;
-    ++store.hop[s];
-    events.push({start + svc, ev.inj, slot});
-    if (telem)
-      accumulate_link(link_acc[static_cast<std::size_t>(link_id)], svc,
-                      start - ev.t);
+  std::int64_t operator()(Cycles t) const {
+    if (d == 1) return t;
+    if (t < (Cycles{1} << 32)) [[likely]]
+      return static_cast<std::int64_t>(
+          (static_cast<unsigned __int128>(static_cast<std::uint64_t>(t)) *
+           mul) >>
+          64);
+    return t / d;
   }
+};
 
-  if (telem) {
-    telem->horizon = horizon_acc;
-    fill_link_telemetry(telem, sc.links, link_acc);
-  }
+constexpr int kWheelBits = 6;
+constexpr int kWheel = 1 << kWheelBits;  ///< 64 windows resident at once
 
-  result.pool_slots = static_cast<std::int64_t>(store.slots());
-  result.undrained = result.injected - completed - result.lost;
-  result.truncated = result.saturated;
-  result.p95_latency = histo.quantile(0.95);
-  result.throughput = static_cast<double>(result.delivered) /
-                      static_cast<double>(cfg.duration) /
-                      static_cast<double>(P);
-}
-
-/// Per-worker state of the bounded-lag engine. A shard owns a subset of the
-/// links (see assign_link_shards): only it reads or writes their channel
-/// cells, so window execution needs no locks at all.
+/// Per-worker state. A shard owns a subset of the links (see
+/// assign_link_shards): only it reads or writes their channel cells, so
+/// window execution needs no locks at all.
 struct Shard {
-  util::FourAryHeap<PEvent, PEventBefore> heap;
+  std::vector<WEvent> bucket[kWheel];  ///< time wheel, index = window & 63
+  std::uint64_t nonempty = 0;          ///< bit (w & 63) set when bucket used
+  util::FourAryHeap<PEvent, SpillBefore> spill;  ///< windows >= wheel edge
   std::vector<std::int32_t> inj_ids;  ///< injections whose first link we own
   std::size_t next_inj = 0;
   std::vector<Delivery> deliveries;
@@ -557,324 +379,587 @@ struct Shard {
   /// consumer therefore never touch the same buffer in the same round —
   /// the for_index barrier between rounds is the only synchronization.
   std::vector<std::vector<PEvent>> outbox[2];
-  Cycles last_t = 0;   ///< latest event processed (horizon contribution)
-  Cycles next_t = kNever;  ///< earliest pending work after the window
+  // Window scratch (capacities persist across windows; no steady-state
+  // allocation). link_mark packs (epoch << 32 | head index) so per-window
+  // chain reset is one epoch bump instead of an O(links) clear.
+  std::vector<std::int32_t> chain_next;
+  std::vector<std::int32_t> touched;
+  std::vector<std::uint64_t> mask_words;
+  std::vector<WEvent> sorted;          ///< counting-sort output buffer
+  std::vector<std::uint32_t> dt_pos;   ///< counting-sort group cursors
+  std::vector<std::uint64_t> link_mark;
+  std::vector<std::int32_t> link_tail;
+  std::uint32_t epoch = 0;
+  Cycles last_t = 0;  ///< latest event processed (horizon contribution)
+  std::int64_t next_w = kNoWindow;    ///< earliest pending window after this
+  std::int64_t staged_w = kNoWindow;  ///< earliest window staged to others
+  bool trunc = false;  ///< discarded events beyond the drain limit
   // Fault counters: plain event counts, so summing per-shard integers is
   // order-free and thread-count invariant.
   std::int64_t dropped = 0;
   std::int64_t corrupted = 0;
 };
 
-/// Conservative bounded-lag parallel engine. Correctness argument:
+/// The windowed batch engine, serial and parallel in one body.
+///
+/// Correctness argument (the parallel half is inherited from the bounded-
+/// lag design it replaces):
 ///
 ///  * Lookahead. Every event processed at time t schedules its successor at
-///    start + service >= t + service, so with windows of width
-///    lag = service = lookahead(cfg), an event inside [W, W + lag) can only
-///    create events at >= W + lag. The event population of a window is
-///    therefore fully known when the window starts — no straggler can
-///    appear behind the sweep.
+///    start + service >= t + service, so with aligned windows of width
+///    service an event inside window w only creates events in windows
+///    >= w + 1: a window's population is fully known when it opens, and the
+///    wheel's current bucket is never pushed to mid-window.
 ///  * Ownership. Links are partitioned across shards; a packet's hop on
-///    link l is processed by owner(l), so each link's FIFO/channel state
-///    sees exactly the serial engine's event subsequence for that link, in
-///    the same canonical (t, inj) order. Identical contention, identical
-///    start times, identical successor times.
-///  * Handoff. Successors always land >= W + lag, i.e. strictly after the
-///    current window, so cross-shard handoffs are published at the window
-///    barrier (parity buffers above) and consumed at the next round's
-///    start — never mid-window.
+///    link l is processed by owner(l). Each window buffer is sorted into
+///    canonical (t, inj) order before processing, so each link's channel
+///    state sees exactly the canonical event subsequence for that link —
+///    identical contention, start times and successor times at any shard
+///    count, with or without SIMD.
+///  * Handoff. Successors always land in a later window, so cross-shard
+///    handoffs are published at the window barrier (parity buffers) and
+///    consumed at the next round's start — never mid-window.
 ///
 /// Statistics are NOT accumulated during window execution (float order
 /// would then depend on the partition). Shards record only per-packet
-/// delivery times; the reduction below replays deliveries and injections in
-/// canonical order, reproducing the serial accumulation bit-for-bit.
-void run_windowed(const SimContext& sc, int threads, int num_shards,
-                  PacketSimResult& result) {
-  const PacketSimConfig& cfg = sc.cfg;
-  const fault::FaultPlan* const fp = sc.faults;
-  const Cycles service = sc.service;
-  const Cycles drain = cfg.drain_limit;
-  const int P = sc.topo.num_endpoints();
-  const int S = num_shards;
-  obs::NetTelemetry* const telem = cfg.telemetry;
-  if (telem) telem->clear();
-
-  const std::vector<std::int32_t> owner =
-      assign_link_shards(sc.links.count(), S);
-
-  std::vector<Shard> shards(static_cast<std::size_t>(S));
-  for (Shard& sh : shards) {
-    sh.heap.reserve(sc.reserve / static_cast<std::size_t>(S) + 64);
-    sh.outbox[0].resize(static_cast<std::size_t>(S));
-    sh.outbox[1].resize(static_cast<std::size_t>(S));
-    if (telem) sh.link_acc.resize(sc.links.count());
-  }
-  // Partition dispatchable injections by the owner of their first link
-  // (hopless src==dst injections, which no current topology produces, fall
-  // to shard 0). Pushed in global order, so each shard's list stays sorted
-  // by (born, injection id).
-  for (std::size_t i = 0; i < sc.dispatchable; ++i) {
-    const int s = sc.hops[i] > 0 ? owner[static_cast<std::size_t>(
-                                       sc.route[i][0])]
-                                 : 0;
-    shards[static_cast<std::size_t>(s)].inj_ids.push_back(
-        static_cast<std::int32_t>(i));
-  }
-  for (Shard& sh : shards)
-    sh.deliveries.reserve(sh.inj_ids.size() + sh.inj_ids.size() / 8 + 16);
-
-  Cycles window_start = sc.injections.empty() ? kNever
-                                              : sc.injections.front().born;
-  int parity = 0;
-
-  auto run_window = [&](std::size_t si) {
-    Shard& sh = shards[si];
-    const Cycles wend = window_start + service;
-    // Drain handoffs staged for us during the previous round.
-    for (int q = 0; q < S; ++q) {
-      std::vector<PEvent>& in =
-          shards[static_cast<std::size_t>(q)].outbox[parity ^ 1][si];
-      for (const PEvent& e : in) sh.heap.push(e);
-      in.clear();
+/// outcome records; the reduction replays them against the injection array
+/// in canonical order, reproducing a strictly serial accumulation
+/// bit-for-bit.
+class Engine {
+ public:
+  Engine(const SimContext& sc, int threads, int num_shards)
+      : sc_(sc),
+        fp_(sc.faults),
+        service_(sc.service),
+        csort_(sc.service <= 1024),
+        drain_(sc.cfg.drain_limit),
+        telem_(sc.cfg.telemetry),
+        threads_(threads),
+        S_(num_shards),
+        owner_(assign_link_shards(sc.links.count(), num_shards)),
+        shards_(static_cast<std::size_t>(num_shards)) {
+    wdiv_.init(service_);
+    const auto links = sc_.links.count();
+    const std::size_t per_shard =
+        sc_.reserve / static_cast<std::size_t>(S_) + 16;
+    // One lookahead is one hop, so in steady state nearly every successor
+    // lands in the very next window: a single bucket can hold close to the
+    // whole in-flight population. Size each bucket for that (capped — a
+    // saturated or huge-P run may regrow, which is allowed).
+    const std::size_t per_bucket = std::min<std::size_t>(8192, per_shard);
+    for (Shard& sh : shards_) {
+      sh.spill.reserve(per_shard);
+      sh.chain_next.reserve(2 * per_shard);
+      sh.touched.reserve(64);
+      sh.mask_words.reserve(per_shard / 32 + 2);
+      if (csort_) {
+        sh.sorted.reserve(per_bucket);
+        sh.dt_pos.assign(static_cast<std::size_t>(service_) + 1, 0);
+      }
+      sh.link_mark.assign(links, 0);
+      sh.link_tail.assign(links, 0);
+      for (auto& b : sh.bucket) b.reserve(per_bucket);
+      sh.outbox[0].resize(static_cast<std::size_t>(S_));
+      sh.outbox[1].resize(static_cast<std::size_t>(S_));
+      if (telem_) sh.link_acc.resize(links);
     }
-    Cycles staged_min = kNever;
-    // Retry-or-lose, parallel flavor. The retry re-enters at hop 0, which
-    // may belong to another shard — but retry_timeout >= lookahead (checked
-    // at entry), so the retry lands at or beyond the window end and the
-    // ordinary outbox handoff is causally safe. A loss is a record the
-    // canonical replay turns into the serial engine's -1 in-flight step;
-    // a retry is a record only so the replay can rebuild the cumulative
-    // retransmit counter (and its telemetry series) in canonical order.
-    auto retry_or_lose = [&](const PEvent& ev) {
-      if (fp->retry_timeout > 0 && ev.attempt < fp->max_retries) {
-        sh.deliveries.push_back({ev.t, ev.inj, DKind::kRetry});
-        const auto inj = static_cast<std::size_t>(ev.inj);
-        const PEvent r{ev.t + fp->retry_timeout, ev.inj, 0, ev.attempt + 1};
-        const int rdst =
-            sc.hops[inj] > 0
-                ? owner[static_cast<std::size_t>(sc.route[inj][0])]
-                : static_cast<int>(si);
-        if (rdst == static_cast<int>(si)) {
-          sh.heap.push(r);
-        } else {
-          sh.outbox[parity][static_cast<std::size_t>(rdst)].push_back(r);
-          staged_min = std::min(staged_min, r.t);
-        }
-      } else {
-        sh.deliveries.push_back({ev.t, ev.inj, DKind::kLost});
-      }
+    // Partition dispatchable injections by the owner of their first link
+    // (hopless src==dst injections, which no current topology produces,
+    // fall to shard 0). Pushed in global order, so each shard's list stays
+    // sorted by (born, injection id). Counted first so the lists allocate
+    // exactly once (the steady state is allocation-free, see the test).
+    std::vector<std::size_t> counts(static_cast<std::size_t>(S_), 0);
+    auto inj_shard = [&](std::size_t i) {
+      const std::int32_t first = sc_.refs[i].first;
+      return first >= 0 ? static_cast<std::size_t>(
+                              owner_[static_cast<std::size_t>(first)])
+                        : std::size_t{0};
     };
-    for (;;) {
-      // Merge the shard's injection stream against its heap in (t, inj)
-      // order, without consuming past the window end or the drain limit.
-      const bool have_heap = !sh.heap.empty();
-      const bool have_inj = sh.next_inj < sh.inj_ids.size();
-      if (!have_heap && !have_inj) break;
-      bool from_inj = false;
-      Cycles t;
-      if (have_inj) {
-        const std::int32_t id = sh.inj_ids[sh.next_inj];
-        const Cycles born = sc.injections[static_cast<std::size_t>(id)].born;
-        from_inj = !have_heap || born < sh.heap.top().t ||
-                   (born == sh.heap.top().t && id < sh.heap.top().inj);
-        t = from_inj ? born : sh.heap.top().t;
-      } else {
-        t = sh.heap.top().t;
-      }
-      if (t >= wend || t > drain) break;
-      PEvent ev;
-      if (from_inj) {
-        ev = {t, sh.inj_ids[sh.next_inj], 0, 0};
-        ++sh.next_inj;
-      } else {
-        sh.heap.pop_into(ev);
-      }
-      sh.last_t = ev.t;
+    for (std::size_t i = 0; i < sc_.dispatchable; ++i) ++counts[inj_shard(i)];
+    for (int s = 0; s < S_; ++s)
+      shards_[static_cast<std::size_t>(s)].inj_ids.reserve(
+          counts[static_cast<std::size_t>(s)]);
+    for (std::size_t i = 0; i < sc_.dispatchable; ++i)
+      shards_[inj_shard(i)].inj_ids.push_back(static_cast<std::int32_t>(i));
+    for (Shard& sh : shards_)
+      sh.deliveries.reserve(sh.inj_ids.size() + sh.inj_ids.size() / 8 + 16);
+  }
 
-      const auto inj = static_cast<std::size_t>(ev.inj);
-      const std::int32_t hops = sc.hops[inj];
-      if (ev.hop == hops) {
-        if (fp && fp->corrupt_attempt(ev.inj, ev.attempt)) {
-          ++sh.corrupted;
-          retry_or_lose(ev);
-          continue;
+  void run(PacketSimResult& result) {
+    if (telem_) telem_->clear();
+    for (Shard& sh : shards_)
+      if (!sh.inj_ids.empty())
+        sh.next_w = wdiv_(
+            sc_.injections[static_cast<std::size_t>(sh.inj_ids[0])].born);
+    std::int64_t w = next_window();
+    if (S_ == 1) {
+      while (w != kNoWindow && w * service_ <= drain_) {
+        cur_w_ = w;
+        process_window(0, w);
+        w = shards_[0].next_w;
+      }
+    } else {
+      util::ThreadPool& pool = util::ThreadPool::shared();
+      while (w != kNoWindow && w * service_ <= drain_) {
+        cur_w_ = w;
+        pool.for_index(static_cast<std::size_t>(S_), threads_,
+                       [this](std::size_t si) { process_window(si, cur_w_); });
+        parity_ ^= 1;
+        w = next_window();
+      }
+    }
+    // Pending work past the drain limit — wheel/spill events, staged
+    // handoffs, never-dispatched injections, or events discarded by the
+    // in-window drain cutoff — is exactly the serial saturation predicate.
+    bool trunc = w != kNoWindow || sc_.dispatchable < sc_.injections.size();
+    for (const Shard& sh : shards_) trunc = trunc || sh.trunc;
+    result.saturated = trunc;
+    reduce(result);
+  }
+
+ private:
+  std::int64_t next_window() const {
+    std::int64_t w = kNoWindow;
+    for (const Shard& sh : shards_) w = std::min(w, sh.next_w);
+    return w;
+  }
+
+  static std::uint64_t pack_key(Cycles dt, std::int32_t inj) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dt))
+            << 32) |
+           static_cast<std::uint32_t>(inj);
+  }
+
+  /// Route a successor (or retry) event: own wheel/spill, or the owning
+  /// shard's outbox. `link < 0` means the packet is at its destination,
+  /// which is processed by the last link's owner — the current shard.
+  void push_event(Shard& sh, std::size_t si, Cycles t, std::int32_t inj,
+                  std::int32_t link, std::uint16_t hop,
+                  std::uint16_t attempt) {
+    if (S_ > 1 && link >= 0) {
+      const int dst = owner_[static_cast<std::size_t>(link)];
+      if (dst != static_cast<int>(si)) {
+        sh.outbox[parity_][static_cast<std::size_t>(dst)].push_back(
+            {t, inj, link, hop, attempt});
+        sh.staged_w = std::min(sh.staged_w, wdiv_(t));
+        return;
+      }
+    }
+    local_push(sh, t, inj, link, hop, attempt);
+  }
+
+  void local_push(Shard& sh, Cycles t, std::int32_t inj, std::int32_t link,
+                  std::uint16_t hop, std::uint16_t attempt) {
+    const std::int64_t wt = wdiv_(t);
+    if (wt - cur_w_ >= kWheel) {
+      sh.spill.push({t, inj, link, hop, attempt});
+      return;
+    }
+    sh.bucket[wt & (kWheel - 1)].push_back(
+        {pack_key(t - wt * service_, inj), link, hop, attempt});
+    sh.nonempty |= std::uint64_t{1} << (wt & (kWheel - 1));
+  }
+
+  /// Sort the window buffer into canonical (dt, inj) key order and return a
+  /// pointer to the sorted events. dt spans only [0, service), so a
+  /// counting scatter by dt plus a tiny insertion sort of each equal-dt run
+  /// (typical run length: a handful) replaces the comparison sort on the
+  /// hot path; very large service values fall back to std::sort.
+  const WEvent* sort_window(Shard& sh, std::vector<WEvent>& buf,
+                            std::size_t n) {
+    if (!csort_) {
+      std::sort(buf.begin(), buf.end(),
+                [](const WEvent& a, const WEvent& b) { return a.key < b.key; });
+      return buf.data();
+    }
+    std::uint32_t* const pos = sh.dt_pos.data();
+    std::fill(pos, pos + service_ + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++pos[(buf[i].key >> 32) + 1];
+    for (std::size_t d = 1; d <= static_cast<std::size_t>(service_); ++d)
+      pos[d] += pos[d - 1];
+    sh.sorted.resize(n);
+    WEvent* const out = sh.sorted.data();
+    for (std::size_t i = 0; i < n; ++i)
+      out[pos[buf[i].key >> 32]++] = buf[i];
+    // pos[d] now holds the END of group d. Insertion-sort each run by full
+    // key (dts are equal within a run, so this orders by injection id).
+    std::size_t lo = 0;
+    for (std::size_t d = 0; d <= static_cast<std::size_t>(service_) - 1;
+         ++d) {
+      const std::size_t hi = pos[d];
+      for (std::size_t i = lo + 1; i < hi; ++i) {
+        const WEvent e = out[i];
+        std::size_t j = i;
+        for (; j > lo && out[j - 1].key > e.key; --j) out[j] = out[j - 1];
+        out[j] = e;
+      }
+      lo = hi;
+    }
+    return out;
+  }
+
+  void process_window(std::size_t si, std::int64_t w) {
+    Shard& sh = shards_[si];
+    const Cycles wbase = w * service_;
+    const Cycles wend = wbase + service_;
+    sh.staged_w = kNoWindow;
+    std::vector<WEvent>& buf = sh.bucket[w & (kWheel - 1)];
+    // Handoffs staged for us during the previous round; they may land in
+    // this very window (cur_w_ is already w, so wheel targeting is safe).
+    if (S_ > 1) {
+      for (int q = 0; q < S_; ++q) {
+        std::vector<PEvent>& in =
+            shards_[static_cast<std::size_t>(q)].outbox[parity_ ^ 1][si];
+        for (const PEvent& e : in)
+          local_push(sh, e.t, e.inj, e.link, e.hop, e.attempt);
+        in.clear();
+      }
+    }
+    // Spill entries whose window has arrived.
+    while (!sh.spill.empty() && sh.spill.top().t < wend) {
+      PEvent e;
+      sh.spill.pop_into(e);
+      buf.push_back({pack_key(e.t - wbase, e.inj), e.link, e.hop, e.attempt});
+    }
+    // Injections born in this window (drain-limit suffix already trimmed).
+    while (sh.next_inj < sh.inj_ids.size()) {
+      const std::int32_t id = sh.inj_ids[sh.next_inj];
+      const Cycles born =
+          sc_.injections[static_cast<std::size_t>(id)].born;
+      if (born >= wend) break;
+      buf.push_back(
+          {pack_key(born - wbase, id), sc_.refs[static_cast<std::size_t>(id)].first,
+           0, 0});
+      ++sh.next_inj;
+    }
+    sh.nonempty &= ~(std::uint64_t{1} << (w & (kWheel - 1)));
+
+    std::size_t n = buf.size();
+    const WEvent* ev = buf.data();
+    if (n > 1) ev = sort_window(sh, buf, n);
+    // Drain cutoff: events past the limit are never processed (the run is
+    // saturated); the buffer is key-sorted, so they form a suffix.
+    if (n > 0 && wend - 1 > drain_) {
+      const std::uint64_t lim = pack_key(drain_ - wbase + 1, 0);
+      std::size_t keep = n;
+      while (keep > 0 && ev[keep - 1].key >= lim) --keep;
+      if (keep < n) {
+        sh.trunc = true;
+        n = keep;
+      }
+    }
+    if (n > 0) {
+      sh.last_t = wbase + static_cast<Cycles>(ev[n - 1].key >> 32);
+      if (fp_ != nullptr)
+        window_faulted(sh, si, wbase, ev, n);
+      else
+        window_fast(sh, si, wbase, ev, n);
+    }
+    buf.clear();
+    ++sh.epoch;
+
+    // Earliest pending window: wheel bits, spill, injection stream, plus
+    // anything staged to other shards this round. All wheel bits refer to
+    // windows in (w, w + 64), so the modular distance is exact.
+    std::int64_t nw = sh.staged_w;
+    for (std::uint64_t m = sh.nonempty; m != 0; m &= m - 1) {
+      const int b = __builtin_ctzll(m);
+      const std::int64_t off = (b - w) & (kWheel - 1);
+      nw = std::min(nw, w + off);
+    }
+    if (!sh.spill.empty()) nw = std::min(nw, wdiv_(sh.spill.top().t));
+    if (sh.next_inj < sh.inj_ids.size())
+      nw = std::min(
+          nw, wdiv_(sc_.injections[static_cast<std::size_t>(
+                                       sh.inj_ids[sh.next_inj])].born));
+    sh.next_w = nw;
+  }
+
+  /// Fault-free window kernel. Two passes over the sorted buffer:
+  ///
+  ///  1. Classification: a SIMD sign-mask of the link column splits each
+  ///     64-event block into deliveries (recorded immediately — they touch
+  ///     no shared state) and link traversals, which are chained per link
+  ///     in buffer order (= canonical order).
+  ///  2. Arbitration: per touched link, walk its chain with the channel
+  ///     span hot in registers/L1 — the SIMD first-minimum scan amortizes
+  ///     over every event on that link in the window.
+  ///
+  /// Reordering across links is invisible: links are independent resources,
+  /// per-link subsequences stay canonical, and all statistics flow through
+  /// the canonical replay in reduce().
+  void window_fast(Shard& sh, std::size_t si, Cycles wbase, const WEvent* ev,
+                   std::size_t n) {
+    sh.mask_words.resize((n + 63) / 64);
+    util::simd::negative_mask_i32_stride(&ev[0].link, n,
+                                         sizeof(WEvent) / sizeof(std::int32_t),
+                                         sh.mask_words.data());
+    sh.chain_next.resize(n);
+    sh.touched.clear();
+    const std::uint64_t emark = static_cast<std::uint64_t>(++sh.epoch) << 32;
+    for (std::size_t base = 0; base < n; base += 64) {
+      const std::uint64_t del = sh.mask_words[base / 64];
+      const std::size_t cnt = std::min<std::size_t>(64, n - base);
+      for (std::uint64_t m = del; m != 0; m &= m - 1) {
+        const std::size_t i =
+            base + static_cast<std::size_t>(__builtin_ctzll(m));
+        sh.deliveries.push_back(
+            {wbase + static_cast<Cycles>(ev[i].key >> 32),
+             static_cast<std::int32_t>(static_cast<std::uint32_t>(ev[i].key)),
+             DKind::kDelivered});
+      }
+      const std::uint64_t valid =
+          cnt == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << cnt) - 1;
+      for (std::uint64_t m = ~del & valid; m != 0; m &= m - 1) {
+        const auto i = static_cast<std::int32_t>(
+            base + static_cast<std::size_t>(__builtin_ctzll(m)));
+        const std::int32_t l = ev[i].link;
+        sh.chain_next[static_cast<std::size_t>(i)] = -1;
+        std::uint64_t& mark = sh.link_mark[static_cast<std::size_t>(l)];
+        if ((mark & ~std::uint64_t{0xffffffff}) != emark) {
+          mark = emark | static_cast<std::uint32_t>(i);
+          sh.touched.push_back(l);
+        } else {
+          sh.chain_next[static_cast<std::size_t>(
+              sh.link_tail[static_cast<std::size_t>(l)])] = i;
         }
-        sh.deliveries.push_back({ev.t, ev.inj, DKind::kDelivered});
+        sh.link_tail[static_cast<std::size_t>(l)] = i;
+      }
+    }
+    Cycles* const chans = sc_.links.channel_data();
+    const Cycles service = service_;
+    for (const std::int32_t l : sh.touched) {
+      Cycles* const span = chans + sc_.links.channel_offset(l);
+      const auto cnt = static_cast<std::size_t>(sc_.links.channels(l));
+      for (std::int32_t i = static_cast<std::int32_t>(static_cast<std::uint32_t>(
+               sh.link_mark[static_cast<std::size_t>(l)]));
+           i != -1; i = sh.chain_next[static_cast<std::size_t>(i)]) {
+        const WEvent& e = ev[i];
+        const Cycles t = wbase + static_cast<Cycles>(e.key >> 32);
+        const std::size_t c =
+            cnt == 1 ? 0 : util::simd::first_min_index_i64(span, cnt);
+        const Cycles start = t > span[c] ? t : span[c];
+        span[c] = start + service;
+        if (telem_)
+          accumulate_link(sh.link_acc[static_cast<std::size_t>(l)], service,
+                          start - t);
+        const auto inj =
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(e.key));
+        const RouteRef& rr = sc_.refs[static_cast<std::size_t>(inj)];
+        const std::int32_t nhop = static_cast<std::int32_t>(e.hop) + 1;
+        const std::int32_t nlink = nhop == rr.hops ? -1 : rr.span[nhop];
+        push_event(sh, si, start + service, inj, nlink,
+                   static_cast<std::uint16_t>(nhop), 0);
+      }
+    }
+  }
+
+  /// Faulted window kernel: strictly canonical, un-grouped processing. A
+  /// drop turns a link traversal into an outcome record, so record order
+  /// would depend on link grouping — the faulted path therefore walks the
+  /// sorted buffer in (t, inj) order, exactly like the pre-batch engines.
+  void window_faulted(Shard& sh, std::size_t si, Cycles wbase,
+                      const WEvent* ev, std::size_t n) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const WEvent& e = ev[x];
+      const Cycles t = wbase + static_cast<Cycles>(e.key >> 32);
+      const auto inj =
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(e.key));
+      if (e.link < 0) {
+        // A corrupted attempt consumed every link it crossed but delivers
+        // nothing — the receiver discards it and the plan decides its fate.
+        if (fp_->corrupt_attempt(inj, e.attempt)) {
+          ++sh.corrupted;
+          retry_or_lose(sh, si, t, inj, e.attempt);
+        } else {
+          sh.deliveries.push_back({t, inj, DKind::kDelivered});
+        }
         continue;
       }
-      const std::int32_t link_id = sc.route[inj][ev.hop];
-      Cycles svc = service;
-      if (fp) {
-        const auto [lu, lv] = sc.links.endpoints(link_id);
-        const int deg = fp->link_degrade(lu, lv, ev.t);
-        if (deg == 0 || (fp->drop_attempt(ev.inj, ev.attempt) &&
-                         ev.hop == fp->drop_hop(ev.inj, ev.attempt, hops))) {
-          ++sh.dropped;
-          if (telem) ++sh.link_acc[static_cast<std::size_t>(link_id)].drops;
-          retry_or_lose(ev);
-          continue;
-        }
-        svc *= deg;
+      const auto [lu, lv] = sc_.links.endpoints(e.link);
+      const int deg = fp_->link_degrade(lu, lv, t);
+      const RouteRef& rr = sc_.refs[static_cast<std::size_t>(inj)];
+      if (deg == 0 ||
+          (fp_->drop_attempt(inj, e.attempt) &&
+           static_cast<int>(e.hop) ==
+               fp_->drop_hop(inj, e.attempt, rr.hops))) {
+        ++sh.dropped;
+        if (telem_) ++sh.link_acc[static_cast<std::size_t>(e.link)].drops;
+        retry_or_lose(sh, si, t, inj, e.attempt);
+        continue;
       }
-      Cycles& free_at = sc.links.earliest(link_id);
-      const Cycles start = std::max(ev.t, free_at);
+      // A degraded (but live) link serves slower; service only ever grows,
+      // so the window lookahead bound is untouched.
+      const Cycles svc = service_ * deg;
+      Cycles& free_at = sc_.links.earliest(e.link);
+      const Cycles start = t > free_at ? t : free_at;
       free_at = start + svc;
-      if (telem)
-        accumulate_link(sh.link_acc[static_cast<std::size_t>(link_id)],
-                        svc, start - ev.t);
-      const PEvent nxt{start + svc, ev.inj, ev.hop + 1, ev.attempt};
-      const int dst = nxt.hop == hops
-                          ? static_cast<int>(si)  // delivery: last link's owner
-                          : owner[static_cast<std::size_t>(
-                                sc.route[inj][nxt.hop])];
-      if (dst == static_cast<int>(si)) {
-        sh.heap.push(nxt);
-      } else {
-        sh.outbox[parity][static_cast<std::size_t>(dst)].push_back(nxt);
-        staged_min = std::min(staged_min, nxt.t);
-      }
+      if (telem_)
+        accumulate_link(sh.link_acc[static_cast<std::size_t>(e.link)], svc,
+                        start - t);
+      const std::int32_t nhop = static_cast<std::int32_t>(e.hop) + 1;
+      const std::int32_t nlink = nhop == rr.hops ? -1 : rr.span[nhop];
+      push_event(sh, si, start + svc, inj, nlink,
+                 static_cast<std::uint16_t>(nhop), e.attempt);
     }
-    // Earliest pending work (own heap, own stream, or events just staged to
-    // other shards) — the driver's next window start is the minimum.
-    Cycles nt = kNever;
-    if (!sh.heap.empty()) nt = sh.heap.top().t;
-    if (sh.next_inj < sh.inj_ids.size())
-      nt = std::min(
-          nt, sc.injections[static_cast<std::size_t>(
-                                sh.inj_ids[sh.next_inj])].born);
-    sh.next_t = std::min(nt, staged_min);
-  };
-
-  util::ThreadPool& pool = util::ThreadPool::shared();
-  while (window_start != kNever && window_start <= drain) {
-    pool.for_index(static_cast<std::size_t>(S), threads, run_window);
-    parity ^= 1;
-    Cycles next = kNever;
-    for (const Shard& sh : shards) next = std::min(next, sh.next_t);
-    window_start = next;
   }
-  // Pending work past the drain limit — parked events or never-dispatched
-  // injections — is exactly the serial engine's saturation predicate.
-  result.saturated = window_start != kNever ||
-                     sc.dispatchable < sc.injections.size();
+
+  /// A dropped or corrupted attempt either re-dispatches from hop 0 after
+  /// retry_timeout (staying "in flight" from the network's point of view)
+  /// or, with retries exhausted or disabled, is abandoned. The retry may
+  /// re-enter on another shard's link — but retry_timeout >= lookahead
+  /// (checked at entry), so it lands beyond the window end and the
+  /// ordinary handoff is causally safe. Retry records exist only so the
+  /// replay can rebuild the cumulative retransmit counter (and telemetry
+  /// series) in canonical order.
+  void retry_or_lose(Shard& sh, std::size_t si, Cycles t, std::int32_t inj,
+                     std::uint16_t attempt) {
+    if (fp_->retry_timeout > 0 && attempt < fp_->max_retries) {
+      sh.deliveries.push_back({t, inj, DKind::kRetry});
+      push_event(sh, si, t + fp_->retry_timeout, inj,
+                 sc_.refs[static_cast<std::size_t>(inj)].first, 0,
+                 static_cast<std::uint16_t>(attempt + 1));
+    } else {
+      sh.deliveries.push_back({t, inj, DKind::kLost});
+    }
+  }
 
   // ---- Deterministic reduction: replay in canonical (t, inj) order. ----
-  // Merging the (sorted) per-shard delivery lists against the injection
-  // array reconstructs the serial engine's +1/-1 in-flight walk and its
-  // floating-point accumulation order exactly; which shard produced a
-  // delivery no longer matters.
-  util::Histogram histo(0, 64.0 * static_cast<double>(service) *
-                               static_cast<double>(sc.topo.num_nodes()),
-                        4096);
-  Cycles horizon = 0;
-  for (const Shard& sh : shards) horizon = std::max(horizon, sh.last_t);
-  Cycles next_sample = (telem != nullptr && telem->sample_every > 0)
-                           ? telem->sample_every
-                           : kNever;
-  std::int64_t in_flight = 0;
-  std::int64_t completed = 0;
-  std::vector<std::size_t> head(static_cast<std::size_t>(S), 0);
-  std::size_t ii = 0;
-  const Cycles window_close = cfg.warmup + cfg.duration;
-  while (true) {
-    int best = -1;
-    Cycles bt = kNever;
-    std::int32_t binj = 0;
-    for (int s = 0; s < S; ++s) {
-      const std::vector<Delivery>& dv =
-          shards[static_cast<std::size_t>(s)].deliveries;
-      const std::size_t h = head[static_cast<std::size_t>(s)];
-      if (h >= dv.size()) continue;
-      const Delivery& d = dv[h];
-      if (best < 0 || d.t < bt || (d.t == bt && d.inj < binj)) {
-        best = s;
-        bt = d.t;
-        binj = d.inj;
-      }
-    }
-    // An in-flight packet always has a smaller injection id than the next
-    // undispatched injection, so outcome records win timestamp ties — the
-    // same tie-break the serial merge makes.
-    const bool take_inj =
-        ii < sc.dispatchable &&
-        (best < 0 || sc.injections[ii].born < bt);
-    if (!take_inj && best < 0) break;
-    const Cycles t = take_inj ? sc.injections[ii].born : bt;
-    while (next_sample <= t) {
-      telem->in_flight.emplace_back(next_sample, in_flight);
-      if (fp)
-        telem->retransmits.emplace_back(next_sample, result.retransmitted);
-      next_sample += telem->sample_every;
-    }
-    if (take_inj) {
-      result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
-      ++ii;
-    } else {
-      const Shard& bsh = shards[static_cast<std::size_t>(best)];
-      switch (bsh.deliveries[head[static_cast<std::size_t>(best)]].kind) {
-        case DKind::kDelivered: {
-          if (bt >= cfg.warmup && bt < window_close) ++result.delivered;
-          const Cycles born =
-              sc.injections[static_cast<std::size_t>(binj)].born;
-          if (born >= cfg.warmup) {
-            const auto lat = static_cast<double>(bt - born);
-            result.latency.add(lat);
-            histo.add(lat);
-          }
-          ++completed;
-          --in_flight;
-          break;
+  // Merging the (sorted) per-shard outcome lists against the injection
+  // array reconstructs the serial +1/-1 in-flight walk and its floating-
+  // point accumulation order exactly; which shard produced a record — and
+  // how the window kernels batched it — no longer matters.
+  void reduce(PacketSimResult& result) {
+    const PacketSimConfig& cfg = sc_.cfg;
+    const int S = S_;
+    util::Histogram histo(0, 64.0 * static_cast<double>(service_) *
+                                 static_cast<double>(sc_.topo.num_nodes()),
+                          4096);
+    Cycles horizon = 0;
+    for (const Shard& sh : shards_) horizon = std::max(horizon, sh.last_t);
+    Cycles next_sample = (telem_ != nullptr && telem_->sample_every > 0)
+                             ? telem_->sample_every
+                             : kNever;
+    std::int64_t in_flight = 0;
+    std::int64_t completed = 0;
+    std::vector<std::size_t> head(static_cast<std::size_t>(S), 0);
+    std::size_t ii = 0;
+    const Cycles window_close = cfg.warmup + cfg.duration;
+    while (true) {
+      int best = -1;
+      Cycles bt = kNever;
+      std::int32_t binj = 0;
+      for (int s = 0; s < S; ++s) {
+        const std::vector<Delivery>& dv =
+            shards_[static_cast<std::size_t>(s)].deliveries;
+        const std::size_t h = head[static_cast<std::size_t>(s)];
+        if (h >= dv.size()) continue;
+        const Delivery& d = dv[h];
+        if (best < 0 || d.t < bt || (d.t == bt && d.inj < binj)) {
+          best = s;
+          bt = d.t;
+          binj = d.inj;
         }
-        case DKind::kLost:
-          ++result.lost;
-          --in_flight;
-          break;
-        case DKind::kRetry:
-          // The retry itself stays in flight; the record exists so the
-          // cumulative counter (and its sampled series) advances at the
-          // same canonical instant as in the serial engine.
-          ++result.retransmitted;
-          break;
       }
-      ++head[static_cast<std::size_t>(best)];
+      // An in-flight packet always has a smaller injection id than the next
+      // undispatched injection, so outcome records win timestamp ties — the
+      // same tie-break the canonical event order makes.
+      const bool take_inj =
+          ii < sc_.dispatchable && (best < 0 || sc_.injections[ii].born < bt);
+      if (!take_inj && best < 0) break;
+      const Cycles t = take_inj ? sc_.injections[ii].born : bt;
+      while (next_sample <= t) {
+        telem_->in_flight.emplace_back(next_sample, in_flight);
+        if (fp_)
+          telem_->retransmits.emplace_back(next_sample, result.retransmitted);
+        next_sample += telem_->sample_every;
+      }
+      if (take_inj) {
+        result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
+        ++ii;
+      } else {
+        const Shard& bsh = shards_[static_cast<std::size_t>(best)];
+        switch (bsh.deliveries[head[static_cast<std::size_t>(best)]].kind) {
+          case DKind::kDelivered: {
+            if (bt >= cfg.warmup && bt < window_close) ++result.delivered;
+            const Cycles born =
+                sc_.injections[static_cast<std::size_t>(binj)].born;
+            if (born >= cfg.warmup) {
+              const auto lat = static_cast<double>(bt - born);
+              result.latency.add(lat);
+              histo.add(lat);
+            }
+            ++completed;
+            --in_flight;
+            break;
+          }
+          case DKind::kLost:
+            ++result.lost;
+            --in_flight;
+            break;
+          case DKind::kRetry:
+            // The retry itself stays in flight; the record exists so the
+            // cumulative counter (and its sampled series) advances at the
+            // same canonical instant as in a serial replay.
+            ++result.retransmitted;
+            break;
+        }
+        ++head[static_cast<std::size_t>(best)];
+      }
     }
-  }
-  if (telem) {
-    // Tail samples up to the horizon carry the final level, matching the
-    // serial loop's emission on its last processed event.
-    while (next_sample <= horizon) {
-      telem->in_flight.emplace_back(next_sample, in_flight);
-      if (fp)
-        telem->retransmits.emplace_back(next_sample, result.retransmitted);
-      next_sample += telem->sample_every;
+    if (telem_) {
+      // Tail samples up to the horizon carry the final level, matching a
+      // serial loop's emission on its last processed event.
+      while (next_sample <= horizon) {
+        telem_->in_flight.emplace_back(next_sample, in_flight);
+        if (fp_)
+          telem_->retransmits.emplace_back(next_sample, result.retransmitted);
+        next_sample += telem_->sample_every;
+      }
+      telem_->horizon = horizon;
+      // Each link is owned by exactly one shard, so the merged per-link row
+      // is a straight copy from its owner — integer accumulators, identical
+      // event subsequence, identical values at any thread count.
+      std::vector<obs::LinkTelemetry> merged(sc_.links.count());
+      for (std::size_t id = 0; id < sc_.links.count(); ++id)
+        merged[id] =
+            shards_[static_cast<std::size_t>(owner_[id])].link_acc[id];
+      fill_link_telemetry(telem_, sc_.links, merged);
     }
-    telem->horizon = horizon;
-    // Each link is owned by exactly one shard, so the merged per-link row
-    // is a straight copy from its owner — integer accumulators, identical
-    // event subsequence, identical values at any thread count.
-    std::vector<obs::LinkTelemetry> merged(sc.links.count());
-    for (std::size_t id = 0; id < sc.links.count(); ++id)
-      merged[id] = shards[static_cast<std::size_t>(
-                              owner[id])].link_acc[id];
-    fill_link_telemetry(telem, sc.links, merged);
+
+    // Historically the serial packet store created a slot exactly when its
+    // freelist was empty, i.e. when in_flight == slots, so slots ever
+    // created == peak in-flight (pinned by tests/test_packet_sim.cpp). The
+    // storeless engine reports the same quantity. This holds under faults
+    // too: a retrying packet keeps its slot, so slot lifetime still equals
+    // the in-flight span.
+    result.pool_slots = result.peak_in_flight;
+    for (const Shard& sh : shards_) {
+      result.dropped += sh.dropped;
+      result.corrupted += sh.corrupted;
+    }
+    result.undrained = result.injected - completed - result.lost;
+    result.truncated = result.saturated;
+    result.p95_latency = histo.quantile(0.95);
+    result.throughput = static_cast<double>(result.delivered) /
+                        static_cast<double>(cfg.duration) /
+                        static_cast<double>(sc_.topo.num_endpoints());
   }
 
-  // The serial store creates a slot exactly when the freelist is empty,
-  // i.e. when in_flight == slots, so slots ever created == peak in-flight
-  // (pinned by tests/test_packet_sim.cpp). Report the same quantity. This
-  // holds under faults too: a retrying packet keeps its slot, so slot
-  // lifetime still equals the in-flight span.
-  result.pool_slots = result.peak_in_flight;
-  for (const Shard& sh : shards) {
-    result.dropped += sh.dropped;
-    result.corrupted += sh.corrupted;
-  }
-  result.undrained = result.injected - completed - result.lost;
-  result.truncated = result.saturated;
-  result.p95_latency = histo.quantile(0.95);
-  result.throughput = static_cast<double>(result.delivered) /
-                      static_cast<double>(cfg.duration) /
-                      static_cast<double>(P);
-}
+  const SimContext& sc_;
+  const fault::FaultPlan* const fp_;
+  const Cycles service_;
+  const bool csort_;  ///< counting sort viable (dt range small enough)
+  const Cycles drain_;
+  obs::NetTelemetry* const telem_;
+  const int threads_;
+  const int S_;
+  const std::vector<std::int32_t> owner_;
+  std::vector<Shard> shards_;
+  WindowDiv wdiv_;
+  std::int64_t cur_w_ = 0;  ///< window being processed (wheel edge)
+  int parity_ = 0;
+};
 
 }  // namespace
 
@@ -904,6 +989,8 @@ PacketSimResult run_packet_sim(const Topology& topo,
   LOGP_CHECK(cfg.injection_rate > 0.0 && cfg.injection_rate <= 1.0);
   const int P = topo.num_endpoints();
   LOGP_CHECK(P >= 2);
+  const Cycles service = lookahead(cfg);
+  LOGP_CHECK_MSG(service >= 1, "hop_delay + phits must be >= 1");
   util::Xoshiro256StarStar rng(cfg.seed);
 
   // A null plan and a plan with no packet-level faults are the same thing
@@ -919,15 +1006,17 @@ PacketSimResult run_packet_sim(const Topology& topo,
           "FaultPlan retry_timeout (" << fp->retry_timeout
                                       << ") must be 0 or >= lookahead ("
                                       << lookahead(cfg) << ")");
+      LOGP_CHECK_MSG(fp->max_retries < 65535,
+                     "FaultPlan max_retries must fit the packed attempt "
+                     "counter (< 65535)");
     }
   }
 
   PacketSimResult result;
   result.offered_load = cfg.injection_rate;
-  const Cycles service = lookahead(cfg);
 
   // Pre-generate all injections (open-loop source). The RNG call sequence
-  // does not depend on sim_threads, so the workload is fixed before either
+  // does not depend on sim_threads, so the workload is fixed before the
   // engine runs.
   std::vector<Injection> injections;
   const Cycles inject_end = cfg.warmup + cfg.duration;
@@ -936,6 +1025,7 @@ PacketSimResult run_packet_sim(const Topology& topo,
                           cfg.injection_rate;
   injections.reserve(static_cast<std::size_t>(expected + 64.0) +
                      4 * static_cast<std::size_t>(std::sqrt(expected)));
+  Cycles max_born = 0;
   for (int e = 0; e < P; ++e) {
     Cycles t = rng.geometric(cfg.injection_rate);
     Cycles last_born = -1;
@@ -945,12 +1035,13 @@ PacketSimResult run_packet_sim(const Topology& topo,
       // Fault-plan injection jitter is hashed, not drawn, so it neither
       // consumes RNG state nor disturbs the fault-free sequence. The clamp
       // keeps each endpoint's stream strictly increasing, preserving the
-      // canonical (born, src) order the engines key on.
+      // canonical (born, src) order the engine keys on.
       if (fp != nullptr && fp->max_injection_delay > 0) {
         born = std::max(t + fp->injection_delay(e, t), last_born + 1);
         last_born = born;
       }
       injections.push_back({born, e, dst});
+      max_born = std::max(max_born, born);
       ++result.injected;
       t += rng.geometric(cfg.injection_rate);
     }
@@ -958,47 +1049,79 @@ PacketSimResult run_packet_sim(const Topology& topo,
   // (born, src) is a canonical order — streams are generated per endpoint
   // in src order, each strictly increasing in time, so a timestamp tie can
   // only involve distinct sources. The sorted index becomes the packet's
-  // injection id, the tie-break key of every event queue.
-  std::sort(injections.begin(), injections.end(),
-            [](const Injection& a, const Injection& b) {
-              if (a.born != b.born) return a.born < b.born;
-              return a.src < b.src;
-            });
+  // injection id, the tie-break key of every event queue. Streams are
+  // emitted in src order and each is strictly increasing, so a stable
+  // counting scatter by born yields exactly the comparison sort's order in
+  // O(n + horizon); the comparison sort remains for degenerate cases where
+  // the time range dwarfs the population.
+  if (injections.size() > 1) {
+    const auto range = static_cast<std::size_t>(max_born) + 2;
+    if (range <= 8 * injections.size() + 65536) {
+      std::vector<std::uint32_t> at(range, 0);
+      for (const Injection& in : injections)
+        ++at[static_cast<std::size_t>(in.born) + 1];
+      for (std::size_t b = 1; b < range; ++b) at[b] += at[b - 1];
+      std::vector<Injection> by_born(injections.size());
+      for (const Injection& in : injections)
+        by_born[at[static_cast<std::size_t>(in.born)]++] = in;
+      injections.swap(by_born);
+    } else {
+      std::sort(injections.begin(), injections.end(),
+                [](const Injection& a, const Injection& b) {
+                  if (a.born != b.born) return a.born < b.born;
+                  return a.src < b.src;
+                });
+    }
+  }
 
   // Pre-resolve every route in injection order: dense link ids get the same
-  // first-touch order at any thread count, and neither engine hashes or
-  // allocates route storage once the event loops start.
+  // first-touch order at any thread count, and the engine never hashes or
+  // allocates route storage once the window loop starts.
   LinkTable links;
   RouteCache routes(topo, links);
-  std::vector<const std::int32_t*> route(injections.size());
-  std::vector<std::int32_t> hops(injections.size());
-  for (std::size_t i = 0; i < injections.size(); ++i)
-    routes.get(injections[i].src, injections[i].dst, route[i], hops[i]);
+  std::vector<RouteRef> refs(injections.size());
+  for (std::size_t i = 0; i < injections.size(); ++i) {
+    RouteRef& rr = refs[i];
+    routes.get(injections[i].src, injections[i].dst, rr.span, rr.hops);
+    LOGP_CHECK_MSG(rr.hops < 65536,
+                   "route longer than the packed hop counter");
+    rr.first = rr.hops > 0 ? rr.span[0] : -1;
+  }
 
-  // Injections past the drain limit are never dispatched by either engine
-  // (the array is born-sorted, so they form a suffix).
+  // Injections past the drain limit are never dispatched (the array is
+  // born-sorted, so they form a suffix).
   std::size_t dispatchable = injections.size();
   while (dispatchable > 0 &&
          injections[dispatchable - 1].born > cfg.drain_limit)
     --dispatchable;
 
+  // Pool pre-sizing from the capacity bound (ROADMAP item 5): LogP allows
+  // each endpoint at most ceil(L/g) outstanding messages. The network
+  // analogue takes L = diameter_hops * service (worst-case unloaded
+  // transit) and g = 1/injection_rate (mean inter-injection gap), giving
+  // ceil(diameter * service * rate) expected in-flight packets per
+  // endpoint. Saturated runs may exceed any static bound and regrow.
   const std::size_t reserve =
       cfg.reserve_packets > 0
           ? static_cast<std::size_t>(cfg.reserve_packets)
-          : static_cast<std::size_t>(P) * static_cast<std::size_t>(service);
+          : static_cast<std::size_t>(P) *
+                static_cast<std::size_t>(std::max<Cycles>(
+                    1, static_cast<Cycles>(std::ceil(
+                           static_cast<double>(std::max(
+                               1, topo.diameter_hops())) *
+                           static_cast<double>(service) *
+                           cfg.injection_rate))));
 
-  const SimContext sc{topo,  cfg,  links,        injections, route,
-                      hops,  dispatchable, service,    reserve,    fp};
+  const SimContext sc{topo,    cfg,     links, injections, refs, dispatchable,
+                      service, reserve, fp};
 
   int threads = cfg.sim_threads;
   if (threads <= 0)
     threads = std::max(1u, std::thread::hardware_concurrency());
   const int num_shards =
-      std::min<int>(threads, static_cast<int>(links.count()));
-  if (num_shards <= 1)
-    run_serial(sc, result);
-  else
-    run_windowed(sc, threads, num_shards, result);
+      std::max(1, std::min<int>(threads, static_cast<int>(links.count())));
+  Engine engine(sc, threads, num_shards);
+  engine.run(result);
   return result;
 }
 

@@ -56,11 +56,13 @@ struct PacketSimConfig {
   /// and per-packet statistics are reduced in that order regardless of
   /// which worker produced them (pinned by tests/test_packet_sim.cpp).
   int sim_threads = 1;
-  /// Packet-slot / event-heap capacity to pre-reserve; 0 = auto:
-  /// num_endpoints x (hop_delay + phits) — the network analogue of LogP's
-  /// per-endpoint ceil(L/g) capacity bound, so the first simulation window
-  /// never regrows a hot-path buffer mid-event. Saturated runs may exceed
-  /// any static bound and are allowed to regrow.
+  /// Event-store capacity to pre-reserve; 0 = auto from the ceil(L/g)
+  /// capacity bound: num_endpoints x ceil(diameter_hops x service x rate),
+  /// LogP's per-endpoint ceil(L/g) with L = diameter_hops x service (the
+  /// worst-case unloaded transit time) and g = 1/injection_rate (the mean
+  /// inter-injection gap) — the expected peak in-flight population, so the
+  /// steady state never regrows a hot-path buffer. Saturated runs may
+  /// exceed any static bound and are allowed to regrow.
   std::int64_t reserve_packets = 0;
   /// Optional telemetry sink (see obs/net_telemetry.hpp): per-link
   /// utilization / queue waits plus a sampled in-flight series. Attaching a

@@ -35,6 +35,8 @@ class Hypercube final : public Topology {
     return cur ^ (diff & -diff);  // fix the lowest differing bit
   }
 
+  int diameter_hops() const override { return dim_; }
+
  private:
   int P_;
   int dim_;
@@ -60,6 +62,10 @@ class Mesh2D final : public Topology {
     if (cx != dx) return cy * X_ + step(cx, dx, X_);
     LOGP_CHECK(cy != dy);
     return step(cy, dy, Y_) * X_ + cx;
+  }
+
+  int diameter_hops() const override {
+    return torus_ ? X_ / 2 + Y_ / 2 : (X_ - 1) + (Y_ - 1);
   }
 
   int step(int c, int d, int n) const {
@@ -103,6 +109,11 @@ class Mesh3D final : public Topology {
     return cz * X_ * Y_ + cy * X_ + cx;
   }
 
+  int diameter_hops() const override {
+    return torus_ ? X_ / 2 + Y_ / 2 + Z_ / 2
+                  : (X_ - 1) + (Y_ - 1) + (Z_ - 1);
+  }
+
   int step(int c, int d, int n) const {
     if (!torus_) return c < d ? c + 1 : c - 1;
     const int fwd = (d - c + n) % n;
@@ -140,6 +151,8 @@ class Butterfly final : public Topology {
     LOGP_CHECK(next != cur || k_ == 1);
     return next;
   }
+
+  int diameter_hops() const override { return k_; }  // every route exactly k
 
  private:
   int P_;
@@ -201,6 +214,8 @@ class FatTree4 final : public Topology {
     }
     return std::max(1, mult);
   }
+
+  int diameter_hops() const override { return 2 * height_; }  // up + down
 
  private:
   std::pair<int, int> locate(int node) const {

@@ -35,6 +35,14 @@ class Topology {
     return 1;
   }
 
+  /// Upper bound on the route length (in links) between any endpoint pair
+  /// under this topology's deterministic routing. Used to pre-size the
+  /// packet simulator's pools from the ceil(L/g) capacity bound (L is at
+  /// most diameter_hops() per-hop times); must be O(1), never a route walk.
+  /// The base default (num_nodes()) is safe for any routing function that
+  /// never revisits a node.
+  virtual int diameter_hops() const { return num_nodes(); }
+
   /// Node sequence of the route between endpoints (inclusive of both ends).
   std::vector<int> route(int src, int dst) const;
   /// Links traversed between endpoints.

@@ -1,0 +1,63 @@
+// Small SIMD kernel library for the packet engine's inner loops.
+//
+// Two deliberate constraints shape this file:
+//
+//  * Byte-identity. Every kernel is specified by its scalar reference
+//    implementation (the *_scalar functions below); the vector variants must
+//    reproduce it exactly — including first-index tie-breaks — so SIMD-on and
+//    SIMD-off builds of the simulator produce bit-identical results (pinned
+//    by tests/test_simd.cpp and the packet-sim goldens).
+//  * Runtime dispatch. The repo builds for baseline x86-64, so AVX2 code is
+//    compiled behind `__attribute__((target("avx2")))` and selected at
+//    runtime via cpuid. `-DLOGP_NO_SIMD=ON` compiles the vector variants out
+//    entirely and every entry point collapses to its scalar reference;
+//    `set_force_scalar(true)` does the same at runtime so one test binary
+//    can diff both paths in-process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace logp::util::simd {
+
+/// True when vector kernels are compiled in at all (false under
+/// -DLOGP_NO_SIMD=ON or on non-x86-64 targets).
+constexpr bool compiled_in() {
+#if defined(LOGP_NO_SIMD) || !(defined(__x86_64__) || defined(_M_X64)) || \
+    !(defined(__GNUC__) || defined(__clang__))
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Runtime switch: force every kernel onto its scalar reference path.
+/// Test-only (not thread-safe against concurrent kernel calls).
+void set_force_scalar(bool on);
+bool force_scalar();
+
+/// True when the vector variants will actually run: compiled in, CPU
+/// supports AVX2, and not forced scalar.
+bool active();
+
+// ---- Kernels ------------------------------------------------------------
+
+/// Index of the first minimum of v[0..n), n >= 1. The first-index tie-break
+/// is load-bearing: it is the channel-arbitration order of
+/// LinkTable::earliest (historically std::min_element), so equal-cycle
+/// channels must resolve to the lowest index.
+std::size_t first_min_index_i64_scalar(const std::int64_t* v, std::size_t n);
+std::size_t first_min_index_i64(const std::int64_t* v, std::size_t n);
+
+/// Sign mask of a strided i32 column: out_words[w] bit b is set iff
+/// v[(64*w + b) * stride] < 0, for 64*w + b < n; bits at and beyond n are
+/// zero. `stride` is in i32 elements. The packet engine points this at the
+/// `link` column of its 16-byte window events (stride 4) to split each
+/// 64-event block into deliveries (negative link) and link traversals.
+void negative_mask_i32_stride_scalar(const std::int32_t* v, std::size_t n,
+                                     std::size_t stride,
+                                     std::uint64_t* out_words);
+void negative_mask_i32_stride(const std::int32_t* v, std::size_t n,
+                              std::size_t stride, std::uint64_t* out_words);
+
+}  // namespace logp::util::simd

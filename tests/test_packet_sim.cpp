@@ -19,9 +19,11 @@
 #include <new>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
 #include "obs/net_telemetry.hpp"
+#include "util/simd.hpp"
 
 // ---- Counting allocator guard (this TU is its own test binary) ----------
 
@@ -319,6 +321,82 @@ TEST(PacketSim, IdenticalRunsBitForBit) {
     EXPECT_EQ(a.p95_latency, b.p95_latency);
     EXPECT_EQ(a.saturated, b.saturated);
     EXPECT_EQ(a.pool_slots, b.pool_slots);
+  }
+}
+
+TEST(PacketSim, SimdOnOffByteIdenticalEverywhere) {
+  // The vector kernels must be invisible: forcing every kernel through its
+  // scalar reference (the same code path -DLOGP_NO_SIMD=ON compiles) has to
+  // reproduce the SIMD run bit-for-bit — full result surface plus telemetry
+  // — for every pattern x topology x thread count. FatTree4(64, 2) is the
+  // load-bearing topology: its multi-channel links exercise the SIMD
+  // first-minimum channel arbitration (and its equal-cycle tie-break).
+  struct Case {
+    const char* name;
+    std::unique_ptr<Topology> topo;
+  };
+  Case cases[3];
+  cases[0] = {"torus8x8", make_mesh2d(8, 8, true)};
+  cases[1] = {"butterfly32", make_butterfly(32)};
+  cases[2] = {"fattree64t2", make_fat_tree4(64, 2)};
+  for (const auto& c : cases) {
+    for (const auto pat : kPatterns) {
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE(std::string(c.name) + "/" + traffic_pattern_name(pat) +
+                     " sim_threads=" + std::to_string(threads));
+        PacketSimConfig base = golden_config(pat);
+        base.sim_threads = threads;
+        PacketSimConfig cfg_on = base;
+        obs::NetTelemetry telem_on;
+        telem_on.sample_every = 500;
+        cfg_on.telemetry = &telem_on;
+        util::simd::set_force_scalar(false);
+        const auto on = run_packet_sim(*c.topo, cfg_on);
+        PacketSimConfig cfg_off = base;
+        obs::NetTelemetry telem_off;
+        telem_off.sample_every = 500;
+        cfg_off.telemetry = &telem_off;
+        util::simd::set_force_scalar(true);
+        const auto off = run_packet_sim(*c.topo, cfg_off);
+        util::simd::set_force_scalar(false);
+        expect_identical(on, telem_on, off, telem_off);
+      }
+    }
+  }
+}
+
+TEST(PacketSim, SimdOnOffByteIdenticalUnderActiveFaultPlan) {
+  // Same invariant through the faulted kernel: drops, corruption, retries
+  // and a degraded link must not perturb SIMD/scalar identity (the faulted
+  // window walk is strictly canonical; classification masks and channel
+  // scans still run through the kernels).
+  const auto topo = make_fat_tree4(64, 2);
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.05;
+  plan.corrupt_rate = 0.02;
+  plan.retry_timeout = 64;
+  plan.max_retries = 3;
+  plan.link_faults.push_back({0, 64, 2000, 6000, 4});
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("sim_threads=" + std::to_string(threads));
+    PacketSimConfig base = golden_config(TrafficPattern::kUniform);
+    base.sim_threads = threads;
+    base.faults = &plan;
+    PacketSimConfig cfg_on = base;
+    obs::NetTelemetry telem_on;
+    telem_on.sample_every = 500;
+    cfg_on.telemetry = &telem_on;
+    util::simd::set_force_scalar(false);
+    const auto on = run_packet_sim(*topo, cfg_on);
+    PacketSimConfig cfg_off = base;
+    obs::NetTelemetry telem_off;
+    telem_off.sample_every = 500;
+    cfg_off.telemetry = &telem_off;
+    util::simd::set_force_scalar(true);
+    const auto off = run_packet_sim(*topo, cfg_off);
+    util::simd::set_force_scalar(false);
+    EXPECT_GT(on.dropped + on.corrupted, 0);
+    expect_identical(on, telem_on, off, telem_off);
   }
 }
 
