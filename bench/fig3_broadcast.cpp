@@ -45,13 +45,14 @@ exp::ExperimentSpec broadcast_spec(const Params& prm) {
 
 int main(int argc, char** argv) {
   const int threads = exp::threads_from_args(argc, argv);
-  // --trace / --profile / --trace-json FILE / --metrics-csv FILE apply to
-  // the worked example below; all default off, keeping stdout byte-stable.
+  // The obs flags (--trace/--profile/--trace-json/--metrics-csv plus
+  // --critical-path FILE and --whatif SPEC) apply to the worked example
+  // below; all default off, keeping stdout byte-stable.
   const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   if (const int rc = exp::reject_unknown_flags(
           argc, argv,
           "[--threads N] [--trace] [--profile] [--trace-json FILE] "
-          "[--metrics-csv FILE]"))
+          "[--metrics-csv FILE] [--critical-path FILE] [--whatif SPEC]"))
     return rc;
   std::cout << "== Figure 3: optimal broadcast tree ==\n\n";
 
@@ -71,10 +72,13 @@ int main(int argc, char** argv) {
 
   {
     obs::MetricsRegistry metrics;
+    obs::CritPathRecorder critpath;
     sim::MachineConfig cfg;
     cfg.params = fig3;
     cfg.record_trace = true;
     if (!obs_flags.metrics_csv.empty()) cfg.metrics = &metrics;
+    if (obs_flags.wants_critpath() || !obs_flags.trace_json.empty())
+      cfg.critpath = &critpath;
     runtime::Scheduler sched(cfg);
     std::vector<std::uint64_t> value(8, 0);
     value[0] = 1;
@@ -85,7 +89,7 @@ int main(int argc, char** argv) {
     sched.run();
     std::cout << trace::render_timeline(sched.machine().recorder(), 8) << '\n';
     obs::emit_machine_obs(obs_flags, sched.machine(), "fig3 worked example",
-                          std::cout, &metrics);
+                          std::cout, &metrics, &critpath);
   }
 
   std::cout << "== Completion time vs P (CM-5 parameters, in us) ==\n\n";

@@ -31,6 +31,9 @@
 #include "fault/fault.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
+#include "obs/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/net_telemetry.hpp"
 #include "util/format.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -103,10 +106,15 @@ int main(int argc, char** argv) {
       exp::string_from_args(argc, argv, "--checkpoint-dir");
   const bool resume = exp::bool_from_args(argc, argv, "--resume");
   const int crash_after = exp::int_from_args(argc, argv, "--crash-after");
+  // Packet-level obs subset (exemplar re-run after the grid; see below).
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   if (const int rc = exp::reject_unknown_flags(
           argc, argv,
           "[--threads N] [--sim-threads N] [--checkpoint-dir DIR] [--resume] "
-          "[--crash-after N]"))
+          "[--crash-after N] [--profile] [--trace-json FILE] "
+          "[--metrics-csv FILE]"))
+    return rc;
+  if (const int rc = obs::reject_machine_only_flags(obs_flags, argv[0]))
     return rc;
 
   const auto torus = net::make_mesh2d(8, 8, true);
@@ -230,5 +238,24 @@ int main(int argc, char** argv) {
                "rate: below the knee the retries only stretch the latency\n"
                "tail, beyond it the retransmit traffic itself tips the\n"
                "network into saturation.\n";
+
+  if (obs_flags.any()) {
+    // Exemplar: 2% loss at the pre-knee load 0.06 — lossy enough that the
+    // retransmit counter track and per-link drop column are populated,
+    // stable enough that utilization reads as load, not as saturation.
+    // Re-run serially with the single-owner sinks attached; the grid
+    // tables above stay byte-identical with the flags on or off.
+    obs::NetTelemetry tel;
+    tel.sample_every = 250;
+    obs::MetricsRegistry metrics;
+    net::PacketSimConfig cfg = base;
+    cfg.injection_rate = 0.06;
+    cfg.faults = &plans[3];  // drop_rates[3] == 0.02
+    cfg.telemetry = &tel;
+    cfg.metrics = &metrics;
+    (void)net::run_packet_sim(*torus, cfg);
+    obs::emit_packet_obs(obs_flags, tel, metrics, "drop=0.02 load=0.06",
+                         std::cout);
+  }
   return 0;
 }

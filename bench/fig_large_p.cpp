@@ -30,6 +30,9 @@
 #include "fault/fault.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
+#include "obs/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/net_telemetry.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
 
@@ -83,8 +86,16 @@ int main(int argc, char** argv) {
   const int sim_threads = exp::sim_threads_from_args(argc, argv);
   // --ci: the P = 4096 slice with short windows, sized for the smoke lane.
   const bool ci = exp::bool_from_args(argc, argv, "--ci");
+  // Packet-level obs subset: the sinks attach to one exemplar re-run (the
+  // degraded fault point) after the sweep, so the table above stays
+  // byte-identical with the flags on or off.
+  const obs::ObsFlags obs_flags = obs::obs_from_args(argc, argv);
   if (const int rc = exp::reject_unknown_flags(
-          argc, argv, "[--threads N] [--sim-threads N] [--ci]"))
+          argc, argv,
+          "[--threads N] [--sim-threads N] [--ci] [--profile] "
+          "[--trace-json FILE] [--metrics-csv FILE]"))
+    return rc;
+  if (const int rc = obs::reject_machine_only_flags(obs_flags, argv[0]))
     return rc;
 
   std::cout << "== Large-P production scenarios (packet-level, P = 4096.."
@@ -171,5 +182,19 @@ int main(int argc, char** argv) {
                "--sim-threads value, and with SIMD kernels on or off —\n"
                "the canonical (time, injection-id) order pins the\n"
                "trajectory; batching only changes wall-clock time.\n";
+
+  if (obs_flags.any()) {
+    // Exemplar: the degraded fault point (the most telemetry-interesting
+    // row — drops, retries, and a slow uplink all show up per-link).
+    const Scenario& ex = grid[grid.size() - (ci ? 1 : 5)];
+    obs::NetTelemetry tel;
+    tel.sample_every = 100;
+    obs::MetricsRegistry metrics;
+    net::PacketSimConfig cfg = scenario_config(ex, sim_threads);
+    cfg.telemetry = &tel;
+    cfg.metrics = &metrics;
+    (void)net::run_packet_sim(*ex.topo, cfg);
+    obs::emit_packet_obs(obs_flags, tel, metrics, ex.label, std::cout);
+  }
   return 0;
 }

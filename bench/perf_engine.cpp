@@ -16,6 +16,7 @@
 #include "exp/sweep.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/collectives.hpp"
 
 namespace {
@@ -89,11 +90,22 @@ BENCHMARK(BM_AllToAll)->Arg(16)->Arg(64);
 /// time). Arg = injection rate in units of 1e-4 packets/node/cycle; 200 is
 /// the stable regime, 500 pushes the torus toward its saturation knee, so
 /// both the low-occupancy and the deep-queue paths are timed.
+///
+/// LOGP_PERF_OBS=1 attaches a MetricsRegistry (the engine-introspection
+/// sink) to every run. Like BM_PacketSimPar's LOGP_SIM_THREADS, the toggle
+/// is an env var rather than an Arg so the benchmark NAME stays identical —
+/// tools/bench_record.py --compare can gate the recorder-attached run
+/// against a recorder-off baseline of the same BM_PacketSim/200 row (CI
+/// asserts within 10%).
 void BM_PacketSim(benchmark::State& state) {
+  const char* env = std::getenv("LOGP_PERF_OBS");
+  const bool obs_on = env != nullptr && std::atoi(env) != 0;
   const auto topo = net::make_mesh2d(8, 8, true);
+  obs::MetricsRegistry metrics;
   net::PacketSimConfig cfg;
   cfg.injection_rate = static_cast<double>(state.range(0)) * 1e-4;
   cfg.duration = 20000;
+  if (obs_on) cfg.metrics = &metrics;
   std::int64_t delivered = 0;
   for (auto _ : state) {
     const auto r = net::run_packet_sim(*topo, cfg);
@@ -101,6 +113,7 @@ void BM_PacketSim(benchmark::State& state) {
     benchmark::DoNotOptimize(delivered);
   }
   state.SetItemsProcessed(state.iterations() * delivered);
+  state.counters["obs"] = obs_on ? 1 : 0;
 }
 BENCHMARK(BM_PacketSim)->Arg(200)->Arg(500);
 

@@ -68,7 +68,12 @@ std::vector<ExperimentResult> SweepRunner::run(
     LOGP_CHECK_MSG(threads_ <= 1 || spec.config.metrics == nullptr,
                    "spec " << i << " attaches a MetricsRegistry to a "
                            << threads_ << "-thread sweep");
-    runtime::Scheduler sched(spec.config);
+    // The DAG recorder is per-run worker-stack state, so (unlike an
+    // externally owned registry) it is safe at any thread count.
+    obs::CritPathRecorder cp;
+    sim::MachineConfig config = spec.config;
+    if (spec.critical_path) config.critpath = &cp;
+    runtime::Scheduler sched(config);
     sched.set_program(spec.make_program());
     ExperimentResult r;
     r.index = i;
@@ -82,6 +87,7 @@ std::vector<ExperimentResult> SweepRunner::run(
     if (spec.config.record_trace)
       r.trace = sched.machine().recorder().intervals();
     r.degraded = sched.degraded();
+    if (spec.critical_path) r.critpath = obs::analyze_critical_path(cp);
     results[i] = std::move(r);
   });
   return results;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/profiler.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/machine.hpp"
@@ -36,6 +37,12 @@ struct ExperimentSpec {
   std::string label;
   sim::MachineConfig config;
   std::function<runtime::Program()> make_program;
+  /// Record the run's dependency DAG and carry its critical-path analysis
+  /// on the result (obs/critical_path.hpp). The recorder lives on the
+  /// worker's stack, so — unlike config.metrics — this composes with any
+  /// --threads value; the analysis is deterministic, so results stay
+  /// byte-identical across thread counts.
+  bool critical_path = false;
 };
 
 /// Deterministic outputs of one experiment. Wall-clock time is deliberately
@@ -58,6 +65,9 @@ struct ExperimentResult {
   /// a failed processor during this run — the result is valid but was
   /// produced by a degraded configuration.
   bool degraded = false;
+  /// Critical-path analysis when spec.critical_path was set (empty
+  /// otherwise): bucket/rank attribution, binding path, slack-ranked chains.
+  obs::CritPathReport critpath;
 };
 
 struct SweepOptions {

@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/check.hpp"
@@ -143,6 +144,8 @@ RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
   mcfg.record_trace = want_trace;
   mcfg.faults = use_plan ? &plan : nullptr;
   mcfg.oracle = oracle;
+  obs::CritPathRecorder critpath;
+  if (want_trace) mcfg.critpath = &critpath;
 
   Scheduler sched(mcfg);
   sched.set_handler(kUserTag, [&out](Ctx ctx, const sim::Message& m) {
@@ -199,9 +202,14 @@ RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
   if (rl) out.rel = rl->stats();
   out.degraded = sched.degraded();
   if (out.ok) out.profile = obs::profile_machine(sched.machine());
-  if (want_trace)
-    out.trace_json = obs::chrome_trace_json(sched.machine().recorder(), P,
-                                            "mc:" + cfg.scenario);
+  if (want_trace) {
+    const obs::CritPathReport rep = obs::analyze_critical_path(critpath);
+    obs::ChromeTraceWriter w;
+    w.add_intervals(sched.machine().recorder(), P, "mc:" + cfg.scenario);
+    if (!rep.empty()) w.add_critical_path(rep);
+    out.trace_json = w.str();
+    out.critpath_json = obs::critpath_json(rep);
+  }
   return out;
 }
 

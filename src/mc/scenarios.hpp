@@ -94,6 +94,12 @@ struct RunOutcome {
   std::vector<char> proc_degraded;
   obs::LogPProfile profile;  ///< empty when !ok
   std::string trace_json;    ///< Chrome trace, when requested
+  /// Critical-path artifact (obs/critical_path.hpp JSON) of the same
+  /// interleaving, when requested: which dependency chain — retransmit
+  /// timeouts included — made this schedule finish when it did. Dumped by
+  /// tools/mc_check next to the counterexample trace so a violating
+  /// interleaving arrives with its causal explanation attached.
+  std::string critpath_json;
 };
 
 const std::vector<std::string>& scenario_names();

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/net_telemetry.hpp"
 #include "util/arena.hpp"
 #include "util/check.hpp"
@@ -398,6 +399,16 @@ struct Shard {
   // order-free and thread-count invariant.
   std::int64_t dropped = 0;
   std::int64_t corrupted = 0;
+  // Engine introspection (PacketSimConfig::metrics), accumulated
+  // unconditionally — plain integer adds on paths that already touch the
+  // same cache lines — and published once, cold, after the run.
+  std::int64_t wheel_pushes = 0;   ///< events staged through the wheel
+  std::int64_t wheel_peak = 0;     ///< max single-bucket occupancy seen
+  std::int64_t heap_spills = 0;    ///< events past the wheel horizon
+  std::int64_t simd_windows = 0;   ///< fast-kernel (SIMD-path) dispatches
+  std::int64_t scalar_windows = 0; ///< faulted (strictly scalar) dispatches
+  std::int64_t csort_windows = 0;  ///< counting-sorted window buffers
+  std::int64_t sort_fallbacks = 0; ///< std::sort fallback window buffers
 };
 
 /// The windowed batch engine, serial and parallel in one body.
@@ -515,9 +526,38 @@ class Engine {
     for (const Shard& sh : shards_) trunc = trunc || sh.trunc;
     result.saturated = trunc;
     reduce(result);
+    flush_introspection();
   }
 
  private:
+  /// Cold: publishes the engine-introspection totals once, after the run.
+  /// Counter values that aggregate per-(shard, window) decisions (window
+  /// dispatches, peak bucket occupancy) legitimately vary with sim_threads;
+  /// see the PacketSimConfig::metrics doc.
+  void flush_introspection() {
+    obs::MetricsRegistry* m = sc_.cfg.metrics;
+    if (m == nullptr) return;
+    std::int64_t pushes = 0, peak = 0, spills = 0, simd = 0, scalar = 0,
+                 cs = 0, fb = 0;
+    for (const Shard& sh : shards_) {
+      pushes += sh.wheel_pushes;
+      peak = std::max(peak, sh.wheel_peak);
+      spills += sh.heap_spills;
+      simd += sh.simd_windows;
+      scalar += sh.scalar_windows;
+      cs += sh.csort_windows;
+      fb += sh.sort_fallbacks;
+    }
+    m->counter("net.wheel.pushes")->add(pushes);
+    m->gauge("net.wheel.peak_bucket")->set(peak);
+    m->counter("net.heap.spills")->add(spills);
+    m->counter("net.kernel.simd_windows")->add(simd);
+    m->counter("net.kernel.scalar_windows")->add(scalar);
+    m->counter("net.sort.counting_windows")->add(cs);
+    m->counter("net.sort.fallbacks")->add(fb);
+    m->gauge("net.shards")->set(S_);
+  }
+
   std::int64_t next_window() const {
     std::int64_t w = kNoWindow;
     for (const Shard& sh : shards_) w = std::min(w, sh.next_w);
@@ -552,11 +592,15 @@ class Engine {
                   std::uint16_t hop, std::uint16_t attempt) {
     const std::int64_t wt = wdiv_(t);
     if (wt - cur_w_ >= kWheel) {
+      ++sh.heap_spills;
       sh.spill.push({t, inj, link, hop, attempt});
       return;
     }
-    sh.bucket[wt & (kWheel - 1)].push_back(
-        {pack_key(t - wt * service_, inj), link, hop, attempt});
+    std::vector<WEvent>& b = sh.bucket[wt & (kWheel - 1)];
+    b.push_back({pack_key(t - wt * service_, inj), link, hop, attempt});
+    ++sh.wheel_pushes;
+    sh.wheel_peak =
+        std::max(sh.wheel_peak, static_cast<std::int64_t>(b.size()));
     sh.nonempty |= std::uint64_t{1} << (wt & (kWheel - 1));
   }
 
@@ -568,10 +612,12 @@ class Engine {
   const WEvent* sort_window(Shard& sh, std::vector<WEvent>& buf,
                             std::size_t n) {
     if (!csort_) {
+      ++sh.sort_fallbacks;
       std::sort(buf.begin(), buf.end(),
                 [](const WEvent& a, const WEvent& b) { return a.key < b.key; });
       return buf.data();
     }
+    ++sh.csort_windows;
     std::uint32_t* const pos = sh.dt_pos.data();
     std::fill(pos, pos + service_ + 1, 0);
     for (std::size_t i = 0; i < n; ++i) ++pos[(buf[i].key >> 32) + 1];
@@ -690,6 +736,7 @@ class Engine {
   /// the canonical replay in reduce().
   void window_fast(Shard& sh, std::size_t si, Cycles wbase, const WEvent* ev,
                    std::size_t n) {
+    ++sh.simd_windows;
     sh.mask_words.resize((n + 63) / 64);
     util::simd::negative_mask_i32_stride(&ev[0].link, n,
                                          sizeof(WEvent) / sizeof(std::int32_t),
@@ -760,6 +807,7 @@ class Engine {
   /// sorted buffer in (t, inj) order, exactly like the pre-batch engines.
   void window_faulted(Shard& sh, std::size_t si, Cycles wbase,
                       const WEvent* ev, std::size_t n) {
+    ++sh.scalar_windows;
     for (std::size_t x = 0; x < n; ++x) {
       const WEvent& e = ev[x];
       const Cycles t = wbase + static_cast<Cycles>(e.key >> 32);

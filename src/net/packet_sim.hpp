@@ -19,6 +19,7 @@
 #include "util/stats.hpp"
 
 namespace logp::obs {
+class MetricsRegistry;
 struct NetTelemetry;
 }  // namespace logp::obs
 
@@ -69,6 +70,17 @@ struct PacketSimConfig {
   /// sink is purely observational — RNG draws, event order and every
   /// PacketSimResult field are unchanged (pinned by tests/test_obs.cpp).
   obs::NetTelemetry* telemetry = nullptr;
+  /// Optional engine-introspection sink (see obs/metrics.hpp): the batch
+  /// engine publishes net.wheel.* (time-wheel pushes and peak bucket
+  /// occupancy), net.heap.spills (events past the 64-window wheel horizon),
+  /// net.kernel.{simd,scalar}_windows (fast-vs-faulted kernel dispatches)
+  /// and net.sort.{counting_windows,fallbacks} once, after the run.
+  /// Attaching it never changes PacketSimResult (pinned by tests). The
+  /// per-(shard, window) counters depend on how work is partitioned, so —
+  /// unlike every result field — their values may differ across sim_threads;
+  /// byte-identity tests exclude them. Same ownership rules as the machine's
+  /// registry: one owner, must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
   /// Optional deterministic fault plan (see fault/fault.hpp). Null — or a
   /// plan with no packet-level faults — takes the unmodified fast path and
   /// is byte-identical to the fault-free simulator. An active plan is

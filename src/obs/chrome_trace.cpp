@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/critical_path.hpp"
 #include "util/check.hpp"
 
 namespace logp::obs {
@@ -123,6 +124,46 @@ void ChromeTraceWriter::add_counter(
     os << "{\"name\":\"" << name << "\",\"cat\":\"counter\",\"ph\":\"C\","
        << "\"pid\":" << pid << ",\"tid\":0,\"ts\":" << t
        << ",\"args\":{\"value\":" << v << "}}";
+    events_.push_back(os.str());
+  }
+}
+
+void ChromeTraceWriter::add_critical_path(const CritPathReport& rep, int pid) {
+  // Flow arrow chain along the binding path. Chrome's flow events need a
+  // slice to attach to; the per-edge "critical" slices emitted below provide
+  // one at every hop, so the arrows render even on otherwise idle tracks.
+  const std::uint64_t id = next_flow_id_++;
+  for (std::size_t i = 0; i < rep.path.size(); ++i) {
+    const CritPathStep& s = rep.path[i];
+    const char* ph = i == 0 ? "s" : (i + 1 == rep.path.size() ? "f" : "t");
+    std::ostringstream os;
+    os << "{\"name\":\"critical\",\"cat\":\"critical\",\"ph\":\"" << ph
+       << "\",\"id\":" << id;
+    if (ph[0] == 'f') os << ",\"bp\":\"e\"";
+    os << ",\"pid\":" << pid << ",\"tid\":" << s.proc << ",\"ts\":" << s.t
+       << '}';
+    events_.push_back(os.str());
+  }
+  for (const CritPathStep& s : rep.path) {
+    if (s.w <= 0) continue;
+    std::ostringstream os;
+    os << "{\"name\":\"critical\",\"cat\":\"critical\",\"ph\":\"X\",\"pid\":"
+       << pid << ",\"tid\":" << s.proc << ",\"ts\":" << (s.t - s.w)
+       << ",\"dur\":" << s.w << ",\"args\":{\"edge\":\""
+       << cp_edge_name(s.edge) << "\",\"node\":\"" << cp_node_kind_name(s.kind)
+       << "\",\"slack\":0}}";
+    events_.push_back(os.str());
+  }
+  // Near-critical chains: one slice each, slack in args for color-by-value.
+  for (std::size_t i = 0; i < rep.chains.size(); ++i) {
+    const CritChain& c = rep.chains[i];
+    std::ostringstream os;
+    os << "{\"name\":\"chain#" << i
+       << "\",\"cat\":\"slack\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << c.proc_lo << ",\"ts\":" << c.t0
+       << ",\"dur\":" << (c.t1 > c.t0 ? c.t1 - c.t0 : 1)
+       << ",\"args\":{\"slack\":" << c.slack << ",\"cycles\":" << c.cycles
+       << ",\"nodes\":" << c.nodes << ",\"proc_hi\":" << c.proc_hi << "}}";
     events_.push_back(os.str());
   }
 }

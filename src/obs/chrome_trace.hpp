@@ -25,6 +25,8 @@
 
 namespace logp::obs {
 
+struct CritPathReport;
+
 /// Incremental builder so callers can combine interval tracks and counter
 /// series (e.g. packet-sim occupancy) in one file.
 class ChromeTraceWriter {
@@ -43,6 +45,14 @@ class ChromeTraceWriter {
   void add_counter(const std::string& name,
                    const std::vector<std::pair<Cycles, std::int64_t>>& series,
                    int pid = 0);
+
+  /// Overlays a critical-path analysis (obs/critical_path.hpp) on the
+  /// interval tracks: one flow arrow chain ("s"/"t"/"f", cat "critical")
+  /// hopping along the binding path, an "X" slice per weighted path edge on
+  /// the owning processor's track (args carry the edge kind), and one slice
+  /// per reported near-critical chain whose args carry its slack — the
+  /// viewer's color-by-args then reads as slack coloring.
+  void add_critical_path(const CritPathReport& rep, int pid = 0);
 
   /// Assembles {"displayTimeUnit":"ms","traceEvents":[...]}.
   std::string str() const;

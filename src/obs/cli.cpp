@@ -36,6 +36,9 @@ ObsFlags obs_from_args(int& argc, char** argv) {
     } else if (value_flag("--trace-json", argc, argv, i, &flags.trace_json)) {
     } else if (value_flag("--metrics-csv", argc, argv, i,
                           &flags.metrics_csv)) {
+    } else if (value_flag("--critical-path", argc, argv, i,
+                          &flags.critical_path)) {
+    } else if (value_flag("--whatif", argc, argv, i, &flags.whatif)) {
     } else {
       argv[out++] = argv[i];
     }

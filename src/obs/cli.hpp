@@ -7,9 +7,17 @@
 //   --profile            print the exemplar run's LogP signature table
 //   --trace-json FILE    write a Chrome trace (chrome://tracing / Perfetto)
 //   --metrics-csv FILE   dump the metrics registry attached to the run
+//   --critical-path FILE write the critical-path artifact (.csv = chain
+//                        table, otherwise JSON; obs/critical_path.hpp)
+//   --whatif SPEC        print predicted finish under scaled parameters,
+//                        e.g. "L=0.5x,o=2x" (obs/whatif.hpp)
 //
 // All default off, so default output stays byte-identical (CI diffs it).
 // Like exp::threads_from_args, parsing consumes the flags from argv.
+//
+// Packet-level benches (fig_large_p, fig_fault_degradation) support the
+// --profile/--trace-json/--metrics-csv subset via emit_packet_obs; the
+// machine-only flags are rejected up front by reject_machine_only_flags.
 #pragma once
 
 #include <fstream>
@@ -17,8 +25,11 @@
 #include <string>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
+#include "obs/net_telemetry.hpp"
 #include "obs/profiler.hpp"
+#include "obs/whatif.hpp"
 #include "trace/timeline.hpp"
 #include "util/check.hpp"
 
@@ -27,14 +38,21 @@ namespace logp::obs {
 struct ObsFlags {
   bool trace = false;
   bool profile = false;
-  std::string trace_json;   ///< output path; empty = off
-  std::string metrics_csv;  ///< output path; empty = off
+  std::string trace_json;     ///< output path; empty = off
+  std::string metrics_csv;    ///< output path; empty = off
+  std::string critical_path;  ///< output path; empty = off
+  std::string whatif;         ///< "L=0.5x,o=2x,..." spec; empty = off
 
   bool any() const {
-    return trace || profile || !trace_json.empty() || !metrics_csv.empty();
+    return trace || profile || !trace_json.empty() || !metrics_csv.empty() ||
+           wants_critpath();
   }
   /// True when the exemplar run should record intervals.
   bool wants_trace() const { return trace || !trace_json.empty(); }
+  /// True when the exemplar run needs a CritPathRecorder attached.
+  bool wants_critpath() const {
+    return !critical_path.empty() || !whatif.empty();
+  }
 };
 
 /// Consumes the flags above from argv (threads_from_args-style).
@@ -47,10 +65,13 @@ void write_file(const std::string& path, const std::string& content,
 
 /// Emits everything the flags ask for from one finished machine run.
 /// `metrics` may be null (then --metrics-csv writes an empty registry note).
+/// `cp` is the recorder the caller attached when flags.wants_critpath();
+/// when present its analysis also overlays the Chrome trace.
 /// Header-only so logp_obs does not link logp_sim.
 inline void emit_machine_obs(const ObsFlags& flags, const sim::Machine& m,
                              const std::string& label, std::ostream& out,
-                             const MetricsRegistry* metrics = nullptr) {
+                             const MetricsRegistry* metrics = nullptr,
+                             const CritPathRecorder* cp = nullptr) {
   if (flags.profile) {
     const LogPProfile prof = profile_machine(m);
     prof.check_invariant();
@@ -62,14 +83,80 @@ inline void emit_machine_obs(const ObsFlags& flags, const sim::Machine& m,
     out << '\n' << "-- " << label << ": activity intervals --\n"
         << trace::render_csv(m.recorder());
   }
+  CritPathReport rep;
+  if (cp != nullptr && !cp->empty() &&
+      (flags.wants_critpath() || !flags.trace_json.empty()))
+    rep = analyze_critical_path(*cp);
   if (!flags.trace_json.empty()) {
     LOGP_CHECK_MSG(m.recorder().enabled(),
                    "--trace-json requires the run to record (record_trace)");
-    write_file(flags.trace_json,
-               chrome_trace_json(m.recorder(), m.params().P, label));
+    ChromeTraceWriter w;
+    w.add_intervals(m.recorder(), m.params().P, label);
+    if (!rep.empty()) w.add_critical_path(rep);
+    write_file(flags.trace_json, w.str());
   }
   if (!flags.metrics_csv.empty() && metrics)
     write_file(flags.metrics_csv, metrics->to_csv());
+  if (!flags.critical_path.empty()) {
+    LOGP_CHECK_MSG(cp != nullptr,
+                   "--critical-path requires a recorder-attached run");
+    const bool csv = flags.critical_path.size() >= 4 &&
+                     flags.critical_path.compare(
+                         flags.critical_path.size() - 4, 4, ".csv") == 0;
+    write_file(flags.critical_path,
+               csv ? critpath_csv(rep) : critpath_json(rep));
+  }
+  if (!flags.whatif.empty()) {
+    LOGP_CHECK_MSG(cp != nullptr, "--whatif requires a recorder-attached run");
+    std::string err;
+    const auto spec = parse_whatif(flags.whatif, &err);
+    LOGP_CHECK_MSG(spec.has_value(), "--whatif: " << err);
+    out << '\n' << "-- " << label << ": what-if --\n"
+        << whatif_table({whatif(*cp, *spec)});
+  }
+}
+
+/// Rejects the machine-only flags in benches whose exemplar run is the
+/// packet-level simulator (no Machine, so no activity intervals and no
+/// message/compute DAG to record). Returns the process exit code (0 = ok),
+/// reject_unknown_flags-style.
+inline int reject_machine_only_flags(const ObsFlags& flags, const char* prog,
+                                     std::ostream& err = std::cerr) {
+  if (flags.trace || flags.wants_critpath()) {
+    err << prog
+        << ": --trace / --critical-path / --whatif need a machine-level "
+           "run; this bench is packet-level (supported: --profile "
+           "--trace-json --metrics-csv)\n";
+    return 2;
+  }
+  return 0;
+}
+
+/// Emits the packet-level subset from one finished run_packet_sim call:
+///   --profile      per-link telemetry table (top 10 by utilization)
+///   --trace-json   Chrome trace with the sampled in-flight counter track
+///                  (plus cumulative retransmits when the run was faulted)
+///   --metrics-csv  the engine-introspection registry (net.wheel.*,
+///                  net.kernel.*, net.sort.*, net.heap.spills)
+/// The caller attaches `tel` / `metrics` to the exemplar's PacketSimConfig
+/// and runs it; both sinks are single-owner, so benches re-run one exemplar
+/// scenario serially rather than instrumenting a parallel sweep.
+inline void emit_packet_obs(const ObsFlags& flags, const NetTelemetry& tel,
+                            const MetricsRegistry& metrics,
+                            const std::string& label, std::ostream& out) {
+  if (flags.profile)
+    out << '\n' << "-- " << label << ": link telemetry (top 10) --\n"
+        << tel.render_links_table(10)
+        << "max utilization " << tel.max_utilization() << ", total queue wait "
+        << tel.total_queue_wait() << " cyc, max backlog " << tel.max_backlog()
+        << "\n";
+  if (!flags.trace_json.empty()) {
+    ChromeTraceWriter w;
+    w.add_counter("in_flight", tel.in_flight);
+    if (!tel.retransmits.empty()) w.add_counter("retransmits", tel.retransmits);
+    write_file(flags.trace_json, w.str());
+  }
+  if (!flags.metrics_csv.empty()) write_file(flags.metrics_csv, metrics.to_csv());
 }
 
 }  // namespace logp::obs

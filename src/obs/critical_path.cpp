@@ -1,0 +1,441 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace logp::obs {
+
+const char* cp_edge_name(CPEdge e) {
+  switch (e) {
+    case CPEdge::kSeq: return "seq";
+    case CPEdge::kCompute: return "compute";
+    case CPEdge::kSendO: return "send_o";
+    case CPEdge::kRecvO: return "recv_o";
+    case CPEdge::kGap: return "gap";
+    case CPEdge::kWire: return "wire";
+    case CPEdge::kCapacity: return "capacity";
+  }
+  return "?";
+}
+
+const char* cp_node_kind_name(CPNodeKind k) {
+  switch (k) {
+    case CPNodeKind::kComputeEnd: return "compute_end";
+    case CPNodeKind::kSendEngage: return "send_engage";
+    case CPNodeKind::kSendReady: return "send_ready";
+    case CPNodeKind::kInject: return "inject";
+    case CPNodeKind::kStreamDone: return "stream_done";
+    case CPNodeKind::kArrive: return "arrive";
+    case CPNodeKind::kRecvStart: return "recv_start";
+    case CPNodeKind::kRecvEnd: return "recv_end";
+  }
+  return "?";
+}
+
+const std::array<const char*, kCritBuckets> kCritBucketNames = {
+    "compute", "send_o", "recv_o", "gap", "wire", "anchor"};
+
+int cp_bucket(CPEdge e) {
+  switch (e) {
+    case CPEdge::kCompute: return 0;
+    case CPEdge::kSendO: return 1;
+    case CPEdge::kRecvO: return 2;
+    case CPEdge::kGap: return 3;
+    case CPEdge::kWire: return 4;
+    case CPEdge::kSeq:
+    case CPEdge::kCapacity: return -1;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Capture
+// ---------------------------------------------------------------------------
+
+void CritPathRecorder::begin_run(int procs) {
+  reset();
+  procs_ = procs;
+  ps_.assign(static_cast<std::size_t>(procs), ProcState{});
+}
+
+std::int32_t CritPathRecorder::add_node(CPNodeKind kind, ProcId proc,
+                                        Cycles t) {
+  if ((count_ & (kChunkNodes - 1)) == 0)
+    chunks_.push_back(arena_.allocate<CPNode>(
+        static_cast<std::size_t>(kChunkNodes)));
+  const std::int64_t id = count_++;
+  CPNode& n = slot(id);
+  n = CPNode{};
+  n.t = t;
+  n.proc = proc;
+  n.kind = kind;
+  LOGP_CHECK_MSG(id <= INT32_MAX, "critical-path DAG exceeds 2^31 nodes");
+  return static_cast<std::int32_t>(id);
+}
+
+void CritPathRecorder::add_pred(CPNode& n, std::int32_t pred, Cycles w,
+                                CPEdge e) {
+  LOGP_CHECK(n.npred < 3);
+  n.pred[n.npred] = pred;
+  n.w[n.npred] = w;
+  n.edge[n.npred] = e;
+  ++n.npred;
+}
+
+/// Finalizes the anchor: when the recorded time exceeds every
+/// predecessor-derived bound, the difference is exogenous (a timed program
+/// step) and must be pinned so the unit-scale recomputation stays exact.
+void CritPathRecorder::seal(CPNode& n) {
+  Cycles m = 0;
+  for (int i = 0; i < n.npred; ++i) {
+    const Cycles base = n.pred[i] >= 0 ? node(n.pred[i]).t : 0;
+    m = std::max(m, base + n.w[i]);
+  }
+  n.anchor = n.t > m ? n.t : 0;
+}
+
+void CritPathRecorder::on_compute(ProcId p, Cycles end, Cycles dur) {
+  auto& st = ps_[static_cast<std::size_t>(p)];
+  const std::int32_t id = add_node(CPNodeKind::kComputeEnd, p, end);
+  CPNode& n = slot(id);
+  add_pred(n, st.cpu, dur, CPEdge::kCompute);
+  seal(n);
+  st.cpu = id;
+}
+
+void CritPathRecorder::on_send_engage(ProcId p, Cycles t, Cycles overhead,
+                                      Cycles port_busy) {
+  auto& st = ps_[static_cast<std::size_t>(p)];
+  const std::int32_t engage = add_node(CPNodeKind::kSendEngage, p, t);
+  {
+    CPNode& n = slot(engage);
+    add_pred(n, st.cpu, 0, CPEdge::kSeq);
+    if (st.send_engage >= 0)
+      add_pred(n, st.send_engage, st.send_port_w, CPEdge::kGap);
+    seal(n);
+  }
+  const std::int32_t ready = add_node(CPNodeKind::kSendReady, p, t + overhead);
+  {
+    CPNode& n = slot(ready);
+    add_pred(n, engage, overhead, CPEdge::kSendO);
+    seal(n);
+  }
+  st.send_engage = engage;
+  st.send_port_w = port_busy;
+  st.cpu = ready;
+}
+
+void CritPathRecorder::on_inject(ProcId p, std::uint32_t msg, Cycles t,
+                                 bool was_stalled, Cycles stream,
+                                 Cycles latency) {
+  auto& st = ps_[static_cast<std::size_t>(p)];
+  const std::int32_t inj = add_node(CPNodeKind::kInject, p, t);
+  {
+    CPNode& n = slot(inj);
+    add_pred(n, st.cpu, 0, CPEdge::kSeq);
+    if (was_stalled && last_release_ >= 0)
+      add_pred(n, last_release_, 0, CPEdge::kCapacity);
+    seal(n);
+  }
+  st.cpu = inj;
+  std::int32_t wire_from = inj;
+  if (stream > 0) {
+    wire_from = add_node(CPNodeKind::kStreamDone, p, t + stream);
+    CPNode& n = slot(wire_from);
+    add_pred(n, inj, stream, CPEdge::kGap);
+    seal(n);
+  }
+  const std::int32_t arrive =
+      add_node(CPNodeKind::kArrive, p, t + stream + latency);
+  {
+    CPNode& n = slot(arrive);
+    add_pred(n, wire_from, latency, CPEdge::kWire);
+    seal(n);
+  }
+  if (msg_arrive_.size() <= msg) msg_arrive_.resize(msg + 1, -1);
+  msg_arrive_[msg] = arrive;
+}
+
+void CritPathRecorder::on_accept(ProcId p, std::uint32_t msg, Cycles t,
+                                 Cycles overhead, Cycles port_gap) {
+  auto& st = ps_[static_cast<std::size_t>(p)];
+  const std::int32_t arrive =
+      msg < msg_arrive_.size() ? msg_arrive_[msg] : -1;
+  const std::int32_t start = add_node(CPNodeKind::kRecvStart, p, t);
+  {
+    CPNode& n = slot(start);
+    add_pred(n, st.cpu, 0, CPEdge::kSeq);
+    if (st.recv_start >= 0)
+      add_pred(n, st.recv_start, st.recv_port_w, CPEdge::kGap);
+    if (arrive >= 0) {
+      // The arrive node fixes the message's proc to the sender at creation
+      // time; re-home the wire endpoint to the receiver for attribution.
+      slot(arrive).proc = p;
+      add_pred(n, arrive, 0, CPEdge::kSeq);
+    }
+    seal(n);
+  }
+  const std::int32_t end = add_node(CPNodeKind::kRecvEnd, p, t + overhead);
+  {
+    CPNode& n = slot(end);
+    add_pred(n, start, overhead, CPEdge::kRecvO);
+    seal(n);
+  }
+  st.recv_start = start;
+  st.recv_port_w = port_gap;
+  st.cpu = end;
+  // The message left the network when the reception engaged: any sender
+  // stalled on the capacity bound may inject at this instant.
+  last_release_ = start;
+}
+
+void CritPathRecorder::on_drop(std::uint32_t msg) {
+  // A dropped message frees its capacity slots at the arrival instant,
+  // exactly like an accepted one (see sim/machine.cpp kDropArrive).
+  if (msg < msg_arrive_.size() && msg_arrive_[msg] >= 0)
+    last_release_ = msg_arrive_[msg];
+}
+
+void CritPathRecorder::on_finish(Cycles finish) {
+  finish_ = finish;
+  finished_ = true;
+}
+
+void CritPathRecorder::reset() {
+  arena_.reset();
+  chunks_.clear();
+  count_ = 0;
+  ps_.clear();
+  msg_arrive_.clear();
+  last_release_ = -1;
+  procs_ = 0;
+  finish_ = 0;
+  finished_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Binding predecessor: the first (in stored order) predecessor whose bound
+/// equals the node's recorded time, or -2 when the node's anchor binds
+/// instead. Stored order is deterministic, so ties resolve identically on
+/// every run.
+int binding_pred(const CritPathRecorder& rec, const CPNode& n) {
+  Cycles m = 0;
+  int b = -1;
+  for (int i = 0; i < n.npred; ++i) {
+    const Cycles base = n.pred[i] >= 0 ? rec.node(n.pred[i]).t : 0;
+    const Cycles c = base + n.w[i];
+    if (c > m || b < 0) {
+      m = c;
+      b = i;
+    }
+  }
+  if (n.anchor > m) return -2;
+  return b;
+}
+
+}  // namespace
+
+Cycles CritPathReport::bucket_sum() const {
+  Cycles s = 0;
+  for (const Cycles b : buckets) s += b;
+  return s;
+}
+
+CritPathReport analyze_critical_path(const CritPathRecorder& rec,
+                                     int top_chains) {
+  CritPathReport rep;
+  rep.node_count = rec.size();
+  if (rec.empty()) {
+    rep.finish = rec.finish();
+    return rep;
+  }
+  const std::int64_t n = rec.size();
+  rep.per_rank.assign(static_cast<std::size_t>(std::max(rec.procs(), 1)),
+                      std::array<Cycles, kCritBuckets>{});
+
+  // Sink: the latest node (earliest id on ties, for determinism).
+  std::int64_t sink = 0;
+  for (std::int64_t i = 1; i < n; ++i)
+    if (rec.node(i).t > rec.node(sink).t) sink = i;
+  const Cycles dag_finish = rec.node(sink).t;
+  rep.finish = rec.finished() ? std::max(rec.finish(), dag_finish)
+                              : dag_finish;
+
+  // Critical path: binding-predecessor walk from the sink, attributing every
+  // traversed edge to its bucket and the successor node's rank.
+  auto attribute = [&rep](ProcId proc, int bucket, Cycles w) {
+    if (w == 0 || bucket < 0) return;
+    rep.buckets[static_cast<std::size_t>(bucket)] += w;
+    if (proc >= 0 &&
+        static_cast<std::size_t>(proc) < rep.per_rank.size())
+      rep.per_rank[static_cast<std::size_t>(proc)]
+                  [static_cast<std::size_t>(bucket)] += w;
+  };
+  // The run may end on an exogenous event after the last operation (a timed
+  // program step); keep the "buckets sum to finish" invariant exact by
+  // booking the tail into the anchor bucket.
+  if (rep.finish > dag_finish) {
+    rep.buckets[kCritBuckets - 1] += rep.finish - dag_finish;
+    rep.anchor_cycles += rep.finish - dag_finish;
+  }
+  std::int64_t v = sink;
+  while (true) {
+    const CPNode& nd = rec.node(v);
+    const int b = binding_pred(rec, nd);
+    CritPathStep step;
+    step.id = v;
+    step.proc = nd.proc;
+    step.kind = nd.kind;
+    step.t = nd.t;
+    if (b == -2) {  // anchored start: the wait is exogenous
+      step.edge = CPEdge::kSeq;
+      step.w = 0;
+      rep.path.push_back(step);
+      rep.buckets[kCritBuckets - 1] += nd.anchor;
+      rep.anchor_cycles += nd.anchor;
+      if (nd.proc >= 0 &&
+          static_cast<std::size_t>(nd.proc) < rep.per_rank.size())
+        rep.per_rank[static_cast<std::size_t>(nd.proc)][kCritBuckets - 1] +=
+            nd.anchor;
+      break;
+    }
+    step.edge = nd.edge[b];
+    step.w = nd.w[b];
+    rep.path.push_back(step);
+    attribute(nd.proc, cp_bucket(nd.edge[b]), nd.w[b]);
+    if (nd.pred[b] < 0) break;  // reached the t=0 source
+    v = nd.pred[b];
+  }
+  std::reverse(rep.path.begin(), rep.path.end());
+
+  // Slack: longest downstream tail per node (reverse topological pass).
+  std::vector<Cycles> down(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    const CPNode& nd = rec.node(i);
+    const Cycles d = down[static_cast<std::size_t>(i)];
+    for (int k = 0; k < nd.npred; ++k) {
+      if (nd.pred[k] < 0) continue;
+      auto& dp = down[static_cast<std::size_t>(nd.pred[k])];
+      dp = std::max(dp, d + nd.w[k]);
+    }
+  }
+  auto slack_of = [&](std::int64_t i) {
+    return dag_finish - rec.node(i).t - down[static_cast<std::size_t>(i)];
+  };
+
+  // Chains: nodes linked through their binding predecessor at equal slack.
+  // Each predecessor can be extended by only one successor (the earliest, by
+  // creation order), so chains are node-disjoint linear paths — a branching
+  // same-slack sibling starts its own chain rather than double-counting the
+  // shared prefix.
+  std::vector<std::int32_t> chain(static_cast<std::size_t>(n), -1);
+  std::vector<bool> extended(static_cast<std::size_t>(n), false);
+  std::vector<CritChain> chains;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const CPNode& nd = rec.node(i);
+    const int b = binding_pred(rec, nd);
+    const std::int32_t bp = b >= 0 ? nd.pred[b] : -1;
+    const Cycles sl = slack_of(i);
+    std::int32_t cid;
+    if (bp >= 0 && slack_of(bp) == sl &&
+        !extended[static_cast<std::size_t>(bp)]) {
+      cid = chain[static_cast<std::size_t>(bp)];
+      extended[static_cast<std::size_t>(bp)] = true;
+    } else {
+      cid = static_cast<std::int32_t>(chains.size());
+      CritChain c;
+      c.slack = sl;
+      c.t0 = nd.t - (b >= 0 ? nd.w[b] : 0);
+      c.t1 = nd.t;
+      c.proc_lo = c.proc_hi = nd.proc;
+      chains.push_back(c);
+    }
+    chain[static_cast<std::size_t>(i)] = cid;
+    CritChain& c = chains[static_cast<std::size_t>(cid)];
+    c.cycles += b >= 0 ? nd.w[b] : 0;
+    c.nodes += 1;
+    c.t0 = std::min(c.t0, nd.t - (b >= 0 ? nd.w[b] : 0));
+    c.t1 = std::max(c.t1, nd.t);
+    c.proc_lo = std::min(c.proc_lo, nd.proc);
+    c.proc_hi = std::max(c.proc_hi, nd.proc);
+  }
+  std::vector<std::size_t> order(chains.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b2) {
+    if (chains[a].slack != chains[b2].slack)
+      return chains[a].slack < chains[b2].slack;
+    if (chains[a].cycles != chains[b2].cycles)
+      return chains[a].cycles > chains[b2].cycles;
+    return a < b2;
+  });
+  const std::size_t keep =
+      std::min<std::size_t>(order.size(),
+                            top_chains <= 0 ? order.size()
+                                            : static_cast<std::size_t>(
+                                                  top_chains));
+  for (std::size_t i = 0; i < keep; ++i)
+    rep.chains.push_back(chains[order[i]]);
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string critpath_json(const CritPathReport& rep) {
+  std::ostringstream os;
+  os << "{\"critical_path\": {";
+  os << "\n\"finish\": " << rep.finish;
+  os << ",\n\"nodes\": " << rep.node_count;
+  os << ",\n\"anchor_cycles\": " << rep.anchor_cycles;
+  os << ",\n\"buckets\": {";
+  for (int b = 0; b < kCritBuckets; ++b)
+    os << (b ? "," : "") << '"' << kCritBucketNames[static_cast<std::size_t>(b)]
+       << "\":" << rep.buckets[static_cast<std::size_t>(b)];
+  os << "},\n\"per_rank\": [";
+  for (std::size_t p = 0; p < rep.per_rank.size(); ++p) {
+    os << (p ? ",\n" : "\n") << "{\"rank\":" << p;
+    for (int b = 0; b < kCritBuckets; ++b)
+      os << ",\"" << kCritBucketNames[static_cast<std::size_t>(b)]
+         << "\":" << rep.per_rank[p][static_cast<std::size_t>(b)];
+    os << '}';
+  }
+  os << "],\n\"path\": [";
+  for (std::size_t i = 0; i < rep.path.size(); ++i) {
+    const CritPathStep& s = rep.path[i];
+    os << (i ? ",\n" : "\n") << "{\"proc\":" << s.proc << ",\"kind\":\""
+       << cp_node_kind_name(s.kind) << "\",\"t\":" << s.t << ",\"edge\":\""
+       << cp_edge_name(s.edge) << "\",\"w\":" << s.w << '}';
+  }
+  os << "],\n\"chains\": [";
+  for (std::size_t i = 0; i < rep.chains.size(); ++i) {
+    const CritChain& c = rep.chains[i];
+    os << (i ? ",\n" : "\n") << "{\"slack\":" << c.slack
+       << ",\"cycles\":" << c.cycles << ",\"nodes\":" << c.nodes
+       << ",\"t0\":" << c.t0 << ",\"t1\":" << c.t1
+       << ",\"proc_lo\":" << c.proc_lo << ",\"proc_hi\":" << c.proc_hi << '}';
+  }
+  os << "]\n}}\n";
+  return os.str();
+}
+
+std::string critpath_csv(const CritPathReport& rep) {
+  std::ostringstream os;
+  os << "chain,slack,cycles,nodes,t0,t1,proc_lo,proc_hi\n";
+  for (std::size_t i = 0; i < rep.chains.size(); ++i) {
+    const CritChain& c = rep.chains[i];
+    os << i << ',' << c.slack << ',' << c.cycles << ',' << c.nodes << ','
+       << c.t0 << ',' << c.t1 << ',' << c.proc_lo << ',' << c.proc_hi << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace logp::obs

@@ -1,0 +1,170 @@
+#include "obs/whatif.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace logp::obs {
+
+namespace {
+
+double factor_for(const WhatIfSpec& s, CPEdge e) {
+  switch (e) {
+    case CPEdge::kCompute: return s.compute;
+    case CPEdge::kSendO:
+    case CPEdge::kRecvO: return s.o;
+    case CPEdge::kGap: return s.g;
+    case CPEdge::kWire: return s.L;
+    case CPEdge::kSeq:
+    case CPEdge::kCapacity: return 1.0;
+  }
+  return 1.0;
+}
+
+Cycles scale(Cycles w, double f) {
+  if (f == 1.0) return w;
+  const Cycles s = static_cast<Cycles>(
+      std::llround(static_cast<double>(w) * f));
+  return s < 0 ? 0 : s;
+}
+
+std::string fmt_factor(double f) {
+  std::ostringstream os;
+  os << f << 'x';
+  return os.str();
+}
+
+}  // namespace
+
+std::string WhatIfSpec::label() const {
+  std::ostringstream os;
+  bool first = true;
+  auto emit = [&](const char* k, double v) {
+    if (v == 1.0) return;
+    os << (first ? "" : ",") << k << '=' << fmt_factor(v);
+    first = false;
+  };
+  emit("L", L);
+  emit("o", o);
+  emit("g", g);
+  emit("compute", compute);
+  if (first) return "identity";
+  return os.str();
+}
+
+std::optional<WhatIfSpec> parse_whatif(const std::string& spec,
+                                       std::string* err) {
+  WhatIfSpec out;
+  auto fail = [&](const std::string& m) -> std::optional<WhatIfSpec> {
+    if (err != nullptr) *err = m;
+    return std::nullopt;
+  };
+  std::size_t pos = 0;
+  if (spec.empty()) return fail("empty --whatif spec");
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + (comma == std::string::npos ? 0 : 1);
+    if (comma == std::string::npos) pos = spec.size();
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size())
+      return fail("expected KEY=FACTOR, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    std::string val = item.substr(eq + 1);
+    if (!val.empty() && (val.back() == 'x' || val.back() == 'X'))
+      val.pop_back();
+    double f = 0.0;
+    std::size_t used = 0;
+    try {
+      f = std::stod(val, &used);
+    } catch (const std::exception&) {
+      return fail("bad factor '" + val + "' for key '" + key + "'");
+    }
+    if (used != val.size())
+      return fail("bad factor '" + val + "' for key '" + key + "'");
+    if (!(f > 0.0))
+      return fail("factor for '" + key + "' must be positive");
+    if (key == "L") {
+      out.L = f;
+    } else if (key == "o") {
+      out.o = f;
+    } else if (key == "g") {
+      out.g = f;
+    } else if (key == "compute" || key == "c") {
+      out.compute = f;
+    } else {
+      return fail("unknown --whatif key '" + key +
+                  "' (expected L, o, g, compute)");
+    }
+  }
+  return out;
+}
+
+Cycles whatif_finish(const CritPathRecorder& rec, const WhatIfSpec& spec) {
+  if (rec.empty()) return rec.finish();
+  const std::int64_t n = rec.size();
+  std::vector<Cycles> t(static_cast<std::size_t>(n), 0);
+  Cycles finish = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const CPNode& nd = rec.node(i);
+    Cycles m = nd.anchor;  // exogenous waits do not scale
+    for (int k = 0; k < nd.npred; ++k) {
+      const Cycles base =
+          nd.pred[k] >= 0 ? t[static_cast<std::size_t>(nd.pred[k])] : 0;
+      m = std::max(m, base + scale(nd.w[k], factor_for(spec, nd.edge[k])));
+    }
+    t[static_cast<std::size_t>(i)] = m;
+    finish = std::max(finish, m);
+  }
+  // A finish recorded past the DAG's last node is an exogenous tail (timed
+  // program step); it does not scale with the parameters.
+  if (rec.finished()) {
+    std::int64_t sink = 0;
+    for (std::int64_t i = 1; i < n; ++i)
+      if (rec.node(i).t > rec.node(sink).t) sink = i;
+    const Cycles tail = rec.finish() - rec.node(sink).t;
+    if (tail > 0) finish += tail;
+  }
+  return finish;
+}
+
+WhatIfResult whatif(const CritPathRecorder& rec, const WhatIfSpec& spec) {
+  WhatIfResult r;
+  r.spec = spec;
+  r.baseline = rec.finished()
+                   ? rec.finish()
+                   : whatif_finish(rec, WhatIfSpec{});
+  r.predicted = whatif_finish(rec, spec);
+  r.speedup = r.predicted > 0
+                  ? static_cast<double>(r.baseline) /
+                        static_cast<double>(r.predicted)
+                  : 1.0;
+  return r;
+}
+
+Params scale_params(const Params& p, const WhatIfSpec& spec) {
+  Params out = p;
+  out.L = scale(p.L, spec.L);
+  out.o = scale(p.o, spec.o);
+  out.g = std::max<Cycles>(1, scale(p.g, spec.g));
+  return out;
+}
+
+std::string whatif_table(const std::vector<WhatIfResult>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "whatif" << std::right << std::setw(12)
+     << "baseline" << std::setw(12) << "predicted" << std::setw(10)
+     << "speedup" << '\n';
+  for (const WhatIfResult& r : rows) {
+    os << std::left << std::setw(28) << r.spec.label() << std::right
+       << std::setw(12) << r.baseline << std::setw(12) << r.predicted
+       << std::setw(10) << std::fixed << std::setprecision(3) << r.speedup
+       << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+  return os.str();
+}
+
+}  // namespace logp::obs

@@ -1,0 +1,70 @@
+// What-if (L, o, g) sensitivity analysis over a recorded critical-path DAG
+// (obs/critical_path.hpp): re-cost every edge under per-parameter scale
+// factors and replay the forward pass to predict the finish time the same
+// schedule would have had under the perturbed machine.
+//
+// The prediction is *model-based*: it assumes the run's orderings (who binds
+// whom) are preserved under the perturbation. For uniform scalings of a
+// deterministic, jitter-free, anchor-free run this is exact — every recorded
+// time is a max-plus expression in the parameters, and scaling all weights
+// scales every max argument alike — and the tests pin exact agreement with a
+// true re-simulation. For mixed scalings it is a first-order estimate whose
+// soundness conditions are documented in DESIGN.md ("causal profiling").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "obs/critical_path.hpp"
+
+namespace logp::obs {
+
+/// Per-parameter multipliers. 1.0 = unchanged. `compute` scales compute
+/// durations (the non-LogP share of the run).
+struct WhatIfSpec {
+  double L = 1.0;
+  double o = 1.0;
+  double g = 1.0;
+  double compute = 1.0;
+
+  bool is_identity() const {
+    return L == 1.0 && o == 1.0 && g == 1.0 && compute == 1.0;
+  }
+  /// True when all four factors are equal (the exactness regime).
+  bool is_uniform() const { return L == o && o == g && g == compute; }
+  std::string label() const;
+};
+
+/// Parses "L=0.5x,o=2x,g=1.5,compute=3" (trailing 'x' optional, keys
+/// case-sensitive, unknown keys or non-positive factors fail). Returns
+/// nullopt with a message in `err` on malformed input.
+std::optional<WhatIfSpec> parse_whatif(const std::string& spec,
+                                       std::string* err = nullptr);
+
+struct WhatIfResult {
+  WhatIfSpec spec;
+  Cycles baseline = 0;   ///< recorded finish
+  Cycles predicted = 0;  ///< finish under the perturbed parameters
+  double speedup = 1.0;  ///< baseline / predicted
+};
+
+/// Re-costs the DAG under `spec` and returns the predicted finish time:
+/// a forward pass over creation order with every edge weight scaled by its
+/// parameter's factor (llround), anchors kept fixed. With the identity spec
+/// this reproduces the recorded finish exactly (the anchor mechanism
+/// guarantees it; tests pin it).
+Cycles whatif_finish(const CritPathRecorder& rec, const WhatIfSpec& spec);
+
+WhatIfResult whatif(const CritPathRecorder& rec, const WhatIfSpec& spec);
+
+/// Scales a Params by the spec (llround, minimum 0 cycles) — the config a
+/// validating re-simulation should run with.
+Params scale_params(const Params& p, const WhatIfSpec& spec);
+
+/// Renders a fixed-width sensitivity table for a set of what-if results
+/// (one row per spec: factors, predicted finish, virtual speedup).
+std::string whatif_table(const std::vector<WhatIfResult>& rows);
+
+}  // namespace logp::obs

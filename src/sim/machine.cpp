@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "fault/fault.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+
+// Critical-path capture hook: forwards to the attached recorder, one
+// predicted branch when none is attached, nothing at all under
+// -DLOGP_OBS=OFF (mirroring the LOGP_OBS_* metric macros).
+#ifndef LOGP_OBS_DISABLED
+#define LOGP_CP(expr)                                  \
+  do {                                                 \
+    if (cfg_.critpath != nullptr) cfg_.critpath->expr; \
+  } while (0)
+#else
+#define LOGP_CP(expr) \
+  do {                \
+  } while (0)
+#endif
 
 namespace logp::sim {
 
@@ -57,6 +72,7 @@ Machine::Machine(MachineConfig config, Host& host)
         cfg_.metrics->histogram("sim.stall.segment_cycles", 0.0, 4096.0, 64);
   }
 #endif
+  LOGP_CP(begin_run(cfg_.params.P));
   for (ProcId p = 0; p < cfg_.params.P; ++p)
     push_event(0, EvKind::kStartup, p, 0);
 }
@@ -77,6 +93,7 @@ Cycles Machine::run() {
       LOGP_CHECK_MSG(false, "event budget exceeded — runaway program?");
     dispatch(ev);
   }
+  LOGP_CP(on_finish(now_));
   flush_metrics();
   return now_;
 }
@@ -126,6 +143,7 @@ void Machine::start_compute(ProcId p, Cycles dur) {
   proc.state = CpuState::kCompute;
   proc.stats.compute += dur;
   recorder_.record(p, now_, now_ + dur, trace::Activity::kCompute);
+  LOGP_CP(on_compute(p, now_ + dur, dur));
   push_event(now_ + dur, EvKind::kComputeDone, p, 0);
 }
 
@@ -188,6 +206,7 @@ void Machine::engage_send(ProcId p, Cycles t) {
   proc.stats.send_overhead += cfg_.params.o;
   recorder_.record(p, t, t + cfg_.params.o, trace::Activity::kSendOverhead,
                    msgs_[proc.current_msg].dst);
+  LOGP_CP(on_send_engage(p, t, cfg_.params.o, proc.send_port_free - t));
   push_event(t + cfg_.params.o, EvKind::kSendOverheadDone, p, 0);
 }
 
@@ -247,6 +266,7 @@ void Machine::try_retry_injection(ProcId p) {
 
 void Machine::inject(ProcId p, Cycles t) {
   auto& proc = procs_[static_cast<std::size_t>(p)];
+  [[maybe_unused]] const bool was_stalled = proc.pending_injection;
   proc.pending_injection = false;
   const std::uint32_t idx = proc.current_msg;
   const Message& m = msgs_[idx];
@@ -311,6 +331,7 @@ void Machine::inject(ProcId p, Cycles t) {
   }
 #endif
   const Cycles arrive = t + stream + latency;
+  LOGP_CP(on_inject(p, idx, t, was_stalled, stream, latency));
   push_event(arrive, doomed ? EvKind::kDropArrive : EvKind::kDeliver, m.dst,
              idx);
   proc.state = CpuState::kIdle;
@@ -352,6 +373,7 @@ void Machine::accept_begin(ProcId p, Cycles t) {
   proc.stats.recv_overhead += cfg_.params.o;
   recorder_.record(p, t, t + cfg_.params.o, trace::Activity::kRecvOverhead,
                    m.src);
+  LOGP_CP(on_accept(p, idx, t, cfg_.params.o, cfg_.params.g));
   push_event(t + cfg_.params.o, EvKind::kAcceptDone, p, idx);
   wake_blocked_senders();
 }
@@ -480,6 +502,7 @@ void Machine::dispatch(const Event& ev) {
       LOGP_CHECK(procs_[static_cast<std::size_t>(m.src)].out_inflight >= 0);
       LOGP_CHECK(proc.in_inflight >= 0);
       ++msgs_dropped_;
+      LOGP_CP(on_drop(ev.payload));
       msgs_.release(ev.payload);
       wake_blocked_senders();
       break;

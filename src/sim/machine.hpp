@@ -40,6 +40,7 @@ struct FaultPlan;
 
 namespace logp::obs {
 class Counter;
+class CritPathRecorder;
 class FixedHistogram;
 class MetricsRegistry;
 }  // namespace logp::obs
@@ -139,6 +140,14 @@ struct MachineConfig {
   /// must outlive the machine and must not be shared with a machine running
   /// on another thread (one registry per experiment, like the RNG).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional critical-path DAG recorder (see obs/critical_path.hpp): when
+  /// attached, the machine records one node per operation milestone so the
+  /// finish time can be decomposed along its binding chain and re-costed
+  /// under perturbed (L, o, g). Same rules as `metrics`: one recorder per
+  /// machine run, must outlive the machine, never shared across threads;
+  /// null costs one predicted branch per hook and -DLOGP_OBS=OFF compiles
+  /// the hooks out entirely.
+  obs::CritPathRecorder* critpath = nullptr;
   /// Optional deterministic fault plan (see fault/fault.hpp). The machine
   /// honors msg_drop_rate and proc_faults: a doomed message pays its full
   /// network cost (it is injected normally and counts against both capacity

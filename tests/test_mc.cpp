@@ -61,6 +61,7 @@ void expect_identical(const RunOutcome& a, const RunOutcome& b) {
   }
   EXPECT_EQ(a.profile, b.profile);
   EXPECT_EQ(a.trace_json, b.trace_json);  // byte-identical, not just equal
+  EXPECT_EQ(a.critpath_json, b.critpath_json);
 }
 
 TEST(McOracle, EmptyPrefixReproducesOracleFreeRunByteForByte) {

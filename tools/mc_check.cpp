@@ -5,7 +5,10 @@
 // invariants (src/mc/invariants.hpp) on every terminal state. A violation
 // prints its choice string — `--replay <string>` reruns exactly that
 // interleaving through the normal scheduler path and, with --dump-dir,
-// writes its Chrome-trace JSON for chrome://tracing / Perfetto.
+// writes its Chrome-trace JSON for chrome://tracing / Perfetto plus the
+// critical-path artifact (obs/critical_path.hpp) of the same interleaving,
+// so a counterexample arrives with the dependency chain that produced its
+// schedule (tools/trace_summary.py renders both).
 //
 //   mc_check --scenario retransmit_race --p 3                 # exhaustive
 //   mc_check --scenario all --p 2,3 --summary-json mc.json    # CI gate
@@ -55,6 +58,7 @@ constexpr const char* kUsage =
     "  --max-violations N stop after N violations              [1]\n"
     "  --replay CSV       run one interleaving, report, and exit\n"
     "  --dump-dir DIR     write counterexample / replay traces here\n"
+    "                     (Chrome trace + critical-path JSON per run)\n"
     "  --summary-json F   write the model_check coverage summary\n"
     "  --mutate-no-dedup  seed the dedup bug (mutation test; must fail)\n";
 
@@ -126,8 +130,9 @@ int run_replay(mc::ScenarioConfig cfg, const std::vector<int>& choices,
     std::printf("  VIOLATION: %s\n", b.c_str());
   if (want_trace) {
     std::ostringstream name;
-    name << "mc_" << cfg.scenario << "_p" << cfg.P() << "_replay.json";
-    dump_trace(dump_dir, name.str(), out.trace_json);
+    name << "mc_" << cfg.scenario << "_p" << cfg.P() << "_replay";
+    dump_trace(dump_dir, name.str() + ".json", out.trace_json);
+    dump_trace(dump_dir, name.str() + ".critpath.json", out.critpath_json);
   }
   return bad.empty() ? 0 : 1;
 }
@@ -222,9 +227,10 @@ int main(int argc, char** argv) {
             mc::RecordingOracle oracle(v.choices, cfg.drop_budget);
             const mc::RunOutcome rerun = mc::run_scenario(cfg, &oracle, true);
             std::ostringstream fname;
-            fname << "mc_" << cfg.scenario << "_p" << cfg.P()
-                  << "_violation.json";
-            dump_trace(dump_dir, fname.str(), rerun.trace_json);
+            fname << "mc_" << cfg.scenario << "_p" << cfg.P() << "_violation";
+            dump_trace(dump_dir, fname.str() + ".json", rerun.trace_json);
+            dump_trace(dump_dir, fname.str() + ".critpath.json",
+                       rerun.critpath_json);
           }
         }
         combos.push_back(ComboSummary{combo_key(cfg), res});

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Summarize logp observability artifacts as per-phase breakdown tables.
 
-Accepts any of the three machine-readable formats the obs layer emits and
+Accepts any of the five machine-readable formats the obs layer emits and
 autodetects which one it was given:
 
   * Chrome trace JSON   (bench --trace-json FILE): per-processor "X" slices
@@ -10,6 +10,11 @@ autodetects which one it was given:
     — see DESIGN.md "Observability"): same accounting, straight from rows.
   * metrics registry JSON/CSV (obs::MetricsRegistry::to_json / to_csv):
     printed as a flat name/value table.
+  * critical-path JSON  (bench --critical-path FILE, mc_check --dump-dir):
+    finish attribution by edge kind and by rank, plus the top slack-ranked
+    near-critical chains.
+  * critical-path chain CSV (bench --critical-path FILE.csv, schema
+    chain,slack,cycles,nodes,t0,t1,proc_lo,proc_hi): the chain table alone.
 
 For interval inputs the output mirrors obs::LogPProfile::render_table():
 one row per processor plus an aggregate, cycles and percent per activity,
@@ -17,9 +22,12 @@ with idle derived as horizon minus busy.
 
 Usage:
     tools/trace_summary.py FILE [--top N]
+    tools/trace_summary.py --self-check
 
 --top N limits per-processor rows to the N busiest processors (0 = all),
-which keeps wide-P traces readable.
+which keeps wide-P traces readable; for critical-path inputs it bounds the
+chain table (default 10). --self-check runs the embedded fixtures through
+every loader and asserts on the rendered output (wired into ctest).
 """
 
 import argparse
@@ -153,30 +161,169 @@ def load_metrics_csv(text):
     print(render_table(["name", "type", "value", "max"], rows))
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("file", type=pathlib.Path,
-                    help="Chrome trace JSON, trace CSV, or metrics JSON/CSV")
-    ap.add_argument("--top", type=int, default=0,
-                    help="show only the N busiest processors (0 = all)")
-    args = ap.parse_args()
+CRITPATH_CSV_HEADER = "chain,slack,cycles,nodes,t0,t1,proc_lo,proc_hi"
 
-    text = args.file.read_text()
+
+def print_chains(chains, top):
+    """Slack-ranked near-critical chains (slack asc, then longest first)."""
+    chains = sorted(chains,
+                    key=lambda c: (int(c["slack"]), -int(c["cycles"])))
+    shown = chains[:top] if top else chains
+    rows = [[i, c["slack"], c["cycles"], c["nodes"], c["t0"], c["t1"],
+             f"P{c['proc_lo']}" if c["proc_lo"] == c["proc_hi"]
+             else f"P{c['proc_lo']}..P{c['proc_hi']}"]
+            for i, c in enumerate(shown)]
+    print(f"near-critical chains (top {len(shown)} of {len(chains)} "
+          "by slack):")
+    print(render_table(["chain", "slack", "cycles", "nodes", "t0", "t1",
+                        "procs"], rows))
+
+
+def load_critpath_json(doc, top):
+    cp = doc["critical_path"]
+    finish, buckets = cp["finish"], cp["buckets"]
+    total = sum(buckets.values())
+    print(f"critical path: finish {finish} cycles, {cp['nodes']} DAG nodes, "
+          f"{len(cp.get('path', []))} path steps")
+    rows = [[name, cyc, f"{100.0 * cyc / finish:.1f}%" if finish else "-"]
+            for name, cyc in buckets.items()]
+    print(render_table(["bucket", "cycles", "% of finish"], rows))
+    # The telescoping invariant the C++ tests pin; surface a drift loudly.
+    if total != finish:
+        print(f"WARNING: bucket sum {total} != finish {finish}")
+    ranks = [r for r in cp.get("per_rank", [])
+             if any(v for k, v in r.items() if k != "rank")]
+    if ranks:
+        cols = [k for k in cp["per_rank"][0] if k != "rank"]
+        print("per-rank attribution (ranks with critical-path cycles):")
+        print(render_table(["rank"] + cols,
+                           [[f"P{r['rank']}"] + [r[c] for c in cols]
+                            for r in ranks]))
+    if cp.get("chains"):
+        print_chains(cp["chains"], top if top else 10)
+
+
+def load_critpath_csv(text, top):
+    print_chains(list(csv.DictReader(io.StringIO(text))), top if top else 10)
+
+
+def summarize(text, name, top):
     first_line = text.split("\n", 1)[0].strip()
     if first_line.startswith("{"):
         doc = json.loads(text)
-        if "traceEvents" in doc:
-            load_chrome(doc, args.top)
+        if "critical_path" in doc:
+            load_critpath_json(doc, top)
+        elif "traceEvents" in doc:
+            load_chrome(doc, top)
         elif {"counters", "gauges", "histograms"} & doc.keys():
             load_metrics_json(doc)
         else:
-            sys.exit(f"{args.file}: unrecognized JSON document")
+            sys.exit(f"{name}: unrecognized JSON document")
     elif first_line == "proc,begin,end,activity,peer":
-        load_trace_csv(text, args.top)
+        load_trace_csv(text, top)
     elif first_line == "name,type,value,max,p50,p95":
         load_metrics_csv(text)
+    elif first_line == CRITPATH_CSV_HEADER:
+        load_critpath_csv(text, top)
     else:
-        sys.exit(f"{args.file}: unrecognized format (header {first_line!r})")
+        sys.exit(f"{name}: unrecognized format (header {first_line!r})")
+
+
+# ---- self-check fixtures: one minimal artifact per detected format ----
+
+CRITPATH_JSON_FIXTURE = """\
+{"critical_path": {
+"finish": 24,
+"nodes": 25,
+"anchor_cycles": 0,
+"buckets": {"compute":0,"send_o":4,"recv_o":4,"gap":4,"wire":12,"anchor":0},
+"per_rank": [
+{"rank":0,"compute":0,"send_o":2,"recv_o":0,"gap":4,"wire":0,"anchor":0},
+{"rank":5,"compute":0,"send_o":2,"recv_o":4,"gap":0,"wire":12,"anchor":0}],
+"path": [
+{"proc":0,"kind":"send_engage","t":4,"edge":"gap","w":4},
+{"proc":0,"kind":"send_ready","t":6,"edge":"send_o","w":2}],
+"chains": [
+{"slack":0,"cycles":24,"nodes":13,"t0":0,"t1":24,"proc_lo":0,"proc_hi":5},
+{"slack":2,"cycles":18,"nodes":9,"t0":4,"t1":22,"proc_lo":1,"proc_hi":3}]
+}}
+"""
+
+CRITPATH_CSV_FIXTURE = (CRITPATH_CSV_HEADER + "\n"
+                        "0,0,24,13,0,24,0,5\n"
+                        "1,2,18,9,4,22,1,3\n")
+
+TRACE_CSV_FIXTURE = ("proc,begin,end,activity,peer\n"
+                     "0,0,2,send-o,1\n"
+                     "1,8,10,recv-o,0\n")
+
+METRICS_CSV_FIXTURE = ("name,type,value,max,p50,p95\n"
+                       "net.heap.spills,counter,3,,,\n"
+                       "net.wheel.peak_bucket,gauge,17,17,,\n")
+
+CHROME_FIXTURE = json.dumps({"traceEvents": [
+    {"ph": "X", "tid": 0, "ts": 0, "dur": 2, "name": "send-o"},
+    {"ph": "s", "id": 1, "ts": 2},
+]})
+
+
+def self_check():
+    """Runs every loader on an embedded fixture, asserts on the output."""
+    def capture(text, top=0):
+        out = io.StringIO()
+        stdout, sys.stdout = sys.stdout, out
+        try:
+            summarize(text, "<fixture>", top)
+        finally:
+            sys.stdout = stdout
+        return out.getvalue()
+
+    got = capture(CRITPATH_JSON_FIXTURE)
+    assert "finish 24 cycles" in got, got
+    assert "25 DAG nodes" in got, got
+    assert "WARNING" not in got, got  # buckets sum exactly to finish
+    assert "P0..P5" in got, got       # chain 0 spans the whole machine
+    bad = CRITPATH_JSON_FIXTURE.replace('"wire":12', '"wire":11')
+    assert "WARNING: bucket sum 23 != finish 24" in capture(bad)
+
+    got = capture(CRITPATH_CSV_FIXTURE)
+    assert "top 2 of 2" in got, got
+    assert capture(CRITPATH_CSV_FIXTURE, top=1).count("P0..P5") == 1
+    # Slack ranking is re-derived, not trusted: reversed rows, same order.
+    lines = CRITPATH_CSV_FIXTURE.split("\n")
+    reordered = "\n".join([lines[0], lines[2], lines[1]])
+    assert got == capture(reordered), (got, capture(reordered))
+
+    got = capture(TRACE_CSV_FIXTURE)
+    assert "LogP signature over 10 cycles x 2 procs" in got, got
+
+    got = capture(METRICS_CSV_FIXTURE)
+    assert "net.heap.spills" in got and "counter" in got, got
+
+    got = capture(CHROME_FIXTURE)
+    assert "messages (flow pairs): 1" in got, got
+
+    print("trace_summary self-check: all formats OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", type=pathlib.Path, nargs="?",
+                    help="Chrome trace JSON, trace CSV, metrics JSON/CSV, "
+                         "or critical-path JSON/CSV")
+    ap.add_argument("--top", type=int, default=0,
+                    help="show only the N busiest processors / chains "
+                         "(0 = all procs, 10 chains)")
+    ap.add_argument("--self-check", action="store_true",
+                    help="run the embedded format fixtures and exit")
+    args = ap.parse_args()
+
+    if args.self_check:
+        self_check()
+        return
+    if args.file is None:
+        ap.error("FILE is required unless --self-check")
+    summarize(args.file.read_text(), str(args.file), args.top)
 
 
 if __name__ == "__main__":
