@@ -14,6 +14,7 @@
 
 #include "core/broadcast_tree.hpp"
 #include "exp/sweep.hpp"
+#include "fault/fault.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -116,6 +117,37 @@ void BM_PacketSim(benchmark::State& state) {
   state.counters["obs"] = obs_on ? 1 : 0;
 }
 BENCHMARK(BM_PacketSim)->Arg(200)->Arg(500);
+
+/// Faulted-path throughput in the fault-degradation-grid regime: a 16x16
+/// torus under load heavy enough that link backlogs form, with an active
+/// FaultPlan (2% drop + 0.5% corruption, retransmitted with backoff, plus
+/// killed/degraded link intervals) so every window runs the faulted kernel.
+/// This is the per-cell workload of bench/fig_fault_degradation scaled up
+/// one topology size; Arg is injection rate x 1e4. The ratio
+/// BM_PacketSim : BM_PacketSimFaulted is the price of fault handling
+/// itself — the batch verdict pipeline exists to keep it near 1.
+void BM_PacketSimFaulted(benchmark::State& state) {
+  const auto topo = net::make_mesh2d(16, 16, true);
+  net::PacketSimConfig cfg;
+  cfg.injection_rate = static_cast<double>(state.range(0)) * 1e-4;
+  cfg.duration = 20000;
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.02;
+  plan.corrupt_rate = 0.005;
+  plan.retry_timeout = 4 * net::lookahead(cfg);
+  plan.max_retries = 4;
+  plan.link_faults.push_back({0, 1, 0, cfg.duration / 2, 3});
+  plan.link_faults.push_back({17, 18, cfg.duration / 4, cfg.duration, 0});
+  cfg.faults = &plan;
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    const auto r = net::run_packet_sim(*topo, cfg);
+    delivered = r.delivered;
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * delivered);
+}
+BENCHMARK(BM_PacketSimFaulted)->Arg(500)->Arg(600);
 
 /// Production-scale grid: 64x64 torus (4096 endpoints, 16384 links) under
 /// uniform traffic in the stable regime. Pins the windowed engine's

@@ -369,7 +369,19 @@ constexpr int kWheel = 1 << kWheelBits;  ///< 64 windows resident at once
 struct Shard {
   std::vector<WEvent> bucket[kWheel];  ///< time wheel, index = window & 63
   std::uint64_t nonempty = 0;          ///< bit (w & 63) set when bucket used
-  util::FourAryHeap<PEvent, SpillBefore> spill;  ///< windows >= wheel edge
+  /// Second-level wheel: 64 frames of 64 windows each. An event past the
+  /// first wheel's horizon but within 64 frames is staged unsorted in its
+  /// frame bucket (O(1)) and re-pushed into the first wheel when the
+  /// engine's current window enters that frame — every event moves at most
+  /// twice, where the spill heap charged O(log n) twice on a structure
+  /// that grows with the whole backlog. Deep link queues and retransmit
+  /// timeouts put a large fraction of pushes past the first horizon, so
+  /// this is the difference between O(1) and O(log backlog) per event
+  /// exactly on saturated and faulted runs.
+  std::vector<PEvent> frame[kWheel];  ///< index = (window >> 6) & 63
+  std::uint64_t frame_nonempty = 0;   ///< bit ((w >> 6) & 63) set when used
+  std::int64_t cur_frame = 0;         ///< frame of the last entered window
+  util::FourAryHeap<PEvent, SpillBefore> spill;  ///< past both wheels
   std::vector<std::int32_t> inj_ids;  ///< injections whose first link we own
   std::size_t next_inj = 0;
   std::vector<Delivery> deliveries;
@@ -386,8 +398,19 @@ struct Shard {
   std::vector<std::int32_t> chain_next;
   std::vector<std::int32_t> touched;
   std::vector<std::uint64_t> mask_words;
+  // Faulted batch-kernel scratch: staged event identities, the vectorized
+  // fault-verdict bitmask, and the per-event link-degrade memo (written in
+  // pass 1, read again for the service span in pass 2 so link_degrade runs
+  // exactly once per event, as in the ordered kernel).
+  std::vector<std::uint64_t> verdict_words;
+  std::vector<std::uint32_t> stage_inj;
+  std::vector<std::uint16_t> stage_att;
+  std::vector<std::int32_t> stage_deg;
+  fault::FaultPlan::VerdictScratch vscratch;
   std::vector<WEvent> sorted;          ///< counting-sort output buffer
+  std::vector<WEvent> sorted2;         ///< radix-sort ping-pong buffer
   std::vector<std::uint32_t> dt_pos;   ///< counting-sort group cursors
+  std::vector<std::uint32_t> hist_last;  ///< radix last-pass histogram
   std::vector<std::uint64_t> link_mark;
   std::vector<std::int32_t> link_tail;
   std::uint32_t epoch = 0;
@@ -404,10 +427,14 @@ struct Shard {
   // same cache lines — and published once, cold, after the run.
   std::int64_t wheel_pushes = 0;   ///< events staged through the wheel
   std::int64_t wheel_peak = 0;     ///< max single-bucket occupancy seen
-  std::int64_t heap_spills = 0;    ///< events past the wheel horizon
+  std::int64_t l2_pushes = 0;      ///< events staged through the frame wheel
+  std::int64_t heap_spills = 0;    ///< events past both wheel horizons
   std::int64_t simd_windows = 0;   ///< fast-kernel (SIMD-path) dispatches
-  std::int64_t scalar_windows = 0; ///< faulted (strictly scalar) dispatches
+  std::int64_t scalar_windows = 0; ///< strictly-ordered kernel dispatches
+  std::int64_t faulted_simd_windows = 0;  ///< faulted batch-kernel dispatches
+  std::int64_t mc_windows = 0;     ///< oracle-attended ordered dispatches
   std::int64_t csort_windows = 0;  ///< counting-sorted window buffers
+  std::int64_t radix_windows = 0;  ///< of those, LSD-radix-sorted (large n)
   std::int64_t sort_fallbacks = 0; ///< std::sort fallback window buffers
 };
 
@@ -441,6 +468,11 @@ class Engine {
   Engine(const SimContext& sc, int threads, int num_shards)
       : sc_(sc),
         fp_(sc.faults),
+        oracle_(
+#ifndef LOGP_MC_DISABLED
+            sc.faults != nullptr ? sc.cfg.oracle :
+#endif
+                                 nullptr),
         service_(sc.service),
         csort_(sc.service <= 1024),
         drain_(sc.cfg.drain_limit),
@@ -450,6 +482,26 @@ class Engine {
         owner_(assign_link_shards(sc.links.count(), num_shards)),
         shards_(static_cast<std::size_t>(num_shards)) {
     wdiv_.init(service_);
+    // Radix plan for large windows: sort by the packed (dt, inj) order via
+    // stable 8-bit LSD passes over inj, the last pass folding the leftover
+    // inj bits together with dt (dt < service, inj < #injections, so the
+    // digit count is known up front). Only planned when the final histogram
+    // stays small; other configurations keep the counting+introsort path.
+    if (csort_) {
+      const std::size_t ninj = sc_.injections.size();
+      int ib = 1;
+      while (ninj > 1 && ((ninj - 1) >> ib) != 0) ++ib;
+      int db = 0;
+      while (((service_ - 1) >> db) != 0) ++db;
+      const int np = ib <= 8 ? 1 : (ib <= 16 ? 2 : 3);
+      const int rem = ib - (np - 1) * 8;
+      if (ib <= 24 && rem + db <= 12) {
+        radix_passes_ = np;
+        radix_rem_ = rem;
+        radix_done_ = (np - 1) * 8;
+        radix_hist_ = std::size_t{1} << (rem + db);
+      }
+    }
     const auto links = sc_.links.count();
     const std::size_t per_shard =
         sc_.reserve / static_cast<std::size_t>(S_) + 16;
@@ -463,13 +515,32 @@ class Engine {
       sh.chain_next.reserve(2 * per_shard);
       sh.touched.reserve(64);
       sh.mask_words.reserve(per_shard / 32 + 2);
+      if (fp_ != nullptr) {
+        sh.verdict_words.reserve(per_shard / 32 + 2);
+        sh.stage_inj.reserve(per_bucket);
+        sh.stage_att.reserve(per_bucket);
+        if (!fp_->link_faults.empty()) sh.stage_deg.reserve(per_bucket);
+        sh.vscratch.salt.reserve(per_bucket);
+        sh.vscratch.a.reserve(per_bucket);
+        sh.vscratch.b.reserve(per_bucket);
+        sh.vscratch.hash.reserve(per_bucket);
+      }
       if (csort_) {
         sh.sorted.reserve(per_bucket);
         sh.dt_pos.assign(static_cast<std::size_t>(service_) + 1, 0);
+        if (radix_passes_ != 0) {
+          sh.sorted2.reserve(per_bucket);
+          sh.hist_last.assign(radix_hist_, 0);
+        }
       }
       sh.link_mark.assign(links, 0);
       sh.link_tail.assign(links, 0);
       for (auto& b : sh.bucket) b.reserve(per_bucket);
+      // Frame buckets are left unreserved: their population is bound by the
+      // backlog (load-bound, not duration-bound), so lazy doubling settles
+      // within the warmup windows and the steady state stays allocation-
+      // free — while an eager 64-vector reserve would charge every light
+      // run for capacity only saturated runs use.
       sh.outbox[0].resize(static_cast<std::size_t>(S_));
       sh.outbox[1].resize(static_cast<std::size_t>(S_));
       if (telem_) sh.link_acc.resize(links);
@@ -537,23 +608,31 @@ class Engine {
   void flush_introspection() {
     obs::MetricsRegistry* m = sc_.cfg.metrics;
     if (m == nullptr) return;
-    std::int64_t pushes = 0, peak = 0, spills = 0, simd = 0, scalar = 0,
-                 cs = 0, fb = 0;
+    std::int64_t pushes = 0, peak = 0, l2 = 0, spills = 0, simd = 0,
+                 fsimd = 0, scalar = 0, mc = 0, cs = 0, rx = 0, fb = 0;
     for (const Shard& sh : shards_) {
       pushes += sh.wheel_pushes;
       peak = std::max(peak, sh.wheel_peak);
+      l2 += sh.l2_pushes;
       spills += sh.heap_spills;
       simd += sh.simd_windows;
+      fsimd += sh.faulted_simd_windows;
       scalar += sh.scalar_windows;
+      mc += sh.mc_windows;
       cs += sh.csort_windows;
+      rx += sh.radix_windows;
       fb += sh.sort_fallbacks;
     }
     m->counter("net.wheel.pushes")->add(pushes);
     m->gauge("net.wheel.peak_bucket")->set(peak);
+    m->counter("net.wheel.l2_pushes")->add(l2);
     m->counter("net.heap.spills")->add(spills);
     m->counter("net.kernel.simd_windows")->add(simd);
+    m->counter("net.kernel.faulted_simd_windows")->add(fsimd);
     m->counter("net.kernel.scalar_windows")->add(scalar);
+    m->counter("net.kernel.mc_windows")->add(mc);
     m->counter("net.sort.counting_windows")->add(cs);
+    m->counter("net.sort.radix_windows")->add(rx);
     m->counter("net.sort.fallbacks")->add(fb);
     m->gauge("net.shards")->set(S_);
   }
@@ -592,8 +671,18 @@ class Engine {
                   std::uint16_t hop, std::uint16_t attempt) {
     const std::int64_t wt = wdiv_(t);
     if (wt - cur_w_ >= kWheel) {
-      ++sh.heap_spills;
-      sh.spill.push({t, inj, link, hop, attempt});
+      // Past the first wheel: stage in the frame wheel if within its
+      // horizon (64 frames = 4096 windows), else the spill heap. Frame
+      // buckets are unsorted — sort_window launders any arrival order.
+      const std::int64_t g = wt >> kWheelBits;
+      if (g - (cur_w_ >> kWheelBits) >= kWheel) {
+        ++sh.heap_spills;
+        sh.spill.push({t, inj, link, hop, attempt});
+        return;
+      }
+      ++sh.l2_pushes;
+      sh.frame[g & (kWheel - 1)].push_back({t, inj, link, hop, attempt});
+      sh.frame_nonempty |= std::uint64_t{1} << (g & (kWheel - 1));
       return;
     }
     std::vector<WEvent>& b = sh.bucket[wt & (kWheel - 1)];
@@ -618,6 +707,14 @@ class Engine {
       return buf.data();
     }
     ++sh.csort_windows;
+    // Large windows: equal-dt runs grow to ~n/service events and any
+    // comparison sort of them is branch-mispredict-bound (measured ~28% of
+    // faulted run time). The stable LSD radix over the same key order is
+    // branchless and wins from a couple hundred events; below that the
+    // per-pass histogram overhead dominates and counting + insertion keeps
+    // the small-window latency.
+    constexpr std::size_t kRadixMin = 192;
+    if (radix_passes_ != 0 && n >= kRadixMin) return sort_radix(sh, buf, n);
     std::uint32_t* const pos = sh.dt_pos.data();
     std::fill(pos, pos + service_ + 1, 0);
     for (std::size_t i = 0; i < n; ++i) ++pos[(buf[i].key >> 32) + 1];
@@ -627,21 +724,99 @@ class Engine {
     WEvent* const out = sh.sorted.data();
     for (std::size_t i = 0; i < n; ++i)
       out[pos[buf[i].key >> 32]++] = buf[i];
-    // pos[d] now holds the END of group d. Insertion-sort each run by full
-    // key (dts are equal within a run, so this orders by injection id).
+    // pos[d] now holds the END of group d. Order each equal-dt run by full
+    // key (dts are equal within a run, so this sorts by injection id).
+    // Light traffic gives runs of a handful of events where insertion sort
+    // is unbeatable; near saturation runs grow to ~n/service events and its
+    // quadratic cost dominates the whole window (measured ~28% of faulted
+    // run time), so long runs take introsort instead.
+    constexpr std::size_t kInsertionMax = 16;
     std::size_t lo = 0;
     for (std::size_t d = 0; d <= static_cast<std::size_t>(service_) - 1;
          ++d) {
       const std::size_t hi = pos[d];
-      for (std::size_t i = lo + 1; i < hi; ++i) {
-        const WEvent e = out[i];
-        std::size_t j = i;
-        for (; j > lo && out[j - 1].key > e.key; --j) out[j] = out[j - 1];
-        out[j] = e;
+      if (hi - lo > kInsertionMax) {
+        std::sort(out + lo, out + hi,
+                  [](const WEvent& a, const WEvent& b) { return a.key < b.key; });
+      } else {
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+          const WEvent e = out[i];
+          std::size_t j = i;
+          for (; j > lo && out[j - 1].key > e.key; --j) out[j] = out[j - 1];
+          out[j] = e;
+        }
       }
       lo = hi;
     }
     return out;
+  }
+
+  /// Stable LSD radix sort into canonical (dt, inj) order: 8-bit counting
+  /// passes over the low inj bits, then one pass over the remaining inj
+  /// bits concatenated with dt (the composite digit preserves the packed
+  /// key's lexicographic order). All histograms are filled in a single
+  /// fused pass; scatters ping-pong between the two sort buffers, arranged
+  /// so the final pass always lands in sh.sorted.
+  const WEvent* sort_radix(Shard& sh, std::vector<WEvent>& buf,
+                           std::size_t n) {
+    ++sh.radix_windows;
+    sh.sorted.resize(n);
+    sh.sorted2.resize(n);
+    const int np = radix_passes_;
+    const int rem = radix_rem_;
+    const int dlast = radix_done_;
+    std::uint32_t h0[256], h1[256];
+    std::uint32_t* const hl = sh.hist_last.data();
+    if (np > 1) std::fill(h0, h0 + 256, 0);
+    if (np > 2) std::fill(h1, h1 + 256, 0);
+    std::fill(hl, hl + radix_hist_, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = buf[i].key;
+      if (np > 1) ++h0[k & 255];
+      if (np > 2) ++h1[(k >> 8) & 255];
+      ++hl[((k >> 32) << rem) | (static_cast<std::uint32_t>(k) >> dlast)];
+    }
+    std::uint32_t s = 0;
+    if (np > 1)
+      for (int d = 0; d < 256; ++d) {
+        const std::uint32_t c = h0[d];
+        h0[d] = s;
+        s += c;
+      }
+    s = 0;
+    if (np > 2)
+      for (int d = 0; d < 256; ++d) {
+        const std::uint32_t c = h1[d];
+        h1[d] = s;
+        s += c;
+      }
+    s = 0;
+    for (std::size_t d = 0; d < radix_hist_; ++d) {
+      const std::uint32_t c = hl[d];
+      hl[d] = s;
+      s += c;
+    }
+    WEvent* const A = sh.sorted.data();
+    WEvent* const B = sh.sorted2.data();
+    const WEvent* src = buf.data();
+    WEvent* dst = (np % 2 == 1) ? A : B;
+    if (np > 1) {
+      for (std::size_t i = 0; i < n; ++i) dst[h0[src[i].key & 255]++] = src[i];
+      src = dst;
+      dst = dst == A ? B : A;
+    }
+    if (np > 2) {
+      for (std::size_t i = 0; i < n; ++i)
+        dst[h1[(src[i].key >> 8) & 255]++] = src[i];
+      src = dst;
+      dst = dst == A ? B : A;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = src[i].key;
+      dst[hl[((k >> 32) << rem) | (static_cast<std::uint32_t>(k) >> dlast)]++] =
+          src[i];
+    }
+    return A;
   }
 
   void process_window(std::size_t si, std::int64_t w) {
@@ -650,6 +825,27 @@ class Engine {
     const Cycles wend = wbase + service_;
     sh.staged_w = kNoWindow;
     std::vector<WEvent>& buf = sh.bucket[w & (kWheel - 1)];
+    // Frame-wheel drain: every event in a frame <= the current one is now
+    // within one first-wheel turn of w (an in-range frame g <= w >> 6 only
+    // holds events with w <= t/service < (g + 1) * 64, since next_window()
+    // offers each pending frame's start as a candidate — the engine never
+    // jumps past an undrained frame). Live bits always name frames in
+    // (cur_frame, cur_frame + 64], so the modular decode below is exact.
+    const std::int64_t f = w >> kWheelBits;
+    if (f != sh.cur_frame) {
+      for (std::uint64_t m = sh.frame_nonempty; m != 0; m &= m - 1) {
+        const int b = __builtin_ctzll(m);
+        const std::int64_t g =
+            sh.cur_frame + 1 + ((b - sh.cur_frame - 1) & (kWheel - 1));
+        if (g > f) continue;
+        std::vector<PEvent>& fb = sh.frame[b];
+        for (const PEvent& e : fb)
+          local_push(sh, e.t, e.inj, e.link, e.hop, e.attempt);
+        fb.clear();
+        sh.frame_nonempty &= ~(std::uint64_t{1} << b);
+      }
+      sh.cur_frame = f;
+    }
     // Handoffs staged for us during the previous round; they may land in
     // this very window (cur_w_ is already w, so wheel targeting is safe).
     if (S_ > 1) {
@@ -696,10 +892,16 @@ class Engine {
     }
     if (n > 0) {
       sh.last_t = wbase + static_cast<Cycles>(ev[n - 1].key >> 32);
-      if (fp_ != nullptr)
-        window_faulted(sh, si, wbase, ev, n);
-      else
+      if (fp_ != nullptr) {
+        // An attached oracle must see choice points in canonical event
+        // order, which only the strictly-ordered kernel walks.
+        if (oracle_ != nullptr)
+          window_faulted(sh, si, wbase, ev, n);
+        else
+          window_faulted_batch(sh, si, wbase, ev, n);
+      } else {
         window_fast(sh, si, wbase, ev, n);
+      }
     }
     buf.clear();
     ++sh.epoch;
@@ -712,6 +914,14 @@ class Engine {
       const int b = __builtin_ctzll(m);
       const std::int64_t off = (b - w) & (kWheel - 1);
       nw = std::min(nw, w + off);
+    }
+    // Pending frames offer their frame-start window as a conservative
+    // candidate: visiting it costs one (usually empty) window in which the
+    // frame drains into the first wheel and the scan above takes over.
+    for (std::uint64_t m = sh.frame_nonempty; m != 0; m &= m - 1) {
+      const int b = __builtin_ctzll(m);
+      const std::int64_t g = f + 1 + ((b - f - 1) & (kWheel - 1));
+      nw = std::min(nw, g << kWheelBits);
     }
     if (!sh.spill.empty()) nw = std::min(nw, wdiv_(sh.spill.top().t));
     if (sh.next_inj < sh.inj_ids.size())
@@ -801,13 +1011,18 @@ class Engine {
     }
   }
 
-  /// Faulted window kernel: strictly canonical, un-grouped processing. A
-  /// drop turns a link traversal into an outcome record, so record order
-  /// would depend on link grouping — the faulted path therefore walks the
-  /// sorted buffer in (t, inj) order, exactly like the pre-batch engines.
+  /// Strictly-ordered faulted kernel: walks the sorted buffer one event at
+  /// a time in canonical (t, inj) order, exactly like the pre-batch
+  /// engines. Since the batch kernel below took over plain faulted runs,
+  /// this path serves the model checker: an attached ChoiceOracle is
+  /// consulted at each droppable link traversal, and consultation order
+  /// must be the canonical event order — which the batch kernel's survivor
+  /// grouping does not preserve. It is also the reference implementation
+  /// the batch kernel is pinned byte-identical against.
   void window_faulted(Shard& sh, std::size_t si, Cycles wbase,
                       const WEvent* ev, std::size_t n) {
     ++sh.scalar_windows;
+    if (oracle_ != nullptr) ++sh.mc_windows;
     for (std::size_t x = 0; x < n; ++x) {
       const WEvent& e = ev[x];
       const Cycles t = wbase + static_cast<Cycles>(e.key >> 32);
@@ -827,10 +1042,27 @@ class Engine {
       const auto [lu, lv] = sc_.links.endpoints(e.link);
       const int deg = fp_->link_degrade(lu, lv, t);
       const RouteRef& rr = sc_.refs[static_cast<std::size_t>(inj)];
-      if (deg == 0 ||
-          (fp_->drop_attempt(inj, e.attempt) &&
-           static_cast<int>(e.hop) ==
-               fp_->drop_hop(inj, e.attempt, rr.hops))) {
+      // A dead link is a fact, not a choice — only the hash drop verdict is
+      // a kDrop choice point the oracle may override (alternative 0 keeps
+      // the plan's verdict, so a 0-everywhere oracle reproduces the
+      // oracle-free trajectory exactly).
+      bool doomed = deg == 0;
+      if (!doomed) {
+        bool verdict = fp_->drop_attempt(inj, e.attempt) &&
+                       static_cast<int>(e.hop) ==
+                           fp_->drop_hop(inj, e.attempt, rr.hops);
+#ifndef LOGP_MC_DISABLED
+        if (oracle_ != nullptr) {
+          const std::uint64_t labels[2] = {verdict ? 1u : 0u,
+                                           verdict ? 0u : 1u};
+          const int k = oracle_->choose(sim::ChoiceKind::kDrop, 2, labels);
+          LOGP_CHECK(k == 0 || k == 1);
+          if (k == 1) verdict = !verdict;
+        }
+#endif
+        doomed = verdict;
+      }
+      if (doomed) {
         ++sh.dropped;
         if (telem_) ++sh.link_acc[static_cast<std::size_t>(e.link)].drops;
         retry_or_lose(sh, si, t, inj, e.attempt);
@@ -849,6 +1081,153 @@ class Engine {
       const std::int32_t nlink = nhop == rr.hops ? -1 : rr.span[nhop];
       push_event(sh, si, start + svc, inj, nlink,
                  static_cast<std::uint16_t>(nhop), e.attempt);
+    }
+  }
+
+  /// Faulted batch kernel (fault plan active, no oracle): the two-pass
+  /// shape of window_fast with the fault decisions hoisted into one
+  /// vectorized hash pass.
+  ///
+  ///  1. Verdicts. A single SplitMix64 batch (FaultPlan::verdict_mask)
+  ///     decides corrupt for deliveries and rate-drop for link traversals
+  ///     in one sweep; the drop-hop refinement then touches only
+  ///     hash-flagged events, and the dead/degraded-link memo only runs
+  ///     when the plan has link faults at all. The result per 64-event
+  ///     block is a terminal mask: events that end in an outcome record
+  ///     this window.
+  ///  2. Records and chains. Outcome records (clean deliveries, corrupted
+  ///     or dropped attempts) are emitted walking the delivery|terminal
+  ///     mask in buffer order — exactly the interleaving the ordered
+  ///     kernel produces — while surviving traversals chain per link and
+  ///     arbitrate like the fault-free kernel, with the service span
+  ///     scaled by the link's degrade factor.
+  ///
+  /// Byte-identity with window_faulted() is structural: verdicts are
+  /// bit-exact (the integer-threshold form of the same hashes), per-shard
+  /// record order is canonical either way, per-link arbitration sees the
+  /// same canonical subsequence, and successor push order is laundered by
+  /// sort_window() — pinned across every fault type, sim_threads and SIMD
+  /// setting by tests/test_packet_sim.cpp.
+  void window_faulted_batch(Shard& sh, std::size_t si, Cycles wbase,
+                            const WEvent* ev, std::size_t n) {
+    ++sh.faulted_simd_windows;
+    const std::size_t nwords = (n + 63) / 64;
+    sh.mask_words.resize(nwords);
+    util::simd::negative_mask_i32_stride(&ev[0].link, n,
+                                         sizeof(WEvent) / sizeof(std::int32_t),
+                                         sh.mask_words.data());
+    sh.stage_inj.resize(n);
+    sh.stage_att.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sh.stage_inj[i] = static_cast<std::uint32_t>(ev[i].key);
+      sh.stage_att[i] = ev[i].attempt;
+    }
+    sh.verdict_words.resize(nwords);
+    fp_->verdict_mask(sh.mask_words.data(), sh.stage_inj.data(),
+                      sh.stage_att.data(), n, sh.vscratch,
+                      sh.verdict_words.data());
+    const bool lf = !fp_->link_faults.empty();
+    if (lf) sh.stage_deg.resize(n);
+    sh.chain_next.resize(n);
+    sh.touched.clear();
+    const std::uint64_t emark = static_cast<std::uint64_t>(++sh.epoch) << 32;
+    for (std::size_t base = 0; base < n; base += 64) {
+      const std::size_t cnt = std::min<std::size_t>(64, n - base);
+      const std::uint64_t valid =
+          cnt == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << cnt) - 1;
+      const std::uint64_t del = sh.mask_words[base / 64];
+      const std::uint64_t ver = sh.verdict_words[base / 64];
+      // Terminal = corrupted deliveries, dead-link traversals, and
+      // rate-flagged traversals whose hash drop-hop is this hop. The
+      // ordered kernel never consults the drop hash on a dead link, but
+      // the hash is pure — computing it for everyone changes no verdict.
+      std::uint64_t term = del & ver;
+      if (lf) {
+        for (std::uint64_t m = ~del & valid; m != 0; m &= m - 1) {
+          const std::size_t i =
+              base + static_cast<std::size_t>(__builtin_ctzll(m));
+          const auto [lu, lv] = sc_.links.endpoints(ev[i].link);
+          const int deg = fp_->link_degrade(
+              lu, lv, wbase + static_cast<Cycles>(ev[i].key >> 32));
+          sh.stage_deg[i] = deg;
+          if (deg == 0) term |= std::uint64_t{1} << (i - base);
+        }
+      }
+      for (std::uint64_t m = ~del & ver & valid & ~term; m != 0;
+           m &= m - 1) {
+        const std::size_t i =
+            base + static_cast<std::size_t>(__builtin_ctzll(m));
+        const auto inj =
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(ev[i].key));
+        const RouteRef& rr = sc_.refs[static_cast<std::size_t>(inj)];
+        if (static_cast<int>(ev[i].hop) ==
+            fp_->drop_hop(inj, ev[i].attempt, rr.hops))
+          term |= std::uint64_t{1} << (i - base);
+      }
+      // Outcome records in buffer (= canonical) order.
+      for (std::uint64_t m = (del | term) & valid; m != 0; m &= m - 1) {
+        const std::size_t i =
+            base + static_cast<std::size_t>(__builtin_ctzll(m));
+        const Cycles t = wbase + static_cast<Cycles>(ev[i].key >> 32);
+        const auto inj =
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(ev[i].key));
+        if (((term >> (i - base)) & 1) == 0) {
+          sh.deliveries.push_back({t, inj, DKind::kDelivered});
+        } else if ((del >> (i - base)) & 1) {
+          ++sh.corrupted;
+          retry_or_lose(sh, si, t, inj, ev[i].attempt);
+        } else {
+          ++sh.dropped;
+          if (telem_)
+            ++sh.link_acc[static_cast<std::size_t>(ev[i].link)].drops;
+          retry_or_lose(sh, si, t, inj, ev[i].attempt);
+        }
+      }
+      // Surviving link traversals chain per link, as in window_fast.
+      for (std::uint64_t m = ~(del | term) & valid; m != 0; m &= m - 1) {
+        const auto i = static_cast<std::int32_t>(
+            base + static_cast<std::size_t>(__builtin_ctzll(m)));
+        const std::int32_t l = ev[i].link;
+        sh.chain_next[static_cast<std::size_t>(i)] = -1;
+        std::uint64_t& mark = sh.link_mark[static_cast<std::size_t>(l)];
+        if ((mark & ~std::uint64_t{0xffffffff}) != emark) {
+          mark = emark | static_cast<std::uint32_t>(i);
+          sh.touched.push_back(l);
+        } else {
+          sh.chain_next[static_cast<std::size_t>(
+              sh.link_tail[static_cast<std::size_t>(l)])] = i;
+        }
+        sh.link_tail[static_cast<std::size_t>(l)] = i;
+      }
+    }
+    Cycles* const chans = sc_.links.channel_data();
+    for (const std::int32_t l : sh.touched) {
+      Cycles* const span = chans + sc_.links.channel_offset(l);
+      const auto ccnt = static_cast<std::size_t>(sc_.links.channels(l));
+      for (std::int32_t i = static_cast<std::int32_t>(
+               static_cast<std::uint32_t>(
+                   sh.link_mark[static_cast<std::size_t>(l)]));
+           i != -1; i = sh.chain_next[static_cast<std::size_t>(i)]) {
+        const WEvent& e = ev[i];
+        const Cycles t = wbase + static_cast<Cycles>(e.key >> 32);
+        const Cycles svc =
+            lf ? service_ * sh.stage_deg[static_cast<std::size_t>(i)]
+               : service_;
+        const std::size_t c =
+            ccnt == 1 ? 0 : util::simd::first_min_index_i64(span, ccnt);
+        const Cycles start = t > span[c] ? t : span[c];
+        span[c] = start + svc;
+        if (telem_)
+          accumulate_link(sh.link_acc[static_cast<std::size_t>(l)], svc,
+                          start - t);
+        const auto inj =
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(e.key));
+        const RouteRef& rr = sc_.refs[static_cast<std::size_t>(inj)];
+        const std::int32_t nhop = static_cast<std::int32_t>(e.hop) + 1;
+        const std::int32_t nlink = nhop == rr.hops ? -1 : rr.span[nhop];
+        push_event(sh, si, start + svc, inj, nlink,
+                   static_cast<std::uint16_t>(nhop), e.attempt);
+      }
     }
   }
 
@@ -996,8 +1375,16 @@ class Engine {
 
   const SimContext& sc_;
   const fault::FaultPlan* const fp_;
+  /// Non-null only with both a fault plan and a cfg.oracle in an LOGP_MC
+  /// build; selects the strictly-ordered kernel (see dispatch).
+  sim::ChoiceOracle* const oracle_;
   const Cycles service_;
   const bool csort_;  ///< counting sort viable (dt range small enough)
+  // Radix plan (0 passes = radix not viable, use counting + introsort).
+  int radix_passes_ = 0;
+  int radix_rem_ = 0;          ///< inj bits folded into the last pass
+  int radix_done_ = 0;         ///< inj bits consumed by the 8-bit passes
+  std::size_t radix_hist_ = 0; ///< last-pass histogram size
   const Cycles drain_;
   obs::NetTelemetry* const telem_;
   const int threads_;
@@ -1166,8 +1553,15 @@ PacketSimResult run_packet_sim(const Topology& topo,
   int threads = cfg.sim_threads;
   if (threads <= 0)
     threads = std::max(1u, std::thread::hardware_concurrency());
-  const int num_shards =
+  int num_shards =
       std::max(1, std::min<int>(threads, static_cast<int>(links.count())));
+#ifndef LOGP_MC_DISABLED
+  // An attached oracle must see its choice points in canonical event order;
+  // shards interleave arbitrarily inside a window, so force one shard.
+  // (Without an active fault plan the oracle is ignored — the engine has no
+  // packet-level choice points to offer.)
+  if (fp != nullptr && cfg.oracle != nullptr) num_shards = 1;
+#endif
   Engine engine(sc, threads, num_shards);
   engine.run(result);
   return result;

@@ -15,6 +15,7 @@
 
 #include "fault/fault.hpp"
 #include "net/topology.hpp"
+#include "sim/choice.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -71,9 +72,11 @@ struct PacketSimConfig {
   /// PacketSimResult field are unchanged (pinned by tests/test_obs.cpp).
   obs::NetTelemetry* telemetry = nullptr;
   /// Optional engine-introspection sink (see obs/metrics.hpp): the batch
-  /// engine publishes net.wheel.* (time-wheel pushes and peak bucket
-  /// occupancy), net.heap.spills (events past the 64-window wheel horizon),
-  /// net.kernel.{simd,scalar}_windows (fast-vs-faulted kernel dispatches)
+  /// engine publishes net.wheel.* (time-wheel pushes, peak bucket occupancy
+  /// and l2_pushes — events staged through the 64-frame second-level
+  /// wheel), net.heap.spills (events past both wheel horizons),
+  /// net.kernel.{simd,faulted_simd,scalar,mc}_windows (fault-free batch,
+  /// faulted batch, strictly-ordered, and oracle-attended dispatches)
   /// and net.sort.{counting_windows,fallbacks} once, after the run.
   /// Attaching it never changes PacketSimResult (pinned by tests). The
   /// per-(shard, window) counters depend on how work is partitioned, so —
@@ -91,6 +94,17 @@ struct PacketSimConfig {
   /// (a retry is a cross-shard self-interaction of the packet; the bounded-
   /// lag engine only guarantees causality one lookahead out).
   const fault::FaultPlan* faults = nullptr;
+  /// Optional model-checker branch oracle (see sim/choice.hpp), consulted at
+  /// the packet engine's kDrop choice points (the fault plan's drop verdict
+  /// becomes alternative 0, its negation alternative 1). Attaching an oracle
+  /// forces the strictly in-order scalar kernel on a single shard — choice
+  /// consultation order must be the canonical event order, which the batch
+  /// kernel's survivor grouping does not preserve — so an oracle that
+  /// returns 0 everywhere reproduces the oracle-free run byte-for-byte
+  /// (pinned by tests/test_packet_sim.cpp, observable as
+  /// net.kernel.mc_windows). Ignored without an active fault plan. A
+  /// -DLOGP_MC=OFF build compiles the consultation sites out entirely.
+  sim::ChoiceOracle* oracle = nullptr;
 };
 
 struct PacketSimResult {

@@ -60,4 +60,28 @@ void negative_mask_i32_stride_scalar(const std::int32_t* v, std::size_t n,
 void negative_mask_i32_stride(const std::int32_t* v, std::size_t n,
                               std::size_t stride, std::uint64_t* out_words);
 
+/// Batched fault-verdict hash: out[i] = mix(seed ^ mix(salt[i] ^ mix(a[i]) ^
+/// (b[i] * 0x9e3779b97f4a7c15))) where mix is the SplitMix64 finalizer —
+/// exactly the fault layer's decide() composition (fault/fault.cpp owns the
+/// scalar definition; tests/test_fault.cpp pins the two against each other).
+/// The salt is per-element so one pass can hash a window whose events mix
+/// decision families (drop verdicts for link traversals, corrupt verdicts
+/// for deliveries). AVX2 has no 64-bit multiply, so the vector variant
+/// decomposes each mul into 32-bit partial products — exact, pinned by
+/// tests/test_simd.cpp.
+void decide_hash_u64_scalar(std::uint64_t seed, const std::uint64_t* salt,
+                            const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t n, std::uint64_t* out);
+void decide_hash_u64(std::uint64_t seed, const std::uint64_t* salt,
+                     const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n, std::uint64_t* out);
+
+/// Mask-compress: appends the indices of the set bits of words[0..n) (bit i
+/// of word i/64 = element i) to out, ascending, and returns the count.
+/// `out` must have room for n entries. This is the partition step between
+/// a verdict mask and the survivor stream; the bit-scan loop compiles to
+/// tzcnt+clear and is memory-bound, so it doubles as its own reference.
+std::size_t mask_to_indices_u32(const std::uint64_t* words, std::size_t n,
+                                std::uint32_t* out);
+
 }  // namespace logp::util::simd

@@ -381,7 +381,7 @@ TEST(PacketMetrics, FaultFreeRunDispatchesOnlySimdWindows) {
   EXPECT_EQ(reg.gauge("net.shards")->value(), 1);
 }
 
-TEST(PacketMetrics, FaultedRunDispatchesScalarWindows) {
+TEST(PacketMetrics, FaultedRunDispatchesBatchKernelWindows) {
   const auto topo = net::make_mesh2d(8, 8, true);
   auto cfg = packet_cfg(0.02);
   fault::FaultPlan plan;
@@ -394,8 +394,14 @@ TEST(PacketMetrics, FaultedRunDispatchesScalarWindows) {
   const net::PacketSimResult res = net::run_packet_sim(*topo, cfg);
 
   EXPECT_GT(res.dropped, 0) << "plan must actually drop to exercise retries";
-  EXPECT_GT(reg.counter("net.kernel.scalar_windows")->value(), 0)
-      << "an active plan routes windows through the faulted kernel";
+  EXPECT_GT(reg.counter("net.kernel.faulted_simd_windows")->value(), 0)
+      << "an active plan routes windows through the faulted batch kernel";
+  EXPECT_EQ(reg.counter("net.kernel.scalar_windows")->value(), 0)
+      << "the strictly-ordered kernel is reserved for oracle-attended runs";
+  EXPECT_EQ(reg.counter("net.kernel.mc_windows")->value(), 0)
+      << "no oracle attached";
+  EXPECT_EQ(reg.counter("net.kernel.simd_windows")->value(), 0)
+      << "fault-free kernel must not see faulted windows";
 }
 
 }  // namespace

@@ -22,7 +22,9 @@
 #include "fault/fault.hpp"
 #include "net/packet_sim.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "obs/net_telemetry.hpp"
+#include "sim/choice.hpp"
 #include "util/simd.hpp"
 
 // ---- Counting allocator guard (this TU is its own test binary) ----------
@@ -105,6 +107,32 @@ TEST(PacketSim, SteadyStateIsAllocationFree) {
   // And the per-run allocation budget itself is fixed-size setup, far from
   // the O(packets) of a per-packet-allocating implementation.
   EXPECT_LT(a4, 200);
+
+  // The faulted steady state honours the same bound: the verdict staging
+  // tile, the batch-kernel survivor scratch and the radix-sort ping-pong
+  // buffers are all reserved up front, so 4x the drops/retries/degraded
+  // traffic must not allocate either.
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.02;
+  plan.corrupt_rate = 0.005;
+  plan.retry_timeout = 4 * lookahead(cfg);
+  plan.max_retries = 4;
+  plan.link_faults.push_back({0, 1, 0, cfg4.duration, 3});
+  PacketSimConfig fcfg = cfg;
+  fcfg.faults = &plan;
+  PacketSimConfig fcfg4 = cfg4;
+  fcfg4.faults = &plan;
+  (void)run_packet_sim(*topo, fcfg);
+  const long long beforef1 = g_allocs.load();
+  (void)run_packet_sim(*topo, fcfg);
+  const long long f1 = g_allocs.load() - beforef1;
+  const long long beforef4 = g_allocs.load();
+  const auto rf4 = run_packet_sim(*topo, fcfg4);
+  const long long f4 = g_allocs.load() - beforef4;
+  EXPECT_GT(rf4.dropped + rf4.corrupted, 0)
+      << "the plan must actually fire for this to test the faulted path";
+  EXPECT_LE(f4, f1 + 8) << "faulted 4x duration should not grow buffers";
+  EXPECT_LT(f4, 240);
 }
 
 struct Golden {
@@ -399,6 +427,139 @@ TEST(PacketSim, SimdOnOffByteIdenticalUnderActiveFaultPlan) {
     expect_identical(on, telem_on, off, telem_off);
   }
 }
+
+TEST(PacketSim, SimdOnOffByteIdenticalPerFaultType) {
+  // The batch verdict kernel has one code path per misfortune family
+  // (hashed drop, hashed corrupt, targeted first-attempt drop, dead link,
+  // degraded link, injection jitter, retransmit pressure). Exercise each in
+  // isolation and pin SIMD-on/off x sim_threads byte-identity per family,
+  // with a counter proof that the family actually fired — a plan that
+  // never triggers would make the identity check vacuous.
+  const auto topo = make_fat_tree4(64, 2);
+  struct Case {
+    const char* name;
+    fault::FaultPlan plan;
+    // Which result fields must be non-zero for the case to count.
+    bool wants_dropped = false;
+    bool wants_corrupted = false;
+    bool wants_retransmitted = false;
+    bool wants_perturbed = false;  // latency must differ from the clean run
+  };
+  Case cases[7];
+  cases[0].name = "drop_only";
+  cases[0].plan.drop_rate = 0.05;
+  cases[0].wants_dropped = true;
+  cases[1].name = "corrupt_only";
+  cases[1].plan.corrupt_rate = 0.04;
+  cases[1].wants_corrupted = true;
+  cases[2].name = "targeted_drop_packets";
+  cases[2].plan.drop_packets = {5, 50, 500, 5000};
+  cases[2].wants_dropped = true;
+  cases[3].name = "link_kill_interval";
+  cases[3].plan.link_faults.push_back({0, 64, 1000, 9000, 0});
+  cases[3].wants_dropped = true;
+  cases[4].name = "link_degrade_interval";
+  cases[4].plan.link_faults.push_back({0, 64, 1000, 9000, 4});
+  cases[4].wants_perturbed = true;
+  cases[5].name = "injection_jitter";
+  cases[5].plan.max_injection_delay = 37;
+  cases[5].wants_perturbed = true;
+  cases[6].name = "retransmit_flood";
+  cases[6].plan.drop_rate = 0.35;
+  cases[6].plan.max_retries = 6;
+  cases[6].wants_dropped = true;
+  cases[6].wants_retransmitted = true;
+  const auto clean =
+      run_packet_sim(*topo, golden_config(TrafficPattern::kUniform));
+  for (auto& c : cases) {
+    PacketSimConfig probe = golden_config(TrafficPattern::kUniform);
+    c.plan.retry_timeout = 8 * lookahead(probe);
+    if (c.plan.max_retries == 0) c.plan.max_retries = 3;
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(c.name) +
+                   " sim_threads=" + std::to_string(threads));
+      PacketSimConfig base = golden_config(TrafficPattern::kUniform);
+      base.sim_threads = threads;
+      base.faults = &c.plan;
+      PacketSimConfig cfg_on = base;
+      obs::NetTelemetry telem_on;
+      telem_on.sample_every = 500;
+      cfg_on.telemetry = &telem_on;
+      util::simd::set_force_scalar(false);
+      const auto on = run_packet_sim(*topo, cfg_on);
+      PacketSimConfig cfg_off = base;
+      obs::NetTelemetry telem_off;
+      telem_off.sample_every = 500;
+      cfg_off.telemetry = &telem_off;
+      util::simd::set_force_scalar(true);
+      const auto off = run_packet_sim(*topo, cfg_off);
+      util::simd::set_force_scalar(false);
+      if (c.wants_dropped) {
+        EXPECT_GT(on.dropped, 0);
+      }
+      if (c.wants_corrupted) {
+        EXPECT_GT(on.corrupted, 0);
+      }
+      if (c.wants_retransmitted) {
+        EXPECT_GT(on.retransmitted, 0);
+      }
+      if (c.wants_perturbed) {
+        EXPECT_NE(on.latency.mean(), clean.latency.mean())
+            << "plan should perturb timing even without losses";
+      }
+      expect_identical(on, telem_on, off, telem_off);
+    }
+  }
+}
+
+#ifndef LOGP_MC_DISABLED
+TEST(PacketSim, ZeroOracleReproducesOracleFreeRunOnOrderedKernel) {
+  // Attaching an oracle must route every faulted window through the
+  // strictly-ordered kernel (the batch kernel's survivor grouping does not
+  // preserve canonical choice-point order), observable as mc_windows
+  // replacing faulted_simd_windows — and an oracle that always picks
+  // alternative 0 (the engine default) must reproduce the batch run
+  // byte-for-byte, which is what makes counterexample replay sound.
+  struct ZeroOracle final : sim::ChoiceOracle {
+    int choose(sim::ChoiceKind, int, const std::uint64_t*) override {
+      return 0;
+    }
+  };
+  const auto topo = make_fat_tree4(64, 2);
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.05;
+  plan.corrupt_rate = 0.02;
+  plan.retry_timeout = 64;
+  plan.max_retries = 3;
+  PacketSimConfig base = golden_config(TrafficPattern::kUniform);
+  base.faults = &plan;
+  PacketSimConfig cfg_batch = base;
+  obs::NetTelemetry telem_batch;
+  telem_batch.sample_every = 500;
+  cfg_batch.telemetry = &telem_batch;
+  obs::MetricsRegistry reg_batch;
+  cfg_batch.metrics = &reg_batch;
+  const auto batch = run_packet_sim(*topo, cfg_batch);
+  ZeroOracle zero;
+  PacketSimConfig cfg_mc = base;
+  obs::NetTelemetry telem_mc;
+  telem_mc.sample_every = 500;
+  cfg_mc.telemetry = &telem_mc;
+  obs::MetricsRegistry reg_mc;
+  cfg_mc.metrics = &reg_mc;
+  cfg_mc.oracle = &zero;
+  const auto mc = run_packet_sim(*topo, cfg_mc);
+  EXPECT_GT(batch.dropped + batch.corrupted, 0);
+  EXPECT_GT(reg_batch.counter("net.kernel.faulted_simd_windows")->value(), 0);
+  EXPECT_EQ(reg_batch.counter("net.kernel.mc_windows")->value(), 0)
+      << "no oracle attached";
+  EXPECT_GT(reg_mc.counter("net.kernel.mc_windows")->value(), 0)
+      << "an attached oracle must take the canonical ordered path";
+  EXPECT_EQ(reg_mc.counter("net.kernel.faulted_simd_windows")->value(), 0)
+      << "the batch kernel must never see an oracle-attended window";
+  expect_identical(batch, telem_batch, mc, telem_mc);
+}
+#endif  // LOGP_MC_DISABLED
 
 TEST(PacketSim, ShardPartitionCoversEveryLinkExactlyOnce) {
   for (const int shards : {1, 2, 3, 4, 8}) {

@@ -107,6 +107,81 @@ TEST(Simd, NegativeMaskZeroesBitsPastN) {
   EXPECT_EQ(words[1], (std::uint64_t{1} << 6) - 1);
 }
 
+TEST(Simd, DecideHashMatchesScalarAcrossLengths) {
+  // The batched verdict hash must be bit-exact with the scalar SplitMix64
+  // chain at every length — including lengths that split into a vector body
+  // plus a scalar tail (5, 9, 17, ...), the handoff where a dirty-upper or
+  // partial-lane bug would first show. Random salts mix decision families
+  // within one batch, exactly as a faulted window does.
+  util::Xoshiro256StarStar rng(0x5eed);
+  const std::uint64_t seed = 0x8badf00dULL;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}, std::size_t{15},
+                              std::size_t{16}, std::size_t{17},
+                              std::size_t{31}, std::size_t{33},
+                              std::size_t{64}, std::size_t{100},
+                              std::size_t{255}, std::size_t{256},
+                              std::size_t{257}}) {
+    std::vector<std::uint64_t> salt(n), a(n), b(n), got(n, 0), want(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      salt[i] = 0xd201 + rng.uniform(5);  // the fault layer's salt range
+      a[i] = rng();
+      b[i] = rng.uniform(8);
+    }
+    decide_hash_u64(seed, salt.data(), a.data(), b.data(), n, got.data());
+    decide_hash_u64_scalar(seed, salt.data(), a.data(), b.data(), n,
+                           want.data());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Simd, DecideHashForceScalarIdentical) {
+  // The runtime kill-switch must collapse onto the same answers.
+  util::Xoshiro256StarStar rng(0xcafe);
+  const std::size_t n = 71;
+  std::vector<std::uint64_t> salt(n), a(n), b(n), got(n), want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    salt[i] = rng();
+    a[i] = rng();
+    b[i] = rng();
+  }
+  decide_hash_u64(42, salt.data(), a.data(), b.data(), n, want.data());
+  {
+    ScalarGuard guard(true);
+    decide_hash_u64(42, salt.data(), a.data(), b.data(), n, got.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]) << i;
+}
+
+TEST(Simd, MaskToIndicesCompressesSetBitsAscending) {
+  // The verdict-mask -> survivor-stream partition step: indices of set bits,
+  // ascending, count returned. Dense, sparse, empty and full masks, at
+  // lengths straddling word boundaries.
+  util::Xoshiro256StarStar rng(0x1d);
+  for (const double density : {0.0, 0.03, 0.5, 1.0}) {
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+          std::size_t{128}, std::size_t{193}, std::size_t{500}}) {
+      std::vector<std::uint64_t> words((n + 63) / 64, 0);
+      std::vector<std::uint32_t> want;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(density)) {  // 0.0 never fires, 1.0 always does
+          words[i / 64] |= std::uint64_t{1} << (i % 64);
+          want.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      std::vector<std::uint32_t> got(n + 1, 0xffffffffu);
+      const std::size_t cnt = mask_to_indices_u32(words.data(), n, got.data());
+      ASSERT_EQ(cnt, want.size()) << "density=" << density << " n=" << n;
+      for (std::size_t i = 0; i < cnt; ++i)
+        EXPECT_EQ(got[i], want[i]) << "density=" << density << " n=" << n;
+      EXPECT_EQ(got[cnt], 0xffffffffu) << "must not write past the count";
+    }
+  }
+}
+
 TEST(Simd, ForceScalarDisablesVectorDispatch) {
   EXPECT_FALSE(force_scalar());
   {
