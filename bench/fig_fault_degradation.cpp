@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
           argc, argv,
           "[--threads N] [--sim-threads N] [--checkpoint-dir DIR] [--resume] "
           "[--crash-after N] [--profile] [--trace-json FILE] "
-          "[--metrics-csv FILE]"))
+          "[--metrics-csv FILE] [--links-csv FILE]"))
     return rc;
   if (const int rc = obs::reject_machine_only_flags(obs_flags, argv[0]))
     return rc;

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   if (const int rc = exp::reject_unknown_flags(
           argc, argv,
           "[--threads N] [--sim-threads N] [--ci] [--profile] "
-          "[--trace-json FILE] [--metrics-csv FILE]"))
+          "[--trace-json FILE] [--metrics-csv FILE] [--links-csv FILE]"))
     return rc;
   if (const int rc = obs::reject_machine_only_flags(obs_flags, argv[0]))
     return rc;

@@ -5,11 +5,43 @@
 #include <filesystem>
 #include <fstream>
 
+#ifndef _WIN32
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "util/check.hpp"
 
 namespace logp::exp {
 
 namespace {
+
+/// Flushes `path` to stable storage. Writing + renaming alone only orders
+/// the publish against other *reads*; a power loss can still drop both the
+/// bytes and the rename's directory entry. Durability needs two fsyncs: the
+/// tmp file before the rename (so the rename publishes durable bytes) and
+/// the parent directory after it (so the new entry itself is durable).
+void fsync_path(const std::string& path, bool directory) {
+#ifndef _WIN32
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  const int fd = ::open(path.c_str(), flags);
+  LOGP_CHECK_MSG(fd >= 0, "cannot open for fsync: " << path);
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  // Some filesystems refuse directory fsync with EINVAL; that is as durable
+  // as they get, not a reason to abort the sweep.
+  LOGP_CHECK_MSG(rc == 0 || (directory && err == EINVAL),
+                 "fsync failed for " << path);
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
 
 void append_escaped(std::string* out, const std::string& s) {
   for (const char c : s) {
@@ -159,9 +191,12 @@ void CheckpointStore::store(std::size_t index, const std::string& payload) const
     out.flush();
     LOGP_CHECK_MSG(out.good(), "failed writing checkpoint " << tmp_path);
   }
+  fsync_path(tmp_path, /*directory=*/false);
   // Atomic publish: a crash before this line leaves only the tmp file,
-  // which a resumed run ignores (and overwrites).
+  // which a resumed run ignores (and overwrites). The directory fsync after
+  // the rename makes the publish itself durable, not merely atomic.
   std::filesystem::rename(tmp_path, final_path);
+  fsync_path(dir_, /*directory=*/true);
 }
 
 void CheckpointStore::note_corrupt(std::size_t index, const char* what) const {

@@ -11,7 +11,10 @@
 // Publication is the classic atomic-rename idiom: the payload is written to
 // `<final>.tmp` and then std::filesystem::rename'd into place. Renames
 // within a filesystem are atomic, so a reader (including a resumed run)
-// sees either no manifest or a complete one, never a torn write.
+// sees either no manifest or a complete one, never a torn write. Atomicity
+// alone is not durability, though: the tmp file is fsync'd before the
+// rename and the directory after it, so a power loss right after store()
+// returns cannot silently drop the published point.
 #pragma once
 
 #include <atomic>
@@ -52,7 +55,8 @@ class CheckpointStore {
 
   /// True (and fills *payload) when point `index` has a manifest.
   bool load(std::size_t index, std::string* payload) const;
-  /// Atomically publishes point `index`: tmp write, then rename.
+  /// Atomically and durably publishes point `index`: tmp write, fsync,
+  /// rename, directory fsync.
   void store(std::size_t index, const std::string& payload) const;
 
   /// Removes every manifest of this run key (a fresh, non-resumed run must

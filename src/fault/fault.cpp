@@ -73,6 +73,9 @@ void FaultPlan::validate() const {
     LOGP_CHECK_MSG(pf.fail_at >= 0, "proc " << pf.proc
                                             << " fail_at must be >= 0, got "
                                             << pf.fail_at);
+    LOGP_CHECK_MSG(pf.recover_at < 0 || pf.recover_at >= pf.fail_at,
+                   "proc " << pf.proc << " recover_at " << pf.recover_at
+                           << " precedes fail_at " << pf.fail_at);
   }
 }
 
@@ -130,8 +133,19 @@ bool FaultPlan::proc_fails(ProcId p) const {
 
 bool FaultPlan::proc_failed(ProcId p, Cycles t) const {
   for (const ProcFault& pf : proc_faults)
-    if (pf.proc == p && t >= pf.fail_at) return true;
+    if (pf.proc == p && t >= pf.fail_at &&
+        (pf.recover_at < 0 || t < pf.recover_at))
+      return true;
   return false;
+}
+
+Cycles FaultPlan::proc_recovers_at(ProcId p, Cycles t) const {
+  Cycles best = -1;
+  for (const ProcFault& pf : proc_faults)
+    if (pf.proc == p && t >= pf.fail_at && pf.recover_at >= 0 &&
+        t < pf.recover_at && (best < 0 || pf.recover_at < best))
+      best = pf.recover_at;
+  return best;
 }
 
 std::uint64_t unit_threshold(double rate) {

@@ -42,10 +42,15 @@ struct LinkFault {
 /// A processor that fails at fail_at: the machine drops every message
 /// destined to it from that cycle on, and resilient collectives route
 /// around it (conservatively, from the start of the run — trees are built
-/// before anyone knows when the failure lands).
+/// before anyone knows when the failure lands). recover_at < 0 means the
+/// failure is permanent; recover_at >= fail_at makes the fault an interval
+/// [fail_at, recover_at) mirroring LinkFault — from recover_at on, the
+/// machine delivers to the processor again and the membership layer can
+/// re-admit it via a state-sync rejoin (runtime/membership.hpp).
 struct ProcFault {
   ProcId proc = -1;
   Cycles fail_at = 0;
+  Cycles recover_at = -1;
 };
 
 struct FaultPlan {
@@ -108,8 +113,12 @@ struct FaultPlan {
   bool message_droppable() const { return msg_drop_rate > 0.0; }
   /// True when p appears in proc_faults (used to build resilient trees).
   bool proc_fails(ProcId p) const;
-  /// True when p has failed by cycle t (messages to it are dropped).
+  /// True when p is failed at cycle t (messages to it are dropped): inside
+  /// some [fail_at, recover_at) interval, or past a permanent fail_at.
   bool proc_failed(ProcId p, Cycles t) const;
+  /// Earliest recover_at > t among p's fault intervals covering t, or -1
+  /// when p is healthy at t or failed forever (the revival-task query).
+  Cycles proc_recovers_at(ProcId p, Cycles t) const;
 
   // ---- batch verdicts (the packet engine's vectorized fault kernel) ----
   //

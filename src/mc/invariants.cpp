@@ -135,6 +135,100 @@ std::vector<std::string> check_invariants(const ScenarioConfig& cfg,
     fail(os);
   }
 
+  // 6. Detector soundness: false-positive freedom under the drop budget.
+  if (cfg.scenario == "detector") {
+    for (const auto& v : out.verdicts)
+      if (v.dead && !cfg.proc_dead(v.subject)) {
+        std::ostringstream os;
+        os << "detector false positive: observer " << v.observer
+           << " declared live proc " << v.subject << " dead at t=" << v.t
+           << " with drop budget " << cfg.drop_budget;
+        fail(os);
+      }
+    for (ProcId p = 0; p < P; ++p) {
+      if (cfg.proc_dead(p)) continue;
+      const auto pi = static_cast<std::size_t>(p);
+      for (ProcId q = 0; q < P; ++q)
+        if (!cfg.proc_dead(q) && !out.final_live[pi][static_cast<std::size_t>(q)]) {
+          std::ostringstream os;
+          os << "healthy proc " << p << "'s final view dropped live proc "
+             << q;
+          fail(os);
+        }
+      if (cfg.dead_procs.empty() && out.final_epoch[pi] != 0) {
+        std::ostringstream os;
+        os << "proc " << p << " bumped to epoch " << out.final_epoch[pi]
+           << " with nobody dead";
+        fail(os);
+      }
+    }
+  }
+
+  // 7. Rejoin: exactly-once admission in a strictly later epoch.
+  if (cfg.scenario == "rejoin") {
+    const ProcId victim = cfg.dead_procs.front();
+    std::int64_t admissions = 0;
+    for (const auto& r : out.epoch_log)
+      if (r.joined && r.subject == victim) ++admissions;
+    if (admissions != 1) {
+      std::ostringstream os;
+      os << "rejoin admitted proc " << victim << " " << admissions
+         << " times (expected exactly once)";
+      fail(os);
+    }
+    for (ProcId p = 0; p < P; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (!out.final_live[pi][static_cast<std::size_t>(victim)]) {
+        std::ostringstream os;
+        os << "proc " << p << "'s final view never re-admitted the revived "
+           << "proc " << victim;
+        fail(os);
+      }
+      if (out.final_epoch[pi] < 2) {
+        std::ostringstream os;
+        os << "proc " << p << " finished at epoch " << out.final_epoch[pi]
+           << "; readmission must land in a strictly later epoch than the "
+           << "removal (>= 2)";
+        fail(os);
+      }
+    }
+    if (out.mem.view_syncs_adopted != P - 1) {
+      std::ostringstream os;
+      os << "view state-sync adopted " << out.mem.view_syncs_adopted
+         << " times, expected " << P - 1
+         << " (every proc except the coordinator, exactly once)";
+      fail(os);
+    }
+  }
+
+  // 8. No lost payload across an epoch change.
+  if (cfg.scenario == "epoch_broadcast") {
+    if (!out.degraded) {
+      std::ostringstream os;
+      os << "scheduler degraded flag not raised though a death bumped the "
+         << "epoch mid-broadcast";
+      fail(os);
+    }
+    const auto victims = static_cast<std::int64_t>(cfg.dead_procs.size());
+    for (ProcId p = 0; p < P; ++p) {
+      if (cfg.proc_dead(p)) continue;
+      const auto pi = static_cast<std::size_t>(p);
+      if (out.values[pi] != kBcastValue) {
+        std::ostringstream os;
+        os << "lost payload across epoch change: live proc " << p
+           << " ended with 0x" << std::hex << out.values[pi] << std::dec
+           << ", expected 0x" << std::hex << kBcastValue << std::dec;
+        fail(os);
+      }
+      if (out.final_epoch[pi] != victims) {
+        std::ostringstream os;
+        os << "live proc " << p << " finished at epoch " << out.final_epoch[pi]
+           << ", expected " << victims << " (one bump per reported death)";
+        fail(os);
+      }
+    }
+  }
+
   return bad;
 }
 

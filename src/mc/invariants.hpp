@@ -1,5 +1,5 @@
-// The five protocol invariants asserted on every terminal state the
-// explorer reaches (ISSUE 6 / ROADMAP item 4):
+// The protocol invariants asserted on every terminal state the explorer
+// reaches (ISSUE 6 / ROADMAP item 4):
 //
 //  1. Exactly-once: no payload is handed to a receiver's user tag twice.
 //  2. No lost payload: every reliable send to a live destination is
@@ -18,6 +18,21 @@
 //     every processor's compute/send-o/recv-o/g-wait/stall/idle buckets sum
 //     to the finish time exactly, on every interleaving, not just the
 //     default one.
+//
+// The self-healing runtime adds three more, one per membership scenario:
+//
+//  6. Detector soundness (scenario "detector"): no DEAD verdict ever names
+//     a live processor, and no healthy view drops one — at any
+//     interleaving within the drop budget. Sound because the suspicion
+//     timeout covers a retransmitted heartbeat (detector.hpp), so a false
+//     positive costs more drops than the adversary has.
+//  7. Rejoin exactly-once (scenario "rejoin"): the revived processor is
+//     admitted exactly once, and every processor's final view re-admits it
+//     in a strictly later epoch than its removal; every non-coordinator
+//     adopts the state-sync exactly once.
+//  8. No lost payload across an epoch change (scenario "epoch_broadcast"):
+//     a death reported mid-broadcast bumps the epoch and rebuilds the
+//     tree, and every survivor still ends holding the root's value.
 //
 // A run that dies with an exception (DeadlockError included) violates by
 // definition. Returns human-readable findings; empty = all invariants hold.

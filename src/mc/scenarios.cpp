@@ -45,12 +45,21 @@ std::vector<std::pair<ProcId, ProcId>> reliable_pairs(
   return pairs;
 }
 
+/// Survivors' death-report task for epoch_broadcast: the verdict lands
+/// mid-collective at a fixed cycle, bumping every healthy view.
+Task report_deaths_at(Ctx ctx, runtime::Membership& mem,
+                      const std::vector<ProcId>& victims, Cycles at) {
+  if (ctx.now() < at) co_await ctx.sleep_until(at);
+  for (const ProcId v : victims) mem.report_dead(ctx, v);
+}
+
 }  // namespace
 
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
       "send_ack", "retransmit_race", "reliable_broadcast",
-      "resilient_broadcast", "resilient_reduce"};
+      "resilient_broadcast", "resilient_reduce",
+      "detector", "rejoin", "epoch_broadcast"};
   return names;
 }
 
@@ -65,11 +74,27 @@ ScenarioConfig scenario_defaults(const std::string& name, int P) {
     cfg.base_timeout = cfg.params.L + cfg.params.o;
   }
   if (cfg.is_resilient()) cfg.drop_budget = 0;
+  if (name == "rejoin") {
+    // The reviving victim: the highest rank, so the (stale-view) JOIN
+    // targets the true coordinator on the first candidate.
+    cfg.dead_procs.assign(1, static_cast<ProcId>(P - 1));
+  } else if (name == "epoch_broadcast") {
+    cfg.drop_budget = 0;  // plain sends carry the payload; see validate()
+    // The victim that orphans a subtree when possible: rank P-2 is an
+    // interior node of the initial binomial tree for P >= 4, so its death
+    // strands a child until the epoch bump re-feeds it.
+    cfg.dead_procs.assign(1, static_cast<ProcId>(P == 2 ? 1 : P - 2));
+  }
   return cfg;
 }
 
 bool ScenarioConfig::is_resilient() const {
   return scenario == "resilient_broadcast" || scenario == "resilient_reduce";
+}
+
+bool ScenarioConfig::is_membership() const {
+  return scenario == "detector" || scenario == "rejoin" ||
+         scenario == "epoch_broadcast";
 }
 
 bool ScenarioConfig::proc_dead(ProcId p) const {
@@ -96,7 +121,44 @@ void ScenarioConfig::validate() const {
   LOGP_CHECK(latency_min < params.L);
   for (const ProcId d : dead_procs)
     LOGP_CHECK_MSG(d >= 0 && d < params.P, "dead proc " << d << " out of range");
-  if (is_resilient()) {
+  LOGP_CHECK_MSG(!mutate_no_epoch_bump || scenario == "rejoin",
+                 "mutate_no_epoch_bump only applies to the rejoin scenario");
+  if (is_membership()) {
+    // Membership views ride one payload word (runtime/membership.hpp).
+    LOGP_CHECK_MSG(params.P <= 32,
+                   "membership scenarios need P <= 32, got " << params.P);
+    LOGP_CHECK_MSG(!mutate_no_dedup,
+                   "mutate_no_dedup only applies to reliable scenarios");
+    LOGP_CHECK(detector_rounds >= 1);
+    if (scenario == "detector") {
+      // False-positive freedom is a theorem only while the adversary cannot
+      // delay one peer's heartbeats past the suspicion window in
+      // suspicion_misses consecutive rounds: with the detector defaults
+      // (rtt_multiple 3, misses 2) each late round costs >= 2 drops, so the
+      // cheapest false positive costs 4.
+      LOGP_CHECK_MSG(drop_budget <= 3,
+                     "detector scenario proves false-positive freedom for "
+                     "drop_budget <= 3 (a dead verdict costs >= 4 drops)");
+    }
+    if (scenario == "rejoin")
+      LOGP_CHECK_MSG(dead_procs.size() == 1,
+                     "rejoin needs exactly one reviving processor");
+    if (scenario == "epoch_broadcast") {
+      // The payload rides plain (unacknowledged) sends between holders; a
+      // droppable payload would be a lost payload by construction. The
+      // nondeterminism axis here is message ordering, not loss.
+      LOGP_CHECK_MSG(drop_budget == 0,
+                     "epoch_broadcast requires drop_budget 0");
+      LOGP_CHECK_MSG(!dead_procs.empty(),
+                     "epoch_broadcast needs a victim whose death bumps the "
+                     "epoch mid-collective");
+      LOGP_CHECK_MSG(!proc_dead(0),
+                     "epoch_broadcast's initial coordinator (proc 0) holds "
+                     "the value and must stay live");
+      LOGP_CHECK_MSG(static_cast<int>(dead_procs.size()) < params.P,
+                     "at least one processor must stay alive");
+    }
+  } else if (is_resilient()) {
     // Resilient collectives ride plain (unacknowledged) sends; a droppable
     // plain message would deadlock the tree, and the whole point of the
     // resilient scenarios is the routing-around logic, not loss recovery.
@@ -124,6 +186,20 @@ RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
   out.values.assign(static_cast<std::size_t>(P), 0);
   out.proc_degraded.assign(static_cast<std::size_t>(P), 0);
 
+  // Membership-scenario timing: pure functions of the config, so every
+  // interleaving shares the same instants. bt mirrors the reliable layer's
+  // default retransmit timeout (2L + 6o + 4g); rt the epoch collectives'
+  // default round timeout of one suspicion window.
+  const Params& pa = cfg.params;
+  const Cycles bt = cfg.base_timeout > 0
+                        ? cfg.base_timeout
+                        : 2 * pa.L + 6 * pa.o + 4 * pa.g;
+  const Cycles rt = 3 * (2 * pa.L + 4 * pa.o);
+  const Cycles rejoin_recover_at = 2 * bt;
+  const Cycles rejoin_deadline = rejoin_recover_at + 16 * bt;
+  const Cycles bcast_report_at = rt / 2;
+  const Cycles bcast_deadline = 5 * rt;
+
   fault::FaultPlan plan;
   bool use_plan = false;
   if (!cfg.is_resilient() && cfg.drop_budget > 0) {
@@ -134,7 +210,10 @@ RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
     use_plan = true;
   }
   for (const ProcId d : cfg.dead_procs) {
-    plan.proc_faults.push_back(fault::ProcFault{d, 0});
+    if (cfg.scenario == "rejoin")
+      plan.proc_faults.push_back(fault::ProcFault{d, 0, rejoin_recover_at});
+    else
+      plan.proc_faults.push_back(fault::ProcFault{d, 0});
     use_plan = true;
   }
 
@@ -153,7 +232,54 @@ RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
   });
 
   std::optional<ReliableLayer> rl;
-  if (!cfg.is_resilient()) {
+  std::optional<runtime::Membership> mem;
+  std::optional<runtime::FailureDetector> det;
+  if (cfg.is_membership()) {
+    ReliableLayer::Options opts;
+    opts.base_timeout = cfg.base_timeout;
+    opts.max_retries = cfg.max_retries;
+    rl.emplace(sched, opts);
+    runtime::Membership::Options mopts;
+    mopts.test_skip_epoch_bump = cfg.mutate_no_epoch_bump;
+    mem.emplace(sched, *rl, mopts);
+    if (cfg.scenario == "detector") {
+      runtime::FailureDetector::Options dopts;
+      dopts.rounds = cfg.detector_rounds;
+      det.emplace(sched, *rl, *mem, dopts);
+      sched.set_program(
+          [&](Ctx ctx) -> Task { co_await det->run(ctx); });
+    } else if (cfg.scenario == "rejoin") {
+      // Survivors learned of the death before time zero (the detector path
+      // is proven by the detector scenario); here the explored surface is
+      // the JOIN / VIEW state-sync itself.
+      const ProcId victim = cfg.dead_procs.front();
+      sched.set_program([&, victim](Ctx ctx) -> Task {
+        if (ctx.proc() != victim) {
+          mem->report_dead(ctx, victim);
+          co_return;
+        }
+        co_await mem->revival_task(ctx, &plan, rejoin_deadline);
+      });
+    } else {  // epoch_broadcast
+      sched.set_program([&](Ctx ctx) -> Task {
+        const ProcId p = ctx.proc();
+        // Every view still includes the victim when the broadcast starts;
+        // survivors report the death mid-collective.
+        if (!cfg.proc_dead(p))
+          ctx.spawn(report_deaths_at(ctx, *mem, cfg.dead_procs,
+                                     bcast_report_at));
+        std::uint64_t v = (p == 0) ? kBcastValue : 0;
+        bool deg = false;
+        runtime::coll::EpochCollOptions eopts;
+        eopts.deadline = bcast_deadline;
+        eopts.round_timeout = rt;
+        co_await runtime::coll::broadcast_resilient(ctx, *mem, &v, &deg,
+                                                    eopts, kEpochBcastTag);
+        out.values[static_cast<std::size_t>(p)] = v;
+        out.proc_degraded[static_cast<std::size_t>(p)] = deg ? 1 : 0;
+      });
+    }
+  } else if (!cfg.is_resilient()) {
     ReliableLayer::Options opts;
     opts.base_timeout = cfg.base_timeout;
     opts.max_retries = cfg.max_retries;
@@ -200,6 +326,20 @@ RunOutcome run_scenario(const ScenarioConfig& cfg, sim::ChoiceOracle* oracle,
     out.error = e.what();
   }
   if (rl) out.rel = rl->stats();
+  if (mem) {
+    out.mem = mem->stats();
+    out.epoch_log = mem->log();
+    out.final_epoch.resize(static_cast<std::size_t>(P));
+    out.final_live.resize(static_cast<std::size_t>(P));
+    for (ProcId p = 0; p < P; ++p) {
+      out.final_epoch[static_cast<std::size_t>(p)] = mem->view(p).epoch;
+      out.final_live[static_cast<std::size_t>(p)] = mem->view(p).live;
+    }
+  }
+  if (det) {
+    out.det = det->stats();
+    out.verdicts = det->verdicts();
+  }
   out.degraded = sched.degraded();
   if (out.ok) out.profile = obs::profile_machine(sched.machine());
   if (want_trace) {

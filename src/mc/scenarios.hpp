@@ -21,6 +21,25 @@
 //                       other proc.
 //   resilient_broadcast coll::broadcast_resilient over the live set.
 //   resilient_reduce    coll::reduce_resilient over the live set.
+//   detector            every proc runs the heartbeat failure detector
+//                       (runtime/detector.hpp) for detector_rounds rounds
+//                       while the adversary spends drop_budget losses on
+//                       the heartbeat traffic. Proves false-positive
+//                       freedom: no live processor ever earns a DEAD
+//                       verdict, at any interleaving within the budget.
+//   rejoin              the single dead_procs entry fails at cycle 0 and
+//                       revives (fault::ProcFault::recover_at); survivors
+//                       remove it from their views at t=0 and the revived
+//                       proc runs the JOIN/VIEW state-sync
+//                       (runtime/membership.hpp). Proves exactly-once
+//                       admission in a strictly later epoch on every view.
+//   epoch_broadcast     coll::broadcast_resilient (the epoch-aware
+//                       Membership overload): the victim is dead from
+//                       cycle 0 but every view still includes it when the
+//                       broadcast starts; survivors report the death
+//                       mid-collective, bumping the epoch and rebuilding
+//                       the tree. Proves no-lost-payload across the epoch
+//                       change: every survivor ends with the root's value.
 //
 // The reliable scenarios make messages droppable by setting an
 // infinitesimal FaultPlan::msg_drop_rate: droppable-ness is what opens a
@@ -35,6 +54,8 @@
 
 #include "core/params.hpp"
 #include "obs/profiler.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/membership.hpp"
 #include "runtime/reliable.hpp"
 #include "sim/machine.hpp"
 
@@ -42,6 +63,10 @@ namespace logp::mc {
 
 /// The user-visible tag payloads are delivered under in every scenario.
 inline constexpr std::int32_t kUserTag = 42;
+/// The epoch-aware broadcast payload tag (distinct from kUserTag: the
+/// collective receives via Ctx::recv_until, which a user-tag handler would
+/// intercept).
+inline constexpr std::int32_t kEpochBcastTag = 43;
 /// The datum broadcast by the resilient/reliable broadcast scenarios.
 inline constexpr std::uint64_t kBcastValue = 0xC0FFEE;
 
@@ -58,14 +83,28 @@ struct ScenarioConfig {
   int drop_budget = 1;
   /// >= 0 opens kLatency choice points (uniform range [latency_min, L]).
   Cycles latency_min = -1;
-  /// Processors failed from cycle 0 (FaultPlan::proc_faults).
+  /// Processors failed from cycle 0 (FaultPlan::proc_faults). In the rejoin
+  /// scenario the (single) entry also revives at a derived recover_at.
   std::vector<ProcId> dead_procs;
+  /// Heartbeat rounds in the detector scenario (FailureDetector::Options::
+  /// rounds). Two rounds already cover the dead-verdict escalation path:
+  /// with suspicion_misses = 2, a false positive needs consecutive suspect
+  /// rounds, which a sound timeout makes cost > max_retries drops.
+  int detector_rounds = 2;
   /// Seeded bug switch (ReliableLayer::Options::test_skip_dedup) for the
   /// mutation test: the checker must catch the resulting double delivery.
   bool mutate_no_dedup = false;
+  /// Seeded bug switch (Membership::Options::test_skip_epoch_bump) for the
+  /// rejoin mutation test: the coordinator re-admits without bumping the
+  /// epoch, the VIEW sync is never strictly newer, survivors keep stale
+  /// views — the rejoin invariant must catch it.
+  bool mutate_no_epoch_bump = false;
 
   int P() const { return params.P; }
   bool is_resilient() const;
+  /// detector / rejoin / epoch_broadcast: the scenarios that run the
+  /// Membership (and possibly FailureDetector) layer.
+  bool is_membership() const;
   bool proc_dead(ProcId p) const;
   /// Throws util::check_error on unknown scenario / inconsistent knobs.
   void validate() const;
@@ -92,6 +131,17 @@ struct RunOutcome {
   std::vector<std::uint64_t> values;
   /// Per-proc degraded out-flag from the resilient collectives.
   std::vector<char> proc_degraded;
+  // ---- membership/detector observables (empty outside the membership
+  // ---- scenarios detector / rejoin / epoch_broadcast) ----
+  runtime::Membership::Stats mem;
+  runtime::FailureDetector::Stats det;
+  /// Every detector decision, in order (detector scenario).
+  std::vector<runtime::FailureDetector::Verdict> verdicts;
+  /// Every local view change, in order (all membership scenarios).
+  std::vector<runtime::Membership::EpochRecord> epoch_log;
+  /// final_epoch[p] / final_live[p]: proc p's view when the run quiesced.
+  std::vector<std::int64_t> final_epoch;
+  std::vector<std::vector<char>> final_live;
   obs::LogPProfile profile;  ///< empty when !ok
   std::string trace_json;    ///< Chrome trace, when requested
   /// Critical-path artifact (obs/critical_path.hpp JSON) of the same

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -259,6 +260,165 @@ struct RouteRef {
   std::int32_t first;
 };
 
+/// Epoch-stamped route variants for fault-aware rerouting
+/// (PacketSimConfig::reroute). The fault plan's link kill intervals
+/// partition time into epochs; every (src, dst) pair that carries traffic
+/// gets one route per epoch, all computed in the serial pre-pass:
+///
+///  * the base deterministic route when no link on it is dead in the epoch
+///    (the common case — it shares the base span, so healthy epochs cost
+///    nothing), or
+///  * a BFS shortest detour over the edges the routing function can emit,
+///    avoiding every link dead in the epoch (ascending-neighbor first-visit
+///    makes the detour canonical), or
+///  * the base route again when the outage cuts the destination off — the
+///    packet then drops and retries exactly as without rerouting.
+///
+/// Consecutive epochs with identical link sequences share one span, so
+/// "the route changed" is a pointer comparison — the test both the engine's
+/// retry recommit and the canonical replay make, which keeps the reroute
+/// count byte-identical at every sim_threads and SIMD setting. Everything
+/// is resolved before the engine starts; detour links enter the link table
+/// in the same deterministic first-touch order at any thread count.
+class EpochRouter {
+ public:
+  EpochRouter(const Topology& topo, const fault::FaultPlan& fp,
+              LinkTable& links)
+      : topo_(topo), fp_(&fp), links_(links) {
+    for (const fault::LinkFault& lf : fp.link_faults) {
+      if (lf.degrade != 0 || lf.to <= lf.from) continue;
+      bounds_.push_back(lf.from);
+      bounds_.push_back(lf.to);
+      kill_pairs_.push_back(pair_key(lf.u, lf.v));
+    }
+    std::sort(bounds_.begin(), bounds_.end());
+    bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+    std::sort(kill_pairs_.begin(), kill_pairs_.end());
+    kill_pairs_.erase(std::unique(kill_pairs_.begin(), kill_pairs_.end()),
+                      kill_pairs_.end());
+    // Adjacency = every edge the deterministic routing function can emit,
+    // discovered by enumerating next_hop over node x endpoint.
+    const int N = topo.num_nodes();
+    adj_.resize(static_cast<std::size_t>(N));
+    for (int u = 0; u < N; ++u) {
+      std::vector<int>& nb = adj_[static_cast<std::size_t>(u)];
+      for (int d = 0; d < topo.num_endpoints(); ++d)
+        if (topo.endpoint_node(d) != u) nb.push_back(topo.next_hop(u, d));
+      std::sort(nb.begin(), nb.end());
+      nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    }
+    prev_.assign(static_cast<std::size_t>(N), -1);
+  }
+
+  int num_epochs() const { return static_cast<int>(bounds_.size()) + 1; }
+
+  /// Epoch of instant t. Kill intervals are [from, to), so t == from is
+  /// already inside the outage and t == to is already healed.
+  int epoch_of(Cycles t) const {
+    return static_cast<int>(
+        std::upper_bound(bounds_.begin(), bounds_.end(), t) - bounds_.begin());
+  }
+
+  /// Pre-pass only: dense id of the (src, dst) pair, resolving every epoch
+  /// variant on first touch. `base` is the pair's deterministic route.
+  std::int32_t pair_id(int src, int dst, const RouteRef& base) {
+    const auto [id, fresh] = index_.find_or_add(pair_key(src, dst));
+    if (fresh) {
+      for (int e = 0; e < num_epochs(); ++e) {
+        RouteRef v = variant_route(src, dst, e, base);
+        if (e > 0) {
+          const RouteRef& p = variants_.back();
+          if (v.span != p.span && v.hops == p.hops &&
+              std::equal(v.span, v.span + v.hops, p.span))
+            v = p;  // identical consecutive variants share one span
+        }
+        variants_.push_back(v);
+      }
+    }
+    return id;
+  }
+
+  const RouteRef& variant(std::int32_t pair, int epoch) const {
+    return variants_[static_cast<std::size_t>(pair) *
+                         static_cast<std::size_t>(num_epochs()) +
+                     static_cast<std::size_t>(epoch)];
+  }
+
+  /// Links inside a kill interval at instant t — a pure function of the
+  /// plan, sampled into the dead-link telemetry series.
+  std::int64_t dead_links_at(Cycles t) const {
+    std::int64_t n = 0;
+    for (const std::uint64_t k : kill_pairs_) {
+      const int u = static_cast<int>(k >> 32);
+      const int v = static_cast<int>(static_cast<std::uint32_t>(k));
+      if (fp_->link_degrade(u, v, t) == 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+  bool dead_in_epoch(int u, int v, int e) const {
+    // Link state is constant within an epoch, so the epoch's first instant
+    // represents it. (Epoch 0 is empty when a kill starts at cycle 0; its
+    // variants are computed but never dispatched.)
+    const Cycles rep = e == 0 ? 0 : bounds_[static_cast<std::size_t>(e) - 1];
+    return fp_->link_degrade(u, v, rep) == 0;
+  }
+
+  RouteRef variant_route(int src, int dst, int e, const RouteRef& base) {
+    bool clean = true;
+    for (std::int32_t h = 0; h < base.hops && clean; ++h) {
+      const auto [u, v] = links_.endpoints(base.span[h]);
+      clean = !dead_in_epoch(u, v, e);
+    }
+    if (clean) return base;
+    const int start = topo_.endpoint_node(src);
+    const int goal = topo_.endpoint_node(dst);
+    std::fill(prev_.begin(), prev_.end(), -1);
+    prev_[static_cast<std::size_t>(start)] = start;
+    queue_.clear();
+    queue_.push_back(start);
+    for (std::size_t qh = 0; qh < queue_.size(); ++qh) {
+      const int u = queue_[qh];
+      if (u == goal) break;
+      for (const int v : adj_[static_cast<std::size_t>(u)]) {
+        if (prev_[static_cast<std::size_t>(v)] != -1) continue;
+        if (dead_in_epoch(u, v, e)) continue;
+        prev_[static_cast<std::size_t>(v)] = u;
+        queue_.push_back(v);
+      }
+    }
+    if (prev_[static_cast<std::size_t>(goal)] == -1) return base;  // cut off
+    scratch_.clear();
+    for (int cur = goal; cur != start;
+         cur = prev_[static_cast<std::size_t>(cur)])
+      scratch_.push_back(cur);
+    std::reverse(scratch_.begin(), scratch_.end());
+    auto* span = arena_.allocate<std::int32_t>(scratch_.size());
+    int cur = start;
+    for (std::size_t h = 0; h < scratch_.size(); ++h) {
+      span[h] = links_.resolve(topo_, cur, scratch_[h]);
+      cur = scratch_[h];
+    }
+    const auto hops = static_cast<std::int32_t>(scratch_.size());
+    LOGP_CHECK_MSG(hops < 65536, "detour longer than the packed hop counter");
+    return RouteRef{span, hops, span[0]};
+  }
+
+  const Topology& topo_;
+  const fault::FaultPlan* fp_;
+  LinkTable& links_;
+  std::vector<Cycles> bounds_;  ///< sorted unique kill interval edges
+  std::vector<std::uint64_t> kill_pairs_;  ///< unique (u, v) named by kills
+  std::vector<std::vector<int>> adj_;
+  PairIndex index_;
+  util::Arena arena_;
+  std::vector<RouteRef> variants_;  ///< pair-major, num_epochs() per pair
+  std::vector<int> prev_;  ///< BFS parent (-1 = unvisited) scratch
+  std::vector<int> queue_;
+  std::vector<int> scratch_;
+};
+
 int pick_destination(const PacketSimConfig& cfg, int src, int P,
                      util::Xoshiro256StarStar& rng) {
   switch (cfg.pattern) {
@@ -311,6 +471,10 @@ struct SimContext {
   /// Non-null only when the config carries a plan with active packet-level
   /// faults — so a null pointer IS the fault-free fast path.
   const fault::FaultPlan* faults;
+  /// Non-null only when cfg.reroute engaged (plan has kill intervals):
+  /// epoch-stamped route variants plus the injection -> pair-id map.
+  const EpochRouter* router;
+  const std::int32_t* inj_pair;
 };
 
 void accumulate_link(obs::LinkTelemetry& lt, Cycles service, Cycles wait) {
@@ -1033,7 +1197,7 @@ class Engine {
         // nothing — the receiver discards it and the plan decides its fate.
         if (fp_->corrupt_attempt(inj, e.attempt)) {
           ++sh.corrupted;
-          retry_or_lose(sh, si, t, inj, e.attempt);
+          retry_or_lose(sh, si, t, inj, e.attempt, -1);
         } else {
           sh.deliveries.push_back({t, inj, DKind::kDelivered});
         }
@@ -1065,7 +1229,7 @@ class Engine {
       if (doomed) {
         ++sh.dropped;
         if (telem_) ++sh.link_acc[static_cast<std::size_t>(e.link)].drops;
-        retry_or_lose(sh, si, t, inj, e.attempt);
+        retry_or_lose(sh, si, t, inj, e.attempt, e.link);
         continue;
       }
       // A degraded (but live) link serves slower; service only ever grows,
@@ -1175,12 +1339,12 @@ class Engine {
           sh.deliveries.push_back({t, inj, DKind::kDelivered});
         } else if ((del >> (i - base)) & 1) {
           ++sh.corrupted;
-          retry_or_lose(sh, si, t, inj, ev[i].attempt);
+          retry_or_lose(sh, si, t, inj, ev[i].attempt, -1);
         } else {
           ++sh.dropped;
           if (telem_)
             ++sh.link_acc[static_cast<std::size_t>(ev[i].link)].drops;
-          retry_or_lose(sh, si, t, inj, ev[i].attempt);
+          retry_or_lose(sh, si, t, inj, ev[i].attempt, ev[i].link);
         }
       }
       // Surviving link traversals chain per link, as in window_fast.
@@ -1239,12 +1403,36 @@ class Engine {
   /// ordinary handoff is causally safe. Retry records exist only so the
   /// replay can rebuild the cumulative retransmit counter (and telemetry
   /// series) in canonical order.
+  ///
+  /// With an EpochRouter attached, a retry is also the route recommit
+  /// point: the packet adopts its pair's variant for the epoch of the
+  /// re-dispatch instant. Mutating sc_.refs[inj] here is race-free — a
+  /// packet has at most one pending event, this shard is processing it, and
+  /// the retry lands at least one window later, so the next reader (any
+  /// shard) is separated by the window barrier.
+  ///
+  /// `loss_link` attributes the per-link retransmit/reroute telemetry to
+  /// the link that dropped the attempt; -1 (corrupt-at-destination) is
+  /// charged to no link.
   void retry_or_lose(Shard& sh, std::size_t si, Cycles t, std::int32_t inj,
-                     std::uint16_t attempt) {
+                     std::uint16_t attempt, std::int32_t loss_link) {
     if (fp_->retry_timeout > 0 && attempt < fp_->max_retries) {
       sh.deliveries.push_back({t, inj, DKind::kRetry});
-      push_event(sh, si, t + fp_->retry_timeout, inj,
-                 sc_.refs[static_cast<std::size_t>(inj)].first, 0,
+      if (telem_ && loss_link >= 0)
+        ++sh.link_acc[static_cast<std::size_t>(loss_link)].retransmits;
+      const Cycles rt = t + fp_->retry_timeout;
+      RouteRef& rr = sc_.refs[static_cast<std::size_t>(inj)];
+      if (sc_.router != nullptr) {
+        const RouteRef& nv = sc_.router->variant(
+            sc_.inj_pair[static_cast<std::size_t>(inj)],
+            sc_.router->epoch_of(rt));
+        if (nv.span != rr.span) {
+          rr = nv;
+          if (telem_ && loss_link >= 0)
+            ++sh.link_acc[static_cast<std::size_t>(loss_link)].reroutes;
+        }
+      }
+      push_event(sh, si, rt, inj, rr.first, 0,
                  static_cast<std::uint16_t>(attempt + 1));
     } else {
       sh.deliveries.push_back({t, inj, DKind::kLost});
@@ -1269,6 +1457,12 @@ class Engine {
                              : kNever;
     std::int64_t in_flight = 0;
     std::int64_t completed = 0;
+    // Reroute replay state: each in-flight packet's committed span. The
+    // engine's recommit is a span-pointer compare at each retry; replaying
+    // the same compares against the canonical record stream reproduces the
+    // cumulative reroute count independent of the shard partition.
+    std::vector<const std::int32_t*> cur_span;
+    if (sc_.router != nullptr) cur_span.resize(sc_.dispatchable);
     std::vector<std::size_t> head(static_cast<std::size_t>(S), 0);
     std::size_t ii = 0;
     const Cycles window_close = cfg.warmup + cfg.duration;
@@ -1297,12 +1491,23 @@ class Engine {
       const Cycles t = take_inj ? sc_.injections[ii].born : bt;
       while (next_sample <= t) {
         telem_->in_flight.emplace_back(next_sample, in_flight);
-        if (fp_)
+        if (fp_) {
           telem_->retransmits.emplace_back(next_sample, result.retransmitted);
+          if (sc_.router != nullptr) {
+            telem_->reroutes.emplace_back(next_sample, result.rerouted);
+            telem_->dead_links.emplace_back(
+                next_sample, sc_.router->dead_links_at(next_sample));
+          }
+        }
         next_sample += telem_->sample_every;
       }
       if (take_inj) {
         result.peak_in_flight = std::max(result.peak_in_flight, ++in_flight);
+        if (sc_.router != nullptr)
+          cur_span[ii] = sc_.router
+                             ->variant(sc_.inj_pair[ii],
+                                       sc_.router->epoch_of(t))
+                             .span;
         ++ii;
       } else {
         const Shard& bsh = shards_[static_cast<std::size_t>(best)];
@@ -1329,6 +1534,20 @@ class Engine {
             // cumulative counter (and its sampled series) advances at the
             // same canonical instant as in a serial replay.
             ++result.retransmitted;
+            if (sc_.router != nullptr) {
+              const std::int32_t* nv =
+                  sc_.router
+                      ->variant(
+                          sc_.inj_pair[static_cast<std::size_t>(binj)],
+                          sc_.router->epoch_of(bt + fp_->retry_timeout))
+                      .span;
+              const std::int32_t** cs =
+                  &cur_span[static_cast<std::size_t>(binj)];
+              if (nv != *cs) {
+                ++result.rerouted;
+                *cs = nv;
+              }
+            }
             break;
         }
         ++head[static_cast<std::size_t>(best)];
@@ -1339,8 +1558,14 @@ class Engine {
       // serial loop's emission on its last processed event.
       while (next_sample <= horizon) {
         telem_->in_flight.emplace_back(next_sample, in_flight);
-        if (fp_)
+        if (fp_) {
           telem_->retransmits.emplace_back(next_sample, result.retransmitted);
+          if (sc_.router != nullptr) {
+            telem_->reroutes.emplace_back(next_sample, result.rerouted);
+            telem_->dead_links.emplace_back(
+                next_sample, sc_.router->dead_links_at(next_sample));
+          }
+        }
         next_sample += telem_->sample_every;
       }
       telem_->horizon = horizon;
@@ -1514,6 +1739,23 @@ PacketSimResult run_packet_sim(const Topology& topo,
   // allocates route storage once the window loop starts.
   LinkTable links;
   RouteCache routes(topo, links);
+  // Fault-aware rerouting (cfg.reroute) engages only when the plan has a
+  // kill interval to route around; the retry is the recommit point, so a
+  // retry_timeout is required for the flag to mean anything.
+  std::unique_ptr<EpochRouter> router;
+  std::vector<std::int32_t> inj_pair;
+  if (cfg.reroute && fp != nullptr) {
+    bool kills = false;
+    for (const fault::LinkFault& lfa : fp->link_faults)
+      kills = kills || (lfa.degrade == 0 && lfa.to > lfa.from);
+    if (kills) {
+      LOGP_CHECK_MSG(fp->retry_timeout > 0,
+                     "PacketSimConfig::reroute requires a FaultPlan "
+                     "retry_timeout: routes recommit on retry re-dispatch");
+      router = std::make_unique<EpochRouter>(topo, *fp, links);
+      inj_pair.resize(injections.size());
+    }
+  }
   std::vector<RouteRef> refs(injections.size());
   for (std::size_t i = 0; i < injections.size(); ++i) {
     RouteRef& rr = refs[i];
@@ -1521,6 +1763,13 @@ PacketSimResult run_packet_sim(const Topology& topo,
     LOGP_CHECK_MSG(rr.hops < 65536,
                    "route longer than the packed hop counter");
     rr.first = rr.hops > 0 ? rr.span[0] : -1;
+    if (router != nullptr) {
+      // Stamp the injection with its birth epoch's variant — the shard
+      // partition and first dispatch then follow the committed route.
+      inj_pair[i] = router->pair_id(injections[i].src, injections[i].dst, rr);
+      rr = router->variant(inj_pair[i],
+                           router->epoch_of(injections[i].born));
+    }
   }
 
   // Injections past the drain limit are never dispatched (the array is
@@ -1547,8 +1796,17 @@ PacketSimResult run_packet_sim(const Topology& topo,
                            static_cast<double>(service) *
                            cfg.injection_rate))));
 
-  const SimContext sc{topo,    cfg,     links, injections, refs, dispatchable,
-                      service, reserve, fp};
+  const SimContext sc{topo,
+                      cfg,
+                      links,
+                      injections,
+                      refs,
+                      dispatchable,
+                      service,
+                      reserve,
+                      fp,
+                      router.get(),
+                      router != nullptr ? inj_pair.data() : nullptr};
 
   int threads = cfg.sim_threads;
   if (threads <= 0)

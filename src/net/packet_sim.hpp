@@ -94,6 +94,21 @@ struct PacketSimConfig {
   /// (a retry is a cross-shard self-interaction of the packet; the bounded-
   /// lag engine only guarantees causality one lookahead out).
   const fault::FaultPlan* faults = nullptr;
+  /// Fault-aware rerouting (opt-in). When the attached plan carries link
+  /// kill intervals (LinkFault::degrade == 0), routes become epoch-stamped:
+  /// the kill interval edges partition time into epochs, and every
+  /// (src, dst) pair gets one precomputed route per epoch — a BFS detour
+  /// around the links dead in that epoch, or the base deterministic route
+  /// when it is unaffected (or no detour exists). A packet commits to the
+  /// route of its dispatch epoch (injection or retry instant); a retry
+  /// whose re-dispatch lands in a different epoch recommits, so traffic
+  /// detours around an outage and returns to the base route after the heal.
+  /// All variants are resolved in the serial pre-pass, so results stay
+  /// byte-identical at every sim_threads and SIMD setting (pinned by
+  /// tests/test_packet_sim.cpp). Default off: historical kill-fault
+  /// behavior — drop-and-retry on the dead route — is byte-identical to
+  /// before the flag existed.
+  bool reroute = false;
   /// Optional model-checker branch oracle (see sim/choice.hpp), consulted at
   /// the packet engine's kDrop choice points (the fault plan's drop verdict
   /// becomes alternative 0, its negation alternative 1). Attaching an oracle
@@ -125,6 +140,8 @@ struct PacketSimResult {
   std::int64_t dropped = 0;        ///< attempts dropped mid-route
   std::int64_t corrupted = 0;      ///< attempts discarded at destination
   std::int64_t retransmitted = 0;  ///< re-dispatches after a loss
+  std::int64_t rerouted = 0;       ///< retries recommitted to another route
+                                   ///  (only with PacketSimConfig::reroute)
   std::int64_t lost = 0;           ///< packets abandoned (retries exhausted)
   /// Pool accounting (see DESIGN.md "Memory management"): the packet store
   /// recycles delivered slots, so slots created == peak concurrency, not

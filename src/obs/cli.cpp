@@ -39,6 +39,7 @@ ObsFlags obs_from_args(int& argc, char** argv) {
     } else if (value_flag("--critical-path", argc, argv, i,
                           &flags.critical_path)) {
     } else if (value_flag("--whatif", argc, argv, i, &flags.whatif)) {
+    } else if (value_flag("--links-csv", argc, argv, i, &flags.links_csv)) {
     } else {
       argv[out++] = argv[i];
     }

@@ -16,8 +16,13 @@
 // Like exp::threads_from_args, parsing consumes the flags from argv.
 //
 // Packet-level benches (fig_large_p, fig_fault_degradation) support the
-// --profile/--trace-json/--metrics-csv subset via emit_packet_obs; the
-// machine-only flags are rejected up front by reject_machine_only_flags.
+// --profile/--trace-json/--metrics-csv subset via emit_packet_obs, plus
+//
+//   --links-csv FILE     dump the per-link telemetry CSV (utilization-ranked
+//                        rows with the drops/retransmits/reroutes series;
+//                        tools/trace_summary.py renders it)
+//
+// the machine-only flags are rejected up front by reject_machine_only_flags.
 #pragma once
 
 #include <fstream>
@@ -42,10 +47,11 @@ struct ObsFlags {
   std::string metrics_csv;    ///< output path; empty = off
   std::string critical_path;  ///< output path; empty = off
   std::string whatif;         ///< "L=0.5x,o=2x,..." spec; empty = off
+  std::string links_csv;      ///< output path; empty = off (packet-level)
 
   bool any() const {
     return trace || profile || !trace_json.empty() || !metrics_csv.empty() ||
-           wants_critpath();
+           !links_csv.empty() || wants_critpath();
   }
   /// True when the exemplar run should record intervals.
   bool wants_trace() const { return trace || !trace_json.empty(); }
@@ -72,6 +78,9 @@ inline void emit_machine_obs(const ObsFlags& flags, const sim::Machine& m,
                              const std::string& label, std::ostream& out,
                              const MetricsRegistry* metrics = nullptr,
                              const CritPathRecorder* cp = nullptr) {
+  LOGP_CHECK_MSG(flags.links_csv.empty(),
+                 "--links-csv needs a packet-level run; this bench is "
+                 "machine-level");
   if (flags.profile) {
     const LogPProfile prof = profile_machine(m);
     prof.check_invariant();
@@ -138,6 +147,8 @@ inline int reject_machine_only_flags(const ObsFlags& flags, const char* prog,
 ///                  (plus cumulative retransmits when the run was faulted)
 ///   --metrics-csv  the engine-introspection registry (net.wheel.*,
 ///                  net.kernel.*, net.sort.*, net.heap.spills)
+///   --links-csv    full per-link telemetry CSV (12 columns ending
+///                  drops,retransmits,reroutes — the fault-path series)
 /// The caller attaches `tel` / `metrics` to the exemplar's PacketSimConfig
 /// and runs it; both sinks are single-owner, so benches re-run one exemplar
 /// scenario serially rather than instrumenting a parallel sweep.
@@ -157,6 +168,7 @@ inline void emit_packet_obs(const ObsFlags& flags, const NetTelemetry& tel,
     write_file(flags.trace_json, w.str());
   }
   if (!flags.metrics_csv.empty()) write_file(flags.metrics_csv, metrics.to_csv());
+  if (!flags.links_csv.empty()) write_file(flags.links_csv, tel.to_csv());
 }
 
 }  // namespace logp::obs

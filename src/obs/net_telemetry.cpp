@@ -49,11 +49,12 @@ std::string NetTelemetry::render_links_table(std::size_t top) const {
 std::string NetTelemetry::to_csv() const {
   std::ostringstream os;
   os << "u,v,channels,packets,busy,utilization,queue_wait,max_queue_wait,"
-        "max_backlog\n";
+        "max_backlog,drops,retransmits,reroutes\n";
   for (const LinkTelemetry* l : by_utilization(*this))
     os << l->u << ',' << l->v << ',' << l->channels << ',' << l->packets << ','
        << l->busy << ',' << util::fmt(l->utilization(horizon), 4) << ','
        << l->queue_wait << ',' << l->max_queue_wait << ',' << l->max_backlog
+       << ',' << l->drops << ',' << l->retransmits << ',' << l->reroutes
        << '\n';
   return os.str();
 }

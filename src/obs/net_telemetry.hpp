@@ -32,6 +32,10 @@ struct LinkTelemetry {
   Cycles max_queue_wait = 0;  ///< worst single wait
   std::int64_t max_backlog = 0;  ///< high-water of queued service slots
   std::int64_t drops = 0;     ///< packets lost on this link (fault plan)
+  std::int64_t retransmits = 0;  ///< retries caused by drops on this link
+  std::int64_t reroutes = 0;  ///< retries that recommitted to a detour after
+                              ///  a drop on this link (PacketSimConfig::
+                              ///  reroute)
 
   /// Fraction of channel capacity used over `horizon` cycles.
   double utilization(Cycles horizon) const {
@@ -55,18 +59,30 @@ struct NetTelemetry {
   /// populated when the run carries an active fault plan — a fault-free run
   /// leaves it empty so existing artifacts stay byte-identical.
   std::vector<std::pair<Cycles, std::int64_t>> retransmits;
+  /// Cumulative reroute count (retries recommitted to a different route) on
+  /// the same grid. Only populated when PacketSimConfig::reroute engaged —
+  /// runs without rerouting leave it empty, like `retransmits`.
+  std::vector<std::pair<Cycles, std::int64_t>> reroutes;
+  /// Number of links inside a kill interval at each sample instant, on the
+  /// same grid and under the same gating as `reroutes`. A pure function of
+  /// the fault plan, emitted so recovery figures can overlay the outage
+  /// window on the goodput dip without re-parsing the plan.
+  std::vector<std::pair<Cycles, std::int64_t>> dead_links;
 
   void clear() {
     horizon = 0;
     links.clear();
     in_flight.clear();
     retransmits.clear();
+    reroutes.clear();
+    dead_links.clear();
   }
 
   /// Links sorted by descending utilization; `top` rows (0 = all).
   std::string render_links_table(std::size_t top = 0) const;
   /// CSV `u,v,channels,packets,busy,utilization,queue_wait,max_queue_wait,
-  /// max_backlog` with header, same order as render_links_table.
+  /// max_backlog,drops,retransmits,reroutes` with header, same order as
+  /// render_links_table.
   std::string to_csv() const;
 
   // Aggregates over links.

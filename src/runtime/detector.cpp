@@ -1,0 +1,102 @@
+#include "runtime/detector.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace logp::runtime {
+
+FailureDetector::FailureDetector(Scheduler& sched, ReliableLayer& rel,
+                                 Membership& mem, Options opts)
+    : sched_(&sched), rel_(&rel), mem_(&mem), opts_(opts) {
+  const Params& p = sched.machine().params();
+  LOGP_CHECK(opts_.rtt_multiple >= 1.0);
+  LOGP_CHECK(opts_.slack >= 0);
+  LOGP_CHECK(opts_.suspicion_misses >= 1);
+  LOGP_CHECK(opts_.rounds >= 1);
+  const Cycles rtt = 2 * p.L + 4 * p.o;  // honest remote-read round trip
+  suspicion_ =
+      static_cast<Cycles>(std::ceil(opts_.rtt_multiple * static_cast<double>(rtt))) +
+      opts_.slack;
+  // A detector that suspects faster than the transport retransmits a single
+  // lost packet would false-positive on one drop; refuse the configuration.
+  LOGP_CHECK_MSG(suspicion_ >= rel.base_timeout(),
+                 "suspicion timeout " << suspicion_
+                     << " tighter than reliable retransmit timeout "
+                     << rel.base_timeout()
+                     << " — raise rtt_multiple or slack");
+  if (opts_.heartbeat_period <= 0) opts_.heartbeat_period = suspicion_;
+  const auto P = static_cast<std::size_t>(p.P);
+  last_round_.assign(P, std::vector<std::int64_t>(P, -1));
+  misses_.assign(P, std::vector<int>(P, 0));
+  sched.set_handler(kHeartbeatTag, [this](Ctx ctx, const Message& m) {
+    on_heartbeat(ctx, m);
+  });
+}
+
+void FailureDetector::on_heartbeat(Ctx ctx, const Message& m) {
+  const auto me = static_cast<std::size_t>(ctx.proc());
+  const auto peer = static_cast<std::size_t>(m.src);
+  const auto round = static_cast<std::int64_t>(m.word(0));
+  if (round > last_round_[me][peer]) last_round_[me][peer] = round;
+}
+
+Task FailureDetector::run(Ctx ctx) {
+  ctx.spawn(send_rounds(ctx));
+  co_await check_rounds(ctx);
+}
+
+Task FailureDetector::send_rounds(Ctx ctx) {
+  const ProcId p = ctx.proc();
+  const fault::FaultPlan* plan = sched_->machine().config().faults;
+  for (int r = 0; r < opts_.rounds; ++r) {
+    const Cycles t = opts_.start + static_cast<Cycles>(r) * opts_.heartbeat_period;
+    if (ctx.now() < t) co_await ctx.sleep_until(t);
+    // Fail-stop: a processor inside its outage interval sends nothing (it
+    // resumes sending after recover_at — readmission is the membership
+    // layer's job, but the wire must not stay silent forever).
+    if (plan != nullptr && plan->proc_failed(p, ctx.now())) continue;
+    for (const ProcId q : mem_->view(p).live_list()) {
+      if (q == p) continue;
+      outcomes_.emplace_back();
+      ctx.spawn(rel_->send(ctx, q, kHeartbeatTag,
+                           static_cast<std::uint64_t>(r), &outcomes_.back()));
+      ++stats_.heartbeats_sent;
+    }
+  }
+}
+
+Task FailureDetector::check_rounds(Ctx ctx) {
+  const ProcId p = ctx.proc();
+  const auto me = static_cast<std::size_t>(p);
+  const fault::FaultPlan* plan = sched_->machine().config().faults;
+  // Observer exclusion (see header): fault-listed processors never judge.
+  const bool observer = plan == nullptr || !plan->proc_fails(p);
+  for (int r = 0; r < opts_.rounds; ++r) {
+    const Cycles t = opts_.start +
+                     static_cast<Cycles>(r) * opts_.heartbeat_period +
+                     suspicion_;
+    if (ctx.now() < t) co_await ctx.sleep_until(t);
+    if (!observer) continue;
+    for (int q = 0; q < ctx.nprocs(); ++q) {
+      if (q == p) continue;
+      if (!mem_->view(p).live[static_cast<std::size_t>(q)]) continue;
+      const auto qi = static_cast<std::size_t>(q);
+      if (last_round_[me][qi] >= r) {
+        misses_[me][qi] = 0;
+        continue;
+      }
+      ++misses_[me][qi];
+      verdicts_.push_back(Verdict{ctx.now(), p, q, false});
+      ++stats_.suspect_verdicts;
+      if (misses_[me][qi] >= opts_.suspicion_misses) {
+        verdicts_.push_back(Verdict{ctx.now(), p, q, true});
+        ++stats_.dead_verdicts;
+        misses_[me][qi] = 0;
+        mem_->report_dead(ctx, q);
+      }
+    }
+  }
+}
+
+}  // namespace logp::runtime

@@ -1,0 +1,320 @@
+#include "runtime/membership.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logp::runtime {
+
+namespace {
+
+// One payload word carries a whole view: epoch in the high 32 bits, live
+// bitmap in the low 32 (hence the P <= 32 constructor check).
+std::uint64_t encode_view(const View& v) {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < v.live.size(); ++i)
+    if (v.live[i]) mask |= std::uint64_t{1} << i;
+  return (static_cast<std::uint64_t>(v.epoch) << 32) | mask;
+}
+
+void decode_view(std::uint64_t w, int P, std::int64_t* epoch,
+                 std::vector<char>* live) {
+  *epoch = static_cast<std::int64_t>(w >> 32);
+  live->assign(static_cast<std::size_t>(P), 0);
+  for (int i = 0; i < P; ++i)
+    (*live)[static_cast<std::size_t>(i)] = (w >> i) & 1 ? 1 : 0;
+}
+
+}  // namespace
+
+int View::live_count() const {
+  int n = 0;
+  for (const char c : live) n += c ? 1 : 0;
+  return n;
+}
+
+ProcId View::coordinator() const {
+  for (std::size_t i = 0; i < live.size(); ++i)
+    if (live[i]) return static_cast<ProcId>(i);
+  return -1;
+}
+
+std::vector<ProcId> View::live_list() const {
+  std::vector<ProcId> out;
+  out.reserve(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i)
+    if (live[i]) out.push_back(static_cast<ProcId>(i));
+  return out;
+}
+
+Membership::Membership(Scheduler& sched, ReliableLayer& rel, Options opts)
+    : sched_(&sched), rel_(&rel), opts_(opts) {
+  const int P = sched.machine().params().P;
+  LOGP_CHECK_MSG(P <= 32, "membership views encode the live set in one "
+                          "payload word; P must be <= 32, got " << P);
+  views_.resize(static_cast<std::size_t>(P));
+  for (View& v : views_) {
+    v.epoch = 0;
+    v.live.assign(static_cast<std::size_t>(P), 1);
+  }
+  sched.set_handler(kJoinTag,
+                    [this](Ctx ctx, const Message& m) { on_join(ctx, m); });
+  sched.set_handler(kViewTag,
+                    [this](Ctx ctx, const Message& m) { on_view(ctx, m); });
+}
+
+void Membership::report_dead(Ctx ctx, ProcId q) {
+  const ProcId me = ctx.proc();
+  View& v = views_[static_cast<std::size_t>(me)];
+  if (!v.live[static_cast<std::size_t>(q)]) return;
+  v.live[static_cast<std::size_t>(q)] = 0;
+  ++v.epoch;
+  ++stats_.epoch_bumps;
+  ++stats_.deaths;
+  sched_->mark_degraded();
+  log_.push_back(EpochRecord{ctx.now(), me, v.epoch, q, false});
+}
+
+void Membership::on_join(Ctx ctx, const Message& m) {
+  const ProcId me = ctx.proc();
+  const ProcId joiner = static_cast<ProcId>(m.word(0));
+  View& v = views_[static_cast<std::size_t>(me)];
+  ++stats_.joins_processed;
+  if (!v.live[static_cast<std::size_t>(joiner)]) {
+    v.live[static_cast<std::size_t>(joiner)] = 1;
+    if (!opts_.test_skip_epoch_bump) {
+      ++v.epoch;
+      ++stats_.epoch_bumps;
+    }
+    log_.push_back(EpochRecord{ctx.now(), me, v.epoch, joiner, true});
+  }
+  // State-sync the (possibly bumped) view to every live member, the joiner
+  // included — each an ordinary reliable send paying full o/g/L.
+  const std::uint64_t payload = encode_view(v);
+  for (const ProcId q : v.live_list()) {
+    if (q == me) continue;
+    outcomes_.emplace_back();
+    ctx.spawn(rel_->send(ctx, q, kViewTag, payload, &outcomes_.back()));
+    ++stats_.view_syncs_sent;
+  }
+}
+
+void Membership::on_view(Ctx ctx, const Message& m) {
+  const ProcId me = ctx.proc();
+  View& v = views_[static_cast<std::size_t>(me)];
+  std::int64_t epoch = 0;
+  std::vector<char> live;
+  decode_view(m.word(0), static_cast<int>(views_.size()), &epoch, &live);
+  // Monotone adoption: only a strictly newer view replaces the local one.
+  if (epoch <= v.epoch) {
+    ++stats_.view_syncs_stale;
+    return;
+  }
+  v.epoch = epoch;
+  v.live = std::move(live);
+  ++stats_.view_syncs_adopted;
+  log_.push_back(EpochRecord{ctx.now(), me, v.epoch, -1, true});
+}
+
+Task Membership::rejoin(Ctx ctx, Cycles deadline) {
+  const ProcId p = ctx.proc();
+  const std::int64_t e0 = views_[static_cast<std::size_t>(p)].epoch;
+  const Cycles poll = rel_->base_timeout();
+  while (ctx.now() < deadline) {
+    // JOIN the lowest peer the (stale) local view believes live; a
+    // dead-peer verdict falls through to the next candidate.
+    bool sent = false;
+    for (const ProcId q : views_[static_cast<std::size_t>(p)].live_list()) {
+      if (q == p) continue;
+      ReliableLayer::SendOutcome out;
+      co_await rel_->send(ctx, q, kJoinTag, static_cast<std::uint64_t>(p),
+                          &out);
+      if (out.delivered) {
+        ++stats_.joins_sent;
+        sent = true;
+        break;
+      }
+      if (ctx.now() >= deadline) break;
+    }
+    if (!sent) co_return;  // nobody reachable
+    // Wait for the admission to show up as an adopted, strictly-newer view
+    // that includes us.
+    while (ctx.now() < deadline) {
+      const View& v = views_[static_cast<std::size_t>(p)];
+      if (v.epoch > e0 && v.live[static_cast<std::size_t>(p)]) co_return;
+      co_await ctx.sleep_until(std::min(ctx.now() + poll, deadline));
+    }
+  }
+}
+
+Task Membership::revival_task(Ctx ctx, const fault::FaultPlan* plan,
+                              Cycles deadline) {
+  const ProcId p = ctx.proc();
+  if (plan == nullptr) co_return;
+  Cycles rec = -1;
+  for (const fault::ProcFault& pf : plan->proc_faults)
+    if (pf.proc == p && pf.recover_at >= 0 && (rec < 0 || pf.recover_at < rec))
+      rec = pf.recover_at;
+  if (rec < 0) co_return;
+  if (ctx.now() < rec) co_await ctx.sleep_until(rec);
+  co_await rejoin(ctx, deadline);
+}
+
+namespace coll {
+
+namespace {
+
+Cycles default_round_timeout(const Params& p) {
+  return 3 * (2 * p.L + 4 * p.o);
+}
+
+void note_degraded(Ctx ctx, bool* degraded) {
+  if (degraded != nullptr) *degraded = true;
+  ctx.scheduler().mark_degraded();
+}
+
+int rank_in(const std::vector<ProcId>& live, ProcId p) {
+  const auto it = std::find(live.begin(), live.end(), p);
+  return it == live.end() ? -1 : static_cast<int>(it - live.begin());
+}
+
+}  // namespace
+
+Task broadcast_resilient(Ctx ctx, Membership& mem, std::uint64_t* value,
+                         bool* degraded, const EpochCollOptions& opts,
+                         std::int32_t tag) {
+  const ProcId p = ctx.proc();
+  LOGP_CHECK_MSG(opts.deadline > ctx.now(),
+                 "epoch broadcast needs an absolute deadline in the future");
+  const fault::FaultPlan* plan = ctx.scheduler().machine().config().faults;
+  const Cycles rt = opts.round_timeout > 0
+                        ? opts.round_timeout
+                        : default_round_timeout(ctx.params());
+  const auto failed_now = [&] {
+    return plan != nullptr && plan->proc_failed(p, ctx.now());
+  };
+  if (failed_now()) co_return;  // fail-stop: a dead proc does not take part
+  View v = mem.view(p);
+  if (!v.live[static_cast<std::size_t>(p)]) co_return;
+  bool holder = v.coordinator() == p;
+  // Receive phase: wait for the value from ANY sender, re-deriving the tree
+  // position whenever an epoch bump lands (a stale parent may be dead; the
+  // new tree has a different one — but the value is accepted from whoever
+  // holds it, so only the epoch check matters here).
+  while (!holder) {
+    if (ctx.now() >= opts.deadline) {
+      note_degraded(ctx, degraded);
+      co_return;
+    }
+    const TimedRecv tr = co_await ctx.recv_until(
+        std::min(ctx.now() + rt, opts.deadline), tag);
+    if (failed_now()) co_return;  // died while waiting
+    if (tr.ok) {
+      *value = tr.msg.word(0);
+      holder = true;
+      break;
+    }
+    const View v2 = mem.view(p);
+    if (v2.epoch != v.epoch) {
+      note_degraded(ctx, degraded);
+      v = v2;
+      if (!v.live[static_cast<std::size_t>(p)]) co_return;
+      if (v.coordinator() == p) holder = true;  // promoted to root
+    }
+  }
+  // Holder phase: send to the binomial children of the current view, then
+  // shepherd until the deadline — every epoch bump re-sends to the children
+  // of the NEW view, so a subtree orphaned by a death is re-fed. Receivers
+  // that already hold the value leave the duplicate unclaimed.
+  std::int64_t sent_epoch = -1;
+  for (;;) {
+    if (failed_now()) co_return;
+    const View v2 = mem.view(p);
+    if (!v2.live[static_cast<std::size_t>(p)]) co_return;
+    if (v2.epoch != sent_epoch) {
+      const std::vector<ProcId> live = v2.live_list();
+      const int rank = rank_in(live, p);
+      const int n = static_cast<int>(live.size());
+      int d = 1;
+      while (d < n && (rank & d) == 0) d <<= 1;  // lowest set bit (or >= n)
+      for (int c = d >> 1; c >= 1; c >>= 1)
+        if (rank + c < n)
+          co_await ctx.send(live[static_cast<std::size_t>(rank + c)], tag,
+                            *value);
+      sent_epoch = v2.epoch;
+    }
+    if (ctx.now() >= opts.deadline) break;
+    co_await ctx.sleep_until(std::min(ctx.now() + rt, opts.deadline));
+  }
+}
+
+Task reduce_resilient(Ctx ctx, Membership& mem, std::uint64_t value,
+                      std::uint64_t* result, bool* degraded,
+                      const EpochCollOptions& opts, std::int32_t tag) {
+  const ProcId p = ctx.proc();
+  LOGP_CHECK_MSG(opts.deadline > ctx.now(),
+                 "epoch reduce needs an absolute deadline in the future");
+  const fault::FaultPlan* plan = ctx.scheduler().machine().config().faults;
+  const Cycles rt = opts.round_timeout > 0
+                        ? opts.round_timeout
+                        : default_round_timeout(ctx.params());
+  const auto failed_now = [&] {
+    return plan != nullptr && plan->proc_failed(p, ctx.now());
+  };
+  if (failed_now()) co_return;
+  const std::int64_t e0 = mem.epoch(p);
+  ReliableLayer& rel = mem.reliable();
+  // Contributor phase: reliable-send to the coordinator of the current
+  // view; if an epoch bump dethrones it before the deadline, re-send to
+  // the new one (the gatherer dedups by source).
+  ProcId sent_to = -1;
+  for (;;) {
+    if (failed_now()) co_return;
+    const View v = mem.view(p);
+    if (!v.live[static_cast<std::size_t>(p)]) co_return;
+    if (v.epoch != e0) note_degraded(ctx, degraded);
+    const ProcId root = v.coordinator();
+    if (root == p) break;  // gather below
+    if (root != sent_to) {
+      ReliableLayer::SendOutcome out;
+      co_await rel.send(ctx, root, tag, value, &out);
+      if (out.delivered) sent_to = root;
+    }
+    if (ctx.now() >= opts.deadline) co_return;
+    co_await ctx.sleep_until(std::min(ctx.now() + rt, opts.deadline));
+  }
+  // Gather phase (coordinator): accumulate one contribution per live peer,
+  // dedup by source, until the view is covered or the deadline passes.
+  const int P = ctx.nprocs();
+  std::vector<char> have(static_cast<std::size_t>(P), 0);
+  have[static_cast<std::size_t>(p)] = 1;
+  std::uint64_t acc = value;
+  for (;;) {
+    if (failed_now()) co_return;
+    const View v = mem.view(p);
+    if (v.epoch != e0) note_degraded(ctx, degraded);
+    bool missing = false;
+    for (int q = 0; q < P; ++q)
+      if (v.live[static_cast<std::size_t>(q)] &&
+          !have[static_cast<std::size_t>(q)])
+        missing = true;
+    if (!missing) break;
+    if (ctx.now() >= opts.deadline) {
+      note_degraded(ctx, degraded);
+      break;
+    }
+    const TimedRecv tr = co_await ctx.recv_until(
+        std::min(ctx.now() + rt, opts.deadline), tag);
+    if (failed_now()) co_return;
+    if (tr.ok && !have[static_cast<std::size_t>(tr.msg.src)]) {
+      have[static_cast<std::size_t>(tr.msg.src)] = 1;
+      acc += tr.msg.word(0);
+      co_await ctx.compute(1);
+    }
+  }
+  *result = acc;
+}
+
+}  // namespace coll
+
+}  // namespace logp::runtime

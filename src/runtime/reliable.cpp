@@ -20,6 +20,7 @@ ReliableLayer::ReliableLayer(Scheduler& sched, Options opts)
     opts_.base_timeout = 2 * p.L + 6 * p.o + 4 * p.g;
   LOGP_CHECK(opts_.max_retries >= 0);
   LOGP_CHECK(opts_.backoff_factor >= 1);
+  LOGP_CHECK(opts_.max_backoff >= 0);
   next_seq_.assign(static_cast<std::size_t>(p.P), 0);
   seen_.resize(static_cast<std::size_t>(p.P));
   sched.set_handler(kRelDataTag,
@@ -174,6 +175,8 @@ Task ReliableLayer::send(Ctx ctx, ProcId dst, std::int32_t user_tag,
     }
     ++attempt;
     timeout *= opts_.backoff_factor;
+    if (opts_.max_backoff > 0 && timeout > opts_.max_backoff)
+      timeout = opts_.max_backoff;
   }
   out->retransmits = attempt;
   release_slot(slot);

@@ -43,10 +43,18 @@ class ReliableLayer {
     /// params (a round trip with queueing slack — tight enough to recover
     /// promptly, loose enough that a healthy round trip rarely trips it).
     Cycles base_timeout = 0;
-    /// Retransmissions before declaring the peer dead.
+    /// Retransmissions before declaring the peer dead. The dead-peer
+    /// verdict flips after exactly this many retransmissions: attempt
+    /// max_retries is the last one waited on (tests/test_reliable.cpp pins
+    /// the boundary).
     int max_retries = 6;
     /// Timeout multiplier per retry (1 = constant timeout).
     int backoff_factor = 2;
+    /// Ceiling on the per-attempt timeout after backoff; 0 = uncapped
+    /// (the historical behaviour). A capped timeout keeps the dead-peer
+    /// verdict latency linear in max_retries instead of exponential, which
+    /// is what a failure detector budgeting against (L, o, g) wants.
+    Cycles max_backoff = 0;
     /// TEST ONLY — seeded protocol bug for the model checker's mutation
     /// test: skip the (src, seq) dedup on delivery, so a retransmission of
     /// an already-delivered payload is handed to the user again. The

@@ -117,6 +117,33 @@ void Scheduler::add_recv_waiter(ProcId p, std::int32_t tag, ProcId src,
   pump(p);
 }
 
+void Scheduler::add_timed_recv_waiter(ProcId p, std::int32_t tag, ProcId src,
+                                      std::coroutine_handle<> h, TimedRecv* out,
+                                      Cycles deadline) {
+  auto& ps = pstates_[static_cast<std::size_t>(p)];
+  const std::uint64_t id = next_waiter_id_++;
+  ps.recv_waiters.push_back(RecvWaiter{tag, src, h, &out->msg, out, id});
+  LOGP_OBS_GAUGE_SET(obs_.recv_waiters_depth,
+                     static_cast<std::int64_t>(ps.recv_waiters.size()));
+  // The deadline timer resolves the waiter with ok == false. A message
+  // arriving first removes the waiter; the timer then finds no matching id
+  // and does nothing (the machine has no timer cancellation — the guard is
+  // the id, exactly like the reliable layer's generation-stamped slots).
+  machine_.schedule_call(deadline, [this, p, id] {
+    auto& st = pstates_[static_cast<std::size_t>(p)];
+    for (auto it = st.recv_waiters.begin(); it != st.recv_waiters.end(); ++it) {
+      if (it->id == id) {
+        auto handle = it->handle;
+        st.recv_waiters.erase(it);
+        st.ready.push_back(handle);
+        pump(p);
+        return;
+      }
+    }
+  });
+  pump(p);
+}
+
 void Scheduler::op_sleep(ProcId p, Cycles t, std::coroutine_handle<> h) {
   auto& ps = pstates_[static_cast<std::size_t>(p)];
   ++ps.sleepers;
@@ -157,6 +184,7 @@ void Scheduler::deliver(ProcId p, const Message& m) {
     for (auto it = ps.recv_waiters.begin(); it != ps.recv_waiters.end(); ++it) {
       if (matches(*it, m)) {
         *it->slot = m;
+        if (it->timed) it->timed->ok = true;
         ps.ready.push_front(it->handle);
         ps.recv_waiters.erase(it);
         matched = true;

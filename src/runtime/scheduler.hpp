@@ -69,6 +69,13 @@ class Ctx {
   /// Awaitable: take one message matching (tag, src) — receive overhead was
   /// already paid when the message was accepted off the network.
   auto recv(std::int32_t tag = kAnyTag, ProcId src = kAnySrc) const;
+  /// Awaitable: recv with a deadline. Resumes with ok == true and the
+  /// message when one matching (tag, src) arrives before absolute time
+  /// `deadline`, else with ok == false at the deadline. Always resolves, so
+  /// a waiter can never deadlock the quiescence check — the primitive the
+  /// failure detector and the epoch-aware collectives are built on.
+  auto recv_until(Cycles deadline, std::int32_t tag = kAnyTag,
+                  ProcId src = kAnySrc) const;
   /// Awaitable: resume at absolute time t (>= now). Models waiting without
   /// occupying the CPU; other tasks on this processor may run meanwhile.
   auto sleep_until(Cycles t) const;
@@ -80,6 +87,13 @@ class Ctx {
  private:
   Scheduler* sched_;
   ProcId proc_;
+};
+
+/// Result slot of Ctx::recv_until: ok == false means the deadline fired
+/// before a matching message arrived (msg is untouched in that case).
+struct TimedRecv {
+  bool ok = false;
+  Message msg{};
 };
 
 using Program = std::function<Task(Ctx)>;
@@ -144,6 +158,9 @@ class Scheduler final : public sim::Host {
   bool try_take_mailbox(ProcId p, std::int32_t tag, ProcId src, Message* out);
   void add_recv_waiter(ProcId p, std::int32_t tag, ProcId src,
                        std::coroutine_handle<> h, Message* slot);
+  void add_timed_recv_waiter(ProcId p, std::int32_t tag, ProcId src,
+                             std::coroutine_handle<> h, TimedRecv* out,
+                             Cycles deadline);
   void op_sleep(ProcId p, Cycles t, std::coroutine_handle<> h);
 
  private:
@@ -152,6 +169,12 @@ class Scheduler final : public sim::Host {
     ProcId src;
     std::coroutine_handle<> handle;
     Message* slot;
+    /// Timed waiters (recv_until): the completion flag to set on a match,
+    /// and a nonzero id the deadline timer uses to cancel the waiter. A
+    /// timer firing after the match finds no waiter with its id — a no-op,
+    /// the same gen-guard discipline as the reliable layer's timers.
+    TimedRecv* timed = nullptr;
+    std::uint64_t id = 0;
   };
 
   struct PState {
@@ -194,6 +217,7 @@ class Scheduler final : public sim::Host {
   };
 
   sim::Machine machine_;
+  std::uint64_t next_waiter_id_ = 1;
   Program program_;
   std::vector<std::pair<std::int32_t, Handler>> handlers_;
   std::vector<PState> pstates_;
@@ -252,6 +276,26 @@ struct RecvAwaiter {
   Message await_resume() const noexcept { return msg; }
 };
 
+struct TimedRecvAwaiter {
+  Scheduler* s;
+  ProcId p;
+  std::int32_t tag;
+  ProcId src;
+  Cycles deadline;
+  TimedRecv out{};
+  bool await_ready() {
+    if (s->try_take_mailbox(p, tag, src, &out.msg)) {
+      out.ok = true;
+      return true;
+    }
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    s->add_timed_recv_waiter(p, tag, src, h, &out, deadline);
+  }
+  TimedRecv await_resume() const noexcept { return out; }
+};
+
 struct SleepAwaiter {
   Scheduler* s;
   ProcId p;
@@ -308,6 +352,11 @@ inline auto Ctx::send_dma(ProcId dst, std::int32_t tag, std::uint64_t words,
 
 inline auto Ctx::recv(std::int32_t tag, ProcId src) const {
   return detail::RecvAwaiter{sched_, proc_, tag, src, {}};
+}
+
+inline auto Ctx::recv_until(Cycles deadline, std::int32_t tag,
+                            ProcId src) const {
+  return detail::TimedRecvAwaiter{sched_, proc_, tag, src, deadline, {}};
 }
 
 inline auto Ctx::sleep_until(Cycles t) const {

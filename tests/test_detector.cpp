@@ -1,0 +1,320 @@
+// Self-healing runtime: failure detector, epoch-based membership, and the
+// epoch-aware collectives built on them.
+//
+// Contracts pinned here:
+//  * fault::ProcFault is an interval: proc_failed() is true exactly on
+//    [fail_at, recover_at), and proc_recovers_at() exposes the heal edge.
+//  * Ctx::recv_until always resolves — with the message if one arrives
+//    before the deadline, with ok == false at the deadline otherwise — so
+//    a timed waiter can never trip the quiescence deadlock check.
+//  * The detector declares a silent peer dead after exactly
+//    suspicion_misses windows: time-to-detect is a deterministic function
+//    of (L, o, g) and the configured multiples, down to the cycle.
+//  * A bounded drop rate produces zero dead verdicts: the suspicion
+//    timeout is provably wider than one reliable-layer recovery.
+//  * Kill + recover: the revived processor rejoins through the membership
+//    coordinator and every healthy view converges on a strictly later
+//    epoch that includes it; skipping the epoch bump (the seeded mutation)
+//    leaves the healthy views permanently stale.
+//  * The epoch-aware broadcast re-feeds a subtree orphaned by a death and
+//    the epoch-aware reduce completes once the view stops naming the dead
+//    contributor — both by their deadline, never by deadlock.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/profiler.hpp"
+#include "runtime/detector.hpp"
+#include "runtime/membership.hpp"
+#include "runtime/reliable.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace logp {
+namespace {
+
+constexpr std::int32_t kUserTag = 50;
+
+sim::MachineConfig machine_config(int P) {
+  sim::MachineConfig cfg;
+  cfg.params = Params{20, 4, 8, P};
+  return cfg;
+}
+
+TEST(FaultPlan, ProcFaultRecoveryInterval) {
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 100, 200});
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_TRUE(plan.proc_fails(2));
+  EXPECT_FALSE(plan.proc_failed(2, 99));
+  EXPECT_TRUE(plan.proc_failed(2, 100));
+  EXPECT_TRUE(plan.proc_failed(2, 199));
+  EXPECT_FALSE(plan.proc_failed(2, 200));
+  EXPECT_EQ(plan.proc_recovers_at(2, 150), 200);
+  EXPECT_EQ(plan.proc_recovers_at(2, 250), -1);
+  EXPECT_EQ(plan.proc_recovers_at(1, 150), -1);
+
+  // No recover_at: failed forever from fail_at (the historical semantics).
+  fault::FaultPlan forever;
+  forever.proc_faults.push_back(fault::ProcFault{1, 50});
+  EXPECT_TRUE(forever.proc_failed(1, 1'000'000'000));
+  EXPECT_EQ(forever.proc_recovers_at(1, 60), -1);
+
+  fault::FaultPlan bad;
+  bad.proc_faults.push_back(fault::ProcFault{0, 100, 99});
+  EXPECT_THROW(bad.validate(), util::check_error);
+}
+
+TEST(RecvUntil, ResolvesAtDeadlineWithoutMessage) {
+  runtime::Scheduler sched(machine_config(2));
+  bool checked = false;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    if (ctx.proc() != 0) co_return;
+    const runtime::TimedRecv tr = co_await ctx.recv_until(100, kUserTag);
+    EXPECT_FALSE(tr.ok);
+    EXPECT_EQ(ctx.now(), 100);
+    checked = true;
+  });
+  EXPECT_NO_THROW(sched.run());  // no DeadlockError from the timed waiter
+  EXPECT_TRUE(checked);
+}
+
+TEST(RecvUntil, DeliversMessageBeforeDeadline) {
+  runtime::Scheduler sched(machine_config(2));
+  bool checked = false;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    if (ctx.proc() == 1) {
+      co_await ctx.send(0, kUserTag, 5);
+      co_return;
+    }
+    const runtime::TimedRecv tr = co_await ctx.recv_until(1000, kUserTag);
+    EXPECT_TRUE(tr.ok);
+    EXPECT_EQ(tr.msg.word(0), 5u);
+    EXPECT_EQ(tr.msg.src, 1);
+    EXPECT_LT(ctx.now(), 1000);
+    checked = true;
+  });
+  sched.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(FailureDetector, TimeToDetectMatchesConfiguredWindowsExactly) {
+  constexpr int P = 4;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0});  // dead forever
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  runtime::Membership mem(sched, rl);
+  runtime::FailureDetector::Options dopts;
+  dopts.rounds = 3;
+  runtime::FailureDetector det(sched, rl, mem, dopts);
+
+  // suspicion = ceil(3.0 * (2L + 4o)) = 3 * 56 = 168; period defaults to it.
+  EXPECT_EQ(det.suspicion_timeout(), 3 * (2 * 20 + 4 * 4));
+  EXPECT_EQ(det.heartbeat_period(), det.suspicion_timeout());
+
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    return det.run(ctx);
+  });
+  sched.run();
+
+  // Every healthy observer: suspect at round 0's check, dead at round 1's —
+  // time-to-detect == heartbeat_period + suspicion_timeout, to the cycle.
+  const Cycles t_dead = det.heartbeat_period() + det.suspicion_timeout();
+  int dead_seen = 0;
+  for (const auto& v : det.verdicts()) {
+    EXPECT_EQ(v.subject, 2) << "false positive against proc " << v.subject;
+    if (v.dead) {
+      ++dead_seen;
+      EXPECT_EQ(v.t, t_dead);
+    }
+    EXPECT_NE(v.observer, 2);  // fault-listed procs never judge
+  }
+  EXPECT_EQ(dead_seen, P - 1);
+  EXPECT_EQ(det.stats().dead_verdicts, P - 1);
+  // Each healthy view dropped proc 2 exactly once: epoch 1, three live.
+  for (int p = 0; p < P; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(mem.epoch(p), 1) << "proc " << p;
+    EXPECT_EQ(mem.view(p).live_count(), P - 1);
+    EXPECT_FALSE(mem.view(p).live[2]);
+  }
+  EXPECT_TRUE(sched.degraded());
+  EXPECT_NO_THROW(obs::profile_machine(sched.machine()).check_invariant());
+}
+
+TEST(FailureDetector, BoundedDropRateProducesNoDeadVerdicts) {
+  constexpr int P = 4;
+  fault::FaultPlan plan;
+  plan.msg_drop_rate = 0.05;  // drops recover via retransmit inside a window
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  runtime::Membership mem(sched, rl);
+  runtime::FailureDetector::Options dopts;
+  dopts.rounds = 4;
+  runtime::FailureDetector det(sched, rl, mem, dopts);
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    return det.run(ctx);
+  });
+  sched.run();
+
+  EXPECT_EQ(det.stats().dead_verdicts, 0);
+  for (int p = 0; p < P; ++p) EXPECT_EQ(mem.epoch(p), 0) << "proc " << p;
+  EXPECT_FALSE(sched.degraded());
+}
+
+TEST(Membership, KillAndRejoinConvergesOnLaterEpoch) {
+  constexpr int P = 4;
+  constexpr Cycles kRecover = 600;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0, kRecover});
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  runtime::Membership mem(sched, rl);
+  runtime::FailureDetector::Options dopts;
+  dopts.rounds = 3;  // dead verdict at t = 336, well before recovery
+  runtime::FailureDetector det(sched, rl, mem, dopts);
+
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    ctx.spawn(det.run(ctx));
+    co_await mem.revival_task(ctx, &plan, /*deadline=*/3000);
+  });
+  sched.run();
+
+  // Every processor that is live at the end — including the revived one —
+  // agrees on a view that re-admits proc 2 in a strictly later epoch.
+  for (int p = 0; p < P; ++p) {
+    EXPECT_GE(mem.epoch(p), 2) << "proc " << p;
+    EXPECT_TRUE(mem.view(p).live[2]) << "proc " << p;
+    EXPECT_EQ(mem.view(p).live_count(), P);
+  }
+  EXPECT_EQ(mem.stats().joins_sent, 1);
+  EXPECT_EQ(mem.stats().joins_processed, 1);  // exactly-once admission
+  EXPECT_GE(mem.stats().view_syncs_adopted, P - 1);
+  // Epochs are monotone per observer in the membership log.
+  std::vector<std::int64_t> last(P, 0);
+  for (const auto& rec : mem.log()) {
+    EXPECT_GE(rec.epoch, last[static_cast<std::size_t>(rec.observer)])
+        << "observer " << rec.observer;
+    last[static_cast<std::size_t>(rec.observer)] = rec.epoch;
+  }
+  EXPECT_NO_THROW(obs::profile_machine(sched.machine()).check_invariant());
+}
+
+TEST(Membership, SkippedEpochBumpLeavesHealthyViewsStale) {
+  constexpr int P = 4;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0, 600});
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  runtime::Membership::Options mopts;
+  mopts.test_skip_epoch_bump = true;  // the seeded protocol bug
+  runtime::Membership mem(sched, rl, mopts);
+  runtime::FailureDetector::Options dopts;
+  dopts.rounds = 3;
+  runtime::FailureDetector det(sched, rl, mem, dopts);
+
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    ctx.spawn(det.run(ctx));
+    co_await mem.revival_task(ctx, &plan, /*deadline=*/3000);
+  });
+  sched.run();
+
+  // The coordinator re-admitted the joiner without bumping its epoch, so
+  // its VIEW sync is not strictly newer than the healthy views — they stay
+  // stale forever. This is what the mc rejoin invariant must catch.
+  EXPECT_FALSE(mem.view(1).live[2]);
+  EXPECT_FALSE(mem.view(3).live[2]);
+  EXPECT_GT(mem.stats().view_syncs_stale, 0);
+}
+
+TEST(EpochCollectives, BroadcastRefeedsSubtreeOrphanedByDeath) {
+  constexpr int P = 4;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0});  // rank 3's parent
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  runtime::Membership mem(sched, rl);
+  runtime::FailureDetector::Options dopts;
+  dopts.rounds = 3;
+  runtime::FailureDetector det(sched, rl, mem, dopts);
+
+  std::vector<std::uint64_t> value(P, 0);
+  value[0] = 42;
+  std::vector<char> degraded(P, 0);
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    const auto p = static_cast<std::size_t>(ctx.proc());
+    ctx.spawn(det.run(ctx));
+    bool flag = false;
+    runtime::coll::EpochCollOptions copts;
+    copts.deadline = 2000;
+    co_await runtime::coll::broadcast_resilient(ctx, mem, &value[p], &flag,
+                                                copts, kUserTag);
+    degraded[p] = flag ? 1 : 0;
+  });
+  sched.run();
+
+  // Proc 3's epoch-0 parent is the dead proc 2; after the detector bumps
+  // the epoch, the holders re-send under the new view and re-feed it.
+  for (int p = 0; p < P; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(value[static_cast<std::size_t>(p)], 42u) << "proc " << p;
+  }
+  EXPECT_EQ(value[2], 0u);
+  // The per-participant flag is best-effort (the re-fed value can arrive
+  // before the waiter's next timeout notices the epoch change); the sticky
+  // scheduler flag is the contract — report_dead always raises it.
+  (void)degraded;
+  EXPECT_TRUE(sched.degraded());
+  EXPECT_NO_THROW(obs::profile_machine(sched.machine()).check_invariant());
+}
+
+TEST(EpochCollectives, ReduceCompletesOnceViewDropsDeadContributor) {
+  constexpr int P = 4;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{2, 0});
+
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer rl(sched);
+  runtime::Membership mem(sched, rl);
+  runtime::FailureDetector::Options dopts;
+  dopts.rounds = 3;
+  runtime::FailureDetector det(sched, rl, mem, dopts);
+
+  std::uint64_t result = 0;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    ctx.spawn(det.run(ctx));
+    runtime::coll::EpochCollOptions copts;
+    copts.deadline = 2000;
+    co_await runtime::coll::reduce_resilient(
+        ctx, mem, static_cast<std::uint64_t>(ctx.proc()) + 1, &result,
+        nullptr, copts, kUserTag);
+  });
+  sched.run();
+
+  // sum(1..4) minus the dead contributor's 3; the gather closes as soon as
+  // the coordinator's view stops naming proc 2 — before the deadline.
+  EXPECT_EQ(result, 1u + 2u + 4u);
+  EXPECT_TRUE(sched.degraded());
+}
+
+}  // namespace
+}  // namespace logp

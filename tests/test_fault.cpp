@@ -466,6 +466,30 @@ TEST(Checkpoint, MapCheckpointedResumesByteIdentically) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Checkpoint, DurablePublishOverwritesStaleTmpAndRoundTrips) {
+  // store() now fsyncs the tmp file before the rename and the directory
+  // after it. The observable contract is unchanged — a stale tmp left by a
+  // crashed publish is overwritten, never read — and the published bytes
+  // round-trip exactly.
+  const std::string dir = temp_dir("durable");
+  std::filesystem::remove_all(dir);
+  exp::CheckpointStore store(dir, "d");
+  {
+    // Simulate a crash mid-publish: a torn tmp file and no manifest.
+    std::ofstream f(store.path(2) + ".tmp", std::ios::binary | std::ios::trunc);
+    f << "{\"v\":\"gar";
+  }
+  std::string payload;
+  EXPECT_FALSE(store.load(2, &payload));  // tmp files are never read
+  store.store(2, "{\"v\":\"42\"}");
+  ASSERT_TRUE(store.load(2, &payload));
+  EXPECT_EQ(payload, "{\"v\":\"42\"}");
+  // The rename consumed the tmp: nothing stale left to confuse a resume.
+  EXPECT_FALSE(std::filesystem::exists(store.path(2) + ".tmp"));
+  EXPECT_EQ(store.corrupt_count(), 0);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Checkpoint, CorruptManifestIsSkippedAndRecomputed) {
   // A crash racing the tmp+rename publish (or plain disk rot) can leave a
   // truncated or garbled manifest. --resume must recompute that point with

@@ -337,7 +337,7 @@ TEST(NetTelemetry, LinkAccountingIsConsistent) {
   const std::string csv = telem.to_csv();
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
             "u,v,channels,packets,busy,utilization,queue_wait,max_queue_wait,"
-            "max_backlog");
+            "max_backlog,drops,retransmits,reroutes");
   EXPECT_NE(telem.render_links_table(5).find("util"), std::string::npos);
 }
 

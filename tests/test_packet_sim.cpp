@@ -207,6 +207,7 @@ void expect_identical(const PacketSimResult& a, const obs::NetTelemetry& ta,
   EXPECT_EQ(a.dropped, b.dropped);
   EXPECT_EQ(a.corrupted, b.corrupted);
   EXPECT_EQ(a.retransmitted, b.retransmitted);
+  EXPECT_EQ(a.rerouted, b.rerouted);
   EXPECT_EQ(a.lost, b.lost);
   EXPECT_EQ(a.peak_in_flight, b.peak_in_flight);
   EXPECT_EQ(a.pool_slots, b.pool_slots);
@@ -231,6 +232,20 @@ void expect_identical(const PacketSimResult& a, const obs::NetTelemetry& ta,
     EXPECT_EQ(la.max_queue_wait, lb.max_queue_wait) << "link " << i;
     EXPECT_EQ(la.max_backlog, lb.max_backlog) << "link " << i;
     EXPECT_EQ(la.drops, lb.drops) << "link " << i;
+    EXPECT_EQ(la.retransmits, lb.retransmits) << "link " << i;
+    EXPECT_EQ(la.reroutes, lb.reroutes) << "link " << i;
+  }
+  ASSERT_EQ(ta.reroutes.size(), tb.reroutes.size());
+  for (std::size_t i = 0; i < ta.reroutes.size(); ++i) {
+    EXPECT_EQ(ta.reroutes[i].first, tb.reroutes[i].first)
+        << "reroute sample " << i;
+    EXPECT_EQ(ta.reroutes[i].second, tb.reroutes[i].second)
+        << "reroute sample " << i;
+  }
+  ASSERT_EQ(ta.dead_links.size(), tb.dead_links.size());
+  for (std::size_t i = 0; i < ta.dead_links.size(); ++i) {
+    EXPECT_EQ(ta.dead_links[i].second, tb.dead_links[i].second)
+        << "dead-link sample " << i;
   }
   ASSERT_EQ(ta.retransmits.size(), tb.retransmits.size());
   for (std::size_t i = 0; i < ta.retransmits.size(); ++i) {
@@ -595,6 +610,148 @@ TEST(PacketSim, LookaheadMatchesPerHopServiceTime) {
   EXPECT_EQ(lookahead(cfg), 10);
   EXPECT_EQ(unloaded_packet_time(cfg, 1.0),
             static_cast<double>(lookahead(cfg)));
+}
+
+// ---- Fault-aware rerouting (PacketSimConfig::reroute) --------------------
+
+TEST(PacketSim, RerouteDetoursAroundKilledLinkAndHealsBack) {
+  // Hotspot traffic on an open 4x4 mesh funnels through the two links into
+  // node 0; killing (1, 0) mid-run strands the upstream backlog of packets
+  // that committed their route before the outage (injections during the
+  // outage are born onto the detour and never touch the dead link). With a
+  // retry budget far too small to outlive the outage, those packets are
+  // lost without rerouting; with it, the first retry recommits to the BFS
+  // detour around the dead link and delivers.
+  const auto topo = make_mesh2d(4, 4, false);
+  PacketSimConfig cfg;
+  cfg.pattern = TrafficPattern::kHotspot;
+  cfg.hotspot_fraction = 0.5;
+  cfg.injection_rate = 0.05;
+  cfg.duration = 10000;
+  fault::FaultPlan plan;
+  plan.retry_timeout = 2 * lookahead(cfg);
+  plan.max_retries = 3;
+  plan.link_faults.push_back({1, 0, 2000, 9000, 0});
+  cfg.faults = &plan;
+
+  obs::NetTelemetry telem_off;
+  telem_off.sample_every = 500;
+  PacketSimConfig off = cfg;
+  off.telemetry = &telem_off;
+  const auto r_off = run_packet_sim(*topo, off);
+  EXPECT_GT(r_off.lost, 0) << "retries must exhaust inside the outage";
+  EXPECT_EQ(r_off.rerouted, 0);
+  EXPECT_TRUE(telem_off.reroutes.empty())
+      << "reroute series stays empty without the flag";
+  EXPECT_TRUE(telem_off.dead_links.empty());
+
+  obs::NetTelemetry telem_on;
+  telem_on.sample_every = 500;
+  PacketSimConfig on = cfg;
+  on.telemetry = &telem_on;
+  on.reroute = true;
+  const auto r_on = run_packet_sim(*topo, on);
+  EXPECT_GT(r_on.rerouted, 0);
+  EXPECT_LT(r_on.lost, r_off.lost);
+  // Workload is untouched by the route choice.
+  EXPECT_EQ(r_on.injected, r_off.injected);
+  // Rerouting converts losses into (possibly late) deliveries. The detour
+  // squeezes everything through the surviving link into node 0, so the
+  // windowed goodput can dip below the no-reroute run — which sheds load by
+  // losing packets — but end-to-end completions must strictly improve.
+  const std::int64_t done_on = r_on.injected - r_on.lost - r_on.undrained;
+  const std::int64_t done_off = r_off.injected - r_off.lost - r_off.undrained;
+  EXPECT_GT(done_on, done_off);
+
+  // The sampled reroute series is cumulative and ends at the result total;
+  // the dead-link series overlays the configured outage exactly.
+  ASSERT_FALSE(telem_on.reroutes.empty());
+  EXPECT_EQ(telem_on.reroutes.back().second, r_on.rerouted);
+  for (std::size_t i = 1; i < telem_on.reroutes.size(); ++i)
+    EXPECT_GE(telem_on.reroutes[i].second, telem_on.reroutes[i - 1].second);
+  ASSERT_FALSE(telem_on.dead_links.empty());
+  for (const auto& [t, n] : telem_on.dead_links)
+    EXPECT_EQ(n, (t >= 2000 && t < 9000) ? 1 : 0) << "at t=" << t;
+
+  // Per-link attribution: no corruption in the plan, so every reroute (and
+  // every retransmit) is charged to the link that dropped the attempt.
+  std::int64_t link_reroutes = 0, link_retransmits = 0, link_drops = 0;
+  for (const auto& l : telem_on.links) {
+    link_reroutes += l.reroutes;
+    link_retransmits += l.retransmits;
+    link_drops += l.drops;
+  }
+  EXPECT_EQ(link_reroutes, r_on.rerouted);
+  EXPECT_EQ(link_retransmits, r_on.retransmitted);
+  EXPECT_EQ(link_drops, r_on.dropped);
+}
+
+TEST(PacketSim, RerouteByteIdenticalAcrossThreadsAndSimd) {
+  // The recovery figure's contract: a kill/heal run with rerouting engaged
+  // is byte-identical — full result surface plus telemetry, including the
+  // reroute and dead-link series — at every sim_threads and SIMD setting.
+  const auto topo = make_hypercube(32);
+  PacketSimConfig base;
+  base.injection_rate = 0.02;
+  base.duration = 10000;
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.01;  // background noise on top of the outage
+  plan.retry_timeout = 4 * lookahead(base);
+  plan.max_retries = 5;
+  plan.link_faults.push_back({0, 1, 1000, 6000, 0});
+  plan.link_faults.push_back({32, 33, 2000, 8000, 0});
+  base.faults = &plan;
+  base.reroute = true;
+
+  obs::NetTelemetry ref_telem;
+  ref_telem.sample_every = 250;
+  PacketSimConfig ref_cfg = base;
+  ref_cfg.telemetry = &ref_telem;
+  ref_cfg.sim_threads = 1;
+  const auto ref = run_packet_sim(*topo, ref_cfg);
+  EXPECT_GT(ref.rerouted, 0);
+
+  for (const int threads : {1, 4}) {
+    for (const bool scalar : {false, true}) {
+      SCOPED_TRACE("sim_threads=" + std::to_string(threads) +
+                   (scalar ? " scalar" : " simd"));
+      PacketSimConfig cfg = base;
+      obs::NetTelemetry telem;
+      telem.sample_every = 250;
+      cfg.telemetry = &telem;
+      cfg.sim_threads = threads;
+      util::simd::set_force_scalar(scalar);
+      const auto r = run_packet_sim(*topo, cfg);
+      util::simd::set_force_scalar(false);
+      expect_identical(ref, ref_telem, r, telem);
+    }
+  }
+}
+
+TEST(PacketSim, RerouteFlagIsInertWithoutKillIntervals) {
+  // Degraded (slow but live) links give the router nothing to route
+  // around: the flag must not perturb the run in any observable way.
+  const auto topo = make_mesh2d(8, 8, true);
+  PacketSimConfig cfg = golden_config(TrafficPattern::kUniform);
+  fault::FaultPlan plan;
+  plan.drop_rate = 0.02;
+  plan.retry_timeout = 4 * lookahead(cfg);
+  plan.max_retries = 4;
+  plan.link_faults.push_back({0, 1, 1000, 9000, 3});  // degrade, not kill
+  cfg.faults = &plan;
+  obs::NetTelemetry telem_off;
+  telem_off.sample_every = 500;
+  PacketSimConfig off = cfg;
+  off.telemetry = &telem_off;
+  const auto r_off = run_packet_sim(*topo, off);
+  obs::NetTelemetry telem_on;
+  telem_on.sample_every = 500;
+  PacketSimConfig on = cfg;
+  on.telemetry = &telem_on;
+  on.reroute = true;
+  const auto r_on = run_packet_sim(*topo, on);
+  EXPECT_EQ(r_on.rerouted, 0);
+  expect_identical(r_off, telem_off, r_on, telem_on);
 }
 
 }  // namespace

@@ -152,6 +152,92 @@ TEST(ReliableLayer, DeadPeerVerdictAfterCappedRetries) {
   EXPECT_NO_THROW(obs::profile_machine(sched.machine()).check_invariant());
 }
 
+TEST(ReliableLayer, DeadPeerFlipsAtExactlyMaxRetriesEvenAtZero) {
+  // The give-up boundary: max_retries = 0 means one data send, no
+  // retransmit, and a dead-peer verdict after a single timeout window.
+  constexpr int P = 2;
+  fault::FaultPlan plan;
+  plan.proc_faults.push_back(fault::ProcFault{1, 0});
+  sim::MachineConfig cfg = machine_config(P);
+  cfg.faults = &plan;
+  runtime::Scheduler sched(cfg);
+  runtime::ReliableLayer::Options opts;
+  opts.max_retries = 0;
+  runtime::ReliableLayer rl(sched, opts);
+  runtime::ReliableLayer::SendOutcome out;
+  sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+    if (ctx.proc() == 0) co_await rl.send(ctx, 1, kUserTag, 5, &out);
+    co_return;
+  });
+  sched.run();
+  EXPECT_TRUE(out.dead_peer);
+  EXPECT_EQ(out.retransmits, 0);
+  EXPECT_EQ(rl.stats().data_sends, 1);
+  EXPECT_EQ(rl.stats().retransmits, 0);
+  EXPECT_EQ(rl.stats().dead_peers, 1);
+}
+
+TEST(ReliableLayer, MaxBackoffCapsTheVerdictLatencyExactly) {
+  // Against a dead peer, send() waits base_timeout, then backoff_factor
+  // multiples of it, for max_retries + 1 windows. With the documented
+  // defaults (base = 2L+6o+4g = 96, factor = 2, retries = 3) the uncapped
+  // schedule waits 96+192+384+768 = 1440 cycles; capping max_backoff at the
+  // base keeps every window at 96, i.e. 384 total. The send costs around the
+  // windows are identical across runs, so the finish times must differ by
+  // exactly 1440 - 384 = 1056 cycles — the capped verdict is linear in
+  // max_retries, which is what a failure detector budgets against.
+  constexpr int P = 2;
+  auto run_dead_send = [](runtime::ReliableLayer::Options opts,
+                          runtime::ReliableLayer::SendOutcome* out) {
+    static fault::FaultPlan plan = [] {
+      fault::FaultPlan p;
+      p.proc_faults.push_back(fault::ProcFault{1, 0});
+      return p;
+    }();
+    sim::MachineConfig cfg = machine_config(P);
+    cfg.faults = &plan;
+    runtime::Scheduler sched(cfg);
+    runtime::ReliableLayer rl(sched, opts);
+    sched.set_program([&](runtime::Ctx ctx) -> runtime::Task {
+      if (ctx.proc() == 0) co_await rl.send(ctx, 1, kUserTag, 5, out);
+      co_return;
+    });
+    const Cycles end = sched.run();
+    EXPECT_NO_THROW(obs::profile_machine(sched.machine()).check_invariant());
+    return end;
+  };
+
+  runtime::ReliableLayer::Options uncapped;
+  uncapped.max_retries = 3;
+  runtime::ReliableLayer::SendOutcome out_uncapped;
+  const Cycles end_uncapped = run_dead_send(uncapped, &out_uncapped);
+
+  runtime::ReliableLayer::Options capped = uncapped;
+  capped.max_backoff = 2 * 20 + 6 * 4 + 4 * 8;  // cap at the base timeout
+  runtime::ReliableLayer::SendOutcome out_capped;
+  const Cycles end_capped = run_dead_send(capped, &out_capped);
+
+  EXPECT_TRUE(out_uncapped.dead_peer);
+  EXPECT_TRUE(out_capped.dead_peer);
+  EXPECT_EQ(out_uncapped.retransmits, 3);
+  EXPECT_EQ(out_capped.retransmits, 3);
+  EXPECT_EQ(end_uncapped - end_capped, 1056);
+
+  // Capping at the base is the same schedule as never backing off at all:
+  // the two runs must quiesce at the identical cycle.
+  runtime::ReliableLayer::Options flat = uncapped;
+  flat.backoff_factor = 1;
+  runtime::ReliableLayer::SendOutcome out_flat;
+  EXPECT_EQ(run_dead_send(flat, &out_flat), end_capped);
+
+  // A cap between base and the uncapped maximum bites only the later
+  // windows: 96+192+192+192 = 672, i.e. 768 cycles sooner than uncapped.
+  runtime::ReliableLayer::Options mid = uncapped;
+  mid.max_backoff = 2 * (2 * 20 + 6 * 4 + 4 * 8);
+  runtime::ReliableLayer::SendOutcome out_mid;
+  EXPECT_EQ(end_uncapped - run_dead_send(mid, &out_mid), 768);
+}
+
 // ---- resilient collectives ------------------------------------------------
 
 TEST(ResilientCollectives, BroadcastRoutesAroundFailedProcs) {

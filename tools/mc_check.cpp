@@ -43,7 +43,8 @@ constexpr const char* kUsage =
     "usage: mc_check [options]\n"
     "  --scenario NAMES   comma list or 'all' (send_ack, retransmit_race,\n"
     "                     reliable_broadcast, resilient_broadcast,\n"
-    "                     resilient_reduce)      [send_ack]\n"
+    "                     resilient_reduce, detector, rejoin,\n"
+    "                     epoch_broadcast)       [send_ack]\n"
     "  --p LIST           comma list of processor counts       [3]\n"
     "  --messages N       payloads per sender/destination pair [1]\n"
     "  --retries N        reliable-layer max retries           [3]\n"
@@ -60,7 +61,10 @@ constexpr const char* kUsage =
     "  --dump-dir DIR     write counterexample / replay traces here\n"
     "                     (Chrome trace + critical-path JSON per run)\n"
     "  --summary-json F   write the model_check coverage summary\n"
-    "  --mutate-no-dedup  seed the dedup bug (mutation test; must fail)\n";
+    "  --rounds N         heartbeat rounds in the detector scenario  [2]\n"
+    "  --mutate-no-dedup  seed the dedup bug (mutation test; must fail)\n"
+    "  --mutate-no-epoch-bump  seed the membership epoch bug (rejoin\n"
+    "                     scenario mutation test; must fail)\n";
 
 std::vector<int> parse_int_list(const std::string& csv, const char* what) {
   std::vector<int> vals = mc::parse_choices(csv);
@@ -165,7 +169,10 @@ int main(int argc, char** argv) {
   const std::string dump_dir = string_from_args(argc, argv, "--dump-dir", "");
   const std::string summary_path =
       string_from_args(argc, argv, "--summary-json", "");
+  const int rounds = int_from_args(argc, argv, "--rounds", 0);
   const bool mutate = bool_from_args(argc, argv, "--mutate-no-dedup");
+  const bool mutate_bump =
+      bool_from_args(argc, argv, "--mutate-no-epoch-bump");
   if (const int rc = exp::reject_unknown_flags(argc, argv, kUsage)) return rc;
 
   try {
@@ -187,12 +194,16 @@ int main(int argc, char** argv) {
         cfg.messages = messages;
         cfg.max_retries = retries;
         if (timeout > 0) cfg.base_timeout = timeout;
-        if (drop_budget >= 0)
-          cfg.drop_budget = cfg.is_resilient() ? 0 : drop_budget;
+        // Scenarios that forbid adversarial loss keep their forced 0.
+        if (drop_budget >= 0 && cfg.drop_budget > 0)
+          cfg.drop_budget = drop_budget;
         cfg.latency_min = latency_min;
+        if (rounds > 0) cfg.detector_rounds = rounds;
         for (const int d : mc::parse_choices(dead_arg))
           cfg.dead_procs.push_back(d);
-        cfg.mutate_no_dedup = mutate && !cfg.is_resilient();
+        cfg.mutate_no_dedup =
+            mutate && !cfg.is_resilient() && !cfg.is_membership();
+        cfg.mutate_no_epoch_bump = mutate_bump && cfg.scenario == "rejoin";
 
         if (do_replay)
           return run_replay(cfg, mc::parse_choices(replay_arg), dump_dir);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Summarize logp observability artifacts as per-phase breakdown tables.
 
-Accepts any of the five machine-readable formats the obs layer emits and
+Accepts any of the six machine-readable formats the obs layer emits and
 autodetects which one it was given:
 
   * Chrome trace JSON   (bench --trace-json FILE): per-processor "X" slices
@@ -15,6 +15,9 @@ autodetects which one it was given:
     near-critical chains.
   * critical-path chain CSV (bench --critical-path FILE.csv, schema
     chain,slack,cycles,nodes,t0,t1,proc_lo,proc_hi): the chain table alone.
+  * per-link telemetry CSV (obs::NetTelemetry::to_csv, bench --links-csv):
+    utilization-ranked link table with the fault-path series — drops,
+    retransmits, reroutes — plus machine-wide totals.
 
 For interval inputs the output mirrors obs::LogPProfile::render_table():
 one row per processor plus an aggregate, cycles and percent per activity,
@@ -207,6 +210,49 @@ def load_critpath_csv(text, top):
     print_chains(list(csv.DictReader(io.StringIO(text))), top if top else 10)
 
 
+LINKS_CSV_HEADER = ("u,v,channels,packets,busy,utilization,queue_wait,"
+                    "max_queue_wait,max_backlog,drops,retransmits,reroutes")
+
+
+def load_links_csv(text, top):
+    """Per-link telemetry with the fault-path series surfaced per row.
+
+    Rows are re-ranked by utilization here (descending, then by endpoint)
+    rather than trusting file order, mirroring the critical-path chain
+    loader. drops/retransmits/reroutes are the columns a recovery run reads:
+    a killed link shows drops on itself and reroutes on its detour.
+    """
+    links = list(csv.DictReader(io.StringIO(text)))
+    if not links:
+        print("no links found")
+        return
+    links.sort(key=lambda l: (-float(l["utilization"]),
+                              int(l["u"]), int(l["v"])))
+    shown = links[:top] if top else links
+    rows = []
+    for l in shown:
+        name = f"{l['u']}->{l['v']}"
+        if int(l["channels"]) > 1:
+            name += f" x{l['channels']}"
+        rows.append([name, f"{100.0 * float(l['utilization']):.1f}%",
+                     l["packets"], l["queue_wait"], l["max_backlog"],
+                     l["drops"], l["retransmits"], l["reroutes"]])
+    totals = {k: sum(int(l[k]) for l in links)
+              for k in ("packets", "drops", "retransmits", "reroutes")}
+    faulted = sum(1 for l in links
+                  if int(l["drops"]) or int(l["retransmits"])
+                  or int(l["reroutes"]))
+    print(f"link telemetry: {len(links)} links "
+          f"({len(shown)} shown), {totals['packets']} packets, "
+          f"totals: drops={totals['drops']} "
+          f"retransmits={totals['retransmits']} "
+          f"reroutes={totals['reroutes']} "
+          f"({faulted} links on the fault path)")
+    print(render_table(["link", "util", "packets", "queue wait",
+                        "max backlog", "drops", "retransmits", "reroutes"],
+                       rows))
+
+
 def summarize(text, name, top):
     first_line = text.split("\n", 1)[0].strip()
     if first_line.startswith("{"):
@@ -225,6 +271,8 @@ def summarize(text, name, top):
         load_metrics_csv(text)
     elif first_line == CRITPATH_CSV_HEADER:
         load_critpath_csv(text, top)
+    elif first_line == LINKS_CSV_HEADER:
+        load_links_csv(text, top)
     else:
         sys.exit(f"{name}: unrecognized format (header {first_line!r})")
 
@@ -260,6 +308,11 @@ TRACE_CSV_FIXTURE = ("proc,begin,end,activity,peer\n"
 METRICS_CSV_FIXTURE = ("name,type,value,max,p50,p95\n"
                        "net.heap.spills,counter,3,,,\n"
                        "net.wheel.peak_bucket,gauge,17,17,,\n")
+
+LINKS_CSV_FIXTURE = (LINKS_CSV_HEADER + "\n"
+                     "2,3,1,40,400,0.2000,80,12,3,0,0,5\n"
+                     "0,1,1,120,1200,0.6000,300,40,5,7,3,0\n"
+                     "1,2,2,80,800,0.4000,100,10,2,0,0,0\n")
 
 CHROME_FIXTURE = json.dumps({"traceEvents": [
     {"ph": "X", "tid": 0, "ts": 0, "dur": 2, "name": "send-o"},
@@ -299,6 +352,19 @@ def self_check():
 
     got = capture(METRICS_CSV_FIXTURE)
     assert "net.heap.spills" in got and "counter" in got, got
+
+    got = capture(LINKS_CSV_FIXTURE)
+    assert "totals: drops=7 retransmits=3 reroutes=5" in got, got
+    assert "2 links on the fault path" in got, got
+    assert "1->2 x2" in got, got  # multi-channel links keep the xN suffix
+    # Utilization ranking is re-derived from the rows, not trusted: the
+    # 60%-utilized link leads even though the file lists it second.
+    lines = [l for l in got.splitlines() if "->" in l]
+    assert "0->1" in lines[0], got
+    # --top bounds the rows but the totals still cover every link.
+    got_top = capture(LINKS_CSV_FIXTURE, top=1)
+    assert "(1 shown)" in got_top and "drops=7" in got_top, got_top
+    assert "2->3" not in got_top, got_top
 
     got = capture(CHROME_FIXTURE)
     assert "messages (flow pairs): 1" in got, got
